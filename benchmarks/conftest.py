@@ -1,0 +1,36 @@
+"""Shared benchmark plumbing.
+
+Each figure benchmark runs its experiment once (pedantic mode — the
+experiments are statistical sweeps, not microbenchmarks), prints the
+rendered table (visible with ``pytest -s`` and in captured output on
+failure), and saves it under ``benchmarks/results/`` so EXPERIMENTS.md
+can be regenerated from the files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for microbenchmark inputs."""
+    return np.random.default_rng(987)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered experiment table and persist it."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,97 @@
+"""Benchmarks reproducing Figures 4(a)-4(d): analytical accuracy (§V-B).
+
+Full-scale runs (100 segments, n in 10..80, 90% intervals) with shape
+assertions matching the paper:
+
+* 4(a)/4(b): interval lengths fall roughly like 1/sqrt(n);
+* 4(c): bin heights have the lowest miss rates, the variance the
+  highest, and the mean's miss rate is elevated at small n;
+* 4(d): per-family averaged miss rates stay low for all five families.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.experiments.fig4 import Fig4Sweep, run_fig4, run_fig4d
+from repro.workloads.synthetic import DISTRIBUTION_NAMES
+
+SAMPLE_SIZES = (10, 20, 30, 40, 50, 60, 70, 80)
+
+
+@pytest.fixture(scope="module")
+def sweep() -> Fig4Sweep:
+    """The shared full-scale n-sweep behind Figures 4(a)-(c)."""
+    return run_fig4(
+        seed=7,
+        n_segments=100,
+        sample_sizes=SAMPLE_SIZES,
+        confidence=0.9,
+        true_sample_size=600,
+    )
+
+
+def test_fig4a_interval_length_of_mu(benchmark, sweep, results_dir):
+    def report() -> Fig4Sweep:
+        return sweep
+
+    result = benchmark.pedantic(report, rounds=1, iterations=1)
+    save_result(results_dir, "fig4a_fig4b_fig4c", result.render())
+
+    lengths = result.mu_lengths()
+    # Strictly decreasing in n (averaged over 100 segments this is firm).
+    assert all(a > b for a, b in zip(lengths, lengths[1:]))
+    # Roughly 1/sqrt(n): the n=10 -> n=80 drop should be within 2x of
+    # the theoretical sqrt(8) ~ 2.83 factor.
+    ratio = lengths[0] / lengths[-1]
+    assert 1.8 <= ratio <= 5.5
+
+
+def test_fig4b_normalized_lengths(benchmark, sweep):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    normalized = result.normalized_lengths()
+    for stat in ("bin_heights", "mean", "variance"):
+        series = normalized[stat]
+        assert series[0] == pytest.approx(1.0)
+        # All statistics shrink substantially by n=80.
+        assert series[-1] < 0.62
+        # Bin heights and mean shrink like 1/sqrt(n) within slack.
+        if stat != "variance":
+            expected = math.sqrt(SAMPLE_SIZES[0] / SAMPLE_SIZES[-1])
+            assert series[-1] == pytest.approx(expected, abs=0.18)
+
+
+def test_fig4c_miss_rates(benchmark, sweep):
+    result = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    misses = result.miss_rates
+    # Paper: bin heights lowest, variance highest (normality assumption
+    # hurts the chi-square interval on skewed road delays).
+    mean_by_stat = {
+        stat: sum(series) / len(series) for stat, series in misses.items()
+    }
+    assert mean_by_stat["bin_heights"] < mean_by_stat["mean"]
+    assert mean_by_stat["mean"] < mean_by_stat["variance"]
+    # Bin-height misses stay near the nominal 10%.
+    assert max(misses["bin_heights"]) < 0.2
+    # The mean's miss rate is worse at small n than at large n.
+    assert misses["mean"][0] >= misses["mean"][-1]
+
+
+def test_fig4d_miss_rates_per_family(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig4d(seed=7, n=20, trials=300),
+        rounds=1, iterations=1,
+    )
+    save_result(results_dir, "fig4d", result.render())
+    assert set(result.miss_rates) == set(DISTRIBUTION_NAMES)
+    for family, rate in result.miss_rates.items():
+        # Paper: "with all five types of distributions, the miss rates
+        # are relatively low" (90% intervals -> ~10% inherent error).
+        assert rate < 0.22, family
+    # Skew hurts the variance interval's normality assumption: the
+    # exponential family misses far more often than the uniform there.
+    assert (
+        result.per_statistic["exponential"]["variance"]
+        > result.per_statistic["uniform"]["variance"]
+    )

@@ -1,0 +1,78 @@
+"""Online sample acquisition: stop measuring once accuracy suffices.
+
+The paper's §I observation: "When the intervals are sufficiently narrow
+to make a decision with enough confidence, we can stop acquiring raw
+data/samples, which is a slow or expensive process."
+
+This example prices each observation (think: dispatching a probe vehicle
+or running a costly experiment) and acquires one batch at a time until
+the 90% confidence interval of the mean is narrow enough to answer the
+business question — comparing bootstrap and analytic interval widths
+along the way.
+
+Run:  python examples/online_acquisition.py
+"""
+
+import numpy as np
+
+from repro import (
+    accuracy_from_sample,
+    bootstrap_accuracy_info,
+)
+
+QUESTION_THRESHOLD = 62.0   # is the mean delay above 62 seconds?
+TARGET_HALF_WIDTH = 2.0     # stop when the mean CI half-width is <= this
+BATCH = 10
+COST_PER_OBSERVATION = 1.0  # arbitrary cost units
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    true_mean_hint = np.exp(np.log(60) + 0.35**2 / 2)  # ~63.8s
+
+    observations: list[float] = []
+    print(f"question: is E[delay] > {QUESTION_THRESHOLD}s?  "
+          f"(true mean ~ {true_mean_hint:.1f}s)")
+    print(f"{'n':>4}  {'mean':>7}  {'analytic 90% CI':>22}  "
+          f"{'bootstrap 90% CI':>22}  decision")
+
+    while True:
+        # Acquiring data is the expensive step we want to minimise.
+        batch = rng.lognormal(np.log(60), 0.35, BATCH)
+        observations.extend(batch.tolist())
+        sample = np.asarray(observations)
+        n = sample.size
+
+        analytic = accuracy_from_sample(sample, confidence=0.9)
+        mc_values = rng.choice(sample, size=100 * n, replace=True)
+        bootstrap = bootstrap_accuracy_info(mc_values, n, confidence=0.9)
+
+        ci = analytic.mean
+        if ci.low > QUESTION_THRESHOLD:
+            decision = "YES - stop"
+        elif ci.high < QUESTION_THRESHOLD:
+            decision = "NO - stop"
+        elif ci.length / 2 <= TARGET_HALF_WIDTH:
+            decision = "interval narrow, still straddles - stop, UNSURE"
+        else:
+            decision = "keep acquiring"
+
+        print(f"{n:>4}  {sample.mean():>7.2f}  {str(ci):>22}  "
+              f"{str(bootstrap.mean):>22}  {decision}")
+
+        if decision != "keep acquiring":
+            break
+        if n >= 400:
+            decision = "budget exhausted"
+            break
+
+    cost = len(observations) * COST_PER_OBSERVATION
+    print(f"\nacquired {len(observations)} observations "
+          f"(cost {cost:.0f} units) before stopping.")
+    print("an accuracy-oblivious system has no stopping rule at all: it "
+          "either wastes acquisition budget or answers from too little "
+          "data without knowing it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Value types for accuracy information (paper §II-B).
+
+Accuracy of a distribution is represented by confidence intervals on
+selected parameters:
+
+* for a histogram — one interval per bin height,
+* for an arbitrary distribution — intervals on the mean and the variance,
+* for a result tuple — an interval on its membership probability (a
+  one-bin histogram).
+
+These are immutable value objects; the math that produces them lives in
+:mod:`repro.core.analytic` and :mod:`repro.core.bootstrap`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Sequence
+
+from repro.errors import AccuracyError
+
+__all__ = [
+    "ConfidenceInterval",
+    "BinInterval",
+    "TupleProbabilityInterval",
+    "AccuracyInfo",
+]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """An interval [low, high] that covers a parameter with confidence level.
+
+    ``confidence`` is the confidence coefficient, e.g. 0.95 for a 95%
+    interval.
+    """
+
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise AccuracyError("confidence interval bounds must not be NaN")
+        if self.high < self.low:
+            raise AccuracyError(
+                f"interval upper bound {self.high} below lower bound {self.low}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise AccuracyError(
+                f"confidence level must be in (0,1), got {self.confidence}"
+            )
+
+    @property
+    def length(self) -> float:
+        """Width of the interval; shorter means more accurate."""
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """Whether the (true) value falls inside the interval."""
+        return self.low <= value <= self.high
+
+    def clamped(self, lo: float, hi: float) -> "ConfidenceInterval":
+        """Intersect with [lo, hi] — e.g. probabilities live in [0, 1]."""
+        new_low = min(max(self.low, lo), hi)
+        new_high = max(min(self.high, hi), new_low)
+        return ConfidenceInterval(new_low, new_high, self.confidence)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.low:.4g}, {self.high:.4g}] "
+            f"@{self.confidence * 100:.0f}%"
+        )
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BinInterval:
+    """Accuracy-annotated histogram bin: (b_i, p_i1, p_i2, c_i) of §II-B."""
+
+    lower_edge: float
+    upper_edge: float
+    interval: ConfidenceInterval
+
+    @property
+    def point_estimate(self) -> float:
+        """The learned bin height p_i (interval midpoint for Wald intervals)."""
+        return self.interval.midpoint
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TupleProbabilityInterval:
+    """Confidence interval on a result tuple's membership probability."""
+
+    interval: ConfidenceInterval
+
+    def __post_init__(self) -> None:
+        clamped = self.interval.clamped(0.0, 1.0)
+        if clamped != self.interval:
+            object.__setattr__(self, "interval", clamped)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AccuracyInfo:
+    """Complete accuracy record of one distribution-valued query field.
+
+    Exactly mirrors Figure 2 of the paper: per-bin intervals when the
+    distribution is a histogram, plus mean/variance intervals that apply to
+    any distribution.  ``sample_size`` records the (de facto) sample size
+    the intervals were derived from.
+    """
+
+    mean: ConfidenceInterval
+    variance: ConfidenceInterval
+    bins: tuple[BinInterval, ...] = ()
+    sample_size: int = 0
+    method: str = "analytic"
+
+    def __post_init__(self) -> None:
+        if self.sample_size < 0:
+            raise AccuracyError(
+                f"sample size must be >= 0, got {self.sample_size}"
+            )
+        if self.method not in ("analytic", "bootstrap"):
+            raise AccuracyError(f"unknown accuracy method {self.method!r}")
+
+    @property
+    def has_bins(self) -> bool:
+        return bool(self.bins)
+
+    def bin_intervals(self) -> Sequence[ConfidenceInterval]:
+        """The bare per-bin confidence intervals, in bin order."""
+        return tuple(b.interval for b in self.bins)
+
+    def describe(self) -> str:
+        """Human-readable multi-line rendering for query output."""
+        lines = [
+            f"accuracy (method={self.method}, n={self.sample_size}):",
+            f"  mean     {self.mean}",
+            f"  variance {self.variance}",
+        ]
+        for b in self.bins:
+            lines.append(
+                f"  bin [{b.lower_edge:.4g}, {b.upper_edge:.4g}) "
+                f"{b.interval}"
+            )
+        return "\n".join(lines)

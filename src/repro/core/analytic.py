@@ -1,0 +1,293 @@
+"""Analytical accuracy methods — Lemmas 1 & 2 and Theorem 1 of the paper.
+
+Lemma 1 gives confidence intervals on histogram bin heights using the
+normal approximation to the binomial (the Wald interval) when the paper's
+validity rule ``n*p_i >= 4 and n*(1-p_i) >= 4`` holds, and the Wilson score
+interval otherwise.
+
+Lemma 2 gives intervals on the mean (Student-t for n < 30, z otherwise)
+and on the variance (chi-square), of an arbitrary distribution learned
+from a sample of size n.
+
+Theorem 1 lifts both lemmas to query results: use the *de facto* sample
+size of the output random variable (Lemma 3, :mod:`repro.core.dfsample`)
+as ``n`` and the result distribution's mean/standard deviation as the
+sample statistics.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+from scipy import special
+
+from repro.core.accuracy import (
+    AccuracyInfo,
+    BinInterval,
+    ConfidenceInterval,
+    TupleProbabilityInterval,
+)
+from repro.distributions.base import Distribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import AccuracyError
+
+__all__ = [
+    "SMALL_SAMPLE_MEAN_CUTOFF",
+    "WALD_VALIDITY_COUNT",
+    "proportion_interval_wald",
+    "proportion_interval_wilson",
+    "bin_height_interval",
+    "histogram_accuracy",
+    "mean_interval",
+    "variance_interval",
+    "distribution_accuracy",
+    "tuple_probability_interval",
+    "accuracy_from_sample",
+]
+
+# Lemma 2 switches from the Student-t to the z interval at this n.
+SMALL_SAMPLE_MEAN_CUTOFF = 30
+# Lemma 1 requires both expected counts (n*p and n*(1-p)) to be at least
+# this large for the normal approximation to the binomial to be valid.
+WALD_VALIDITY_COUNT = 4
+
+
+@functools.lru_cache(maxsize=4096)
+def _z_upper(alpha_half: float) -> float:
+    """Upper ``alpha_half`` percentile of the standard normal, z_{a/2}.
+
+    Cached: streams evaluate millions of intervals with a handful of
+    distinct confidence levels, so the quantile is a lookup, not a solve.
+    """
+    return float(special.ndtri(1.0 - alpha_half))
+
+
+@functools.lru_cache(maxsize=4096)
+def _t_upper(alpha_half: float, df: int) -> float:
+    """Upper percentile of the Student-t with ``df`` degrees of freedom."""
+    return float(special.stdtrit(df, 1.0 - alpha_half))
+
+
+@functools.lru_cache(maxsize=4096)
+def _chi2_upper(tail: float, df: int) -> float:
+    """Chi-square value with right-tail area ``tail`` at ``df`` dof."""
+    return float(special.chdtri(df, tail))
+
+
+def _check_confidence(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise AccuracyError(
+            f"confidence level must be in (0,1), got {confidence}"
+        )
+    return confidence
+
+
+def _check_sample_size(n: int, minimum: int = 1) -> int:
+    if n < minimum:
+        raise AccuracyError(
+            f"sample size must be >= {minimum}, got {n}"
+        )
+    return int(n)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 1: bin-height / proportion intervals
+# ---------------------------------------------------------------------------
+
+def proportion_interval_wald(
+    p: float, n: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Equation (1): the normal-approximation (Wald) proportion interval.
+
+    ``p ± z_{(1-c)/2} * sqrt(p * (1-p) / n)``, clamped to [0, 1].
+    """
+    _check_confidence(confidence)
+    _check_sample_size(n)
+    if not 0.0 <= p <= 1.0:
+        raise AccuracyError(f"proportion must be in [0,1], got {p}")
+    z = _z_upper((1.0 - confidence) / 2.0)
+    half = z * np.sqrt(p * (1.0 - p) / n)
+    return ConfidenceInterval(p - half, p + half, confidence).clamped(0.0, 1.0)
+
+
+def proportion_interval_wilson(
+    p: float, n: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Equation (2): the Wilson score interval for small expected counts.
+
+    ``(p + z^2/2n ± z * sqrt(p(1-p)/n + z^2/4n^2)) / (1 + z^2/n)``.
+    """
+    _check_confidence(confidence)
+    _check_sample_size(n)
+    if not 0.0 <= p <= 1.0:
+        raise AccuracyError(f"proportion must be in [0,1], got {p}")
+    z = _z_upper((1.0 - confidence) / 2.0)
+    z2 = z * z
+    center = p + z2 / (2.0 * n)
+    half = z * np.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    denom = 1.0 + z2 / n
+    return ConfidenceInterval(
+        (center - half) / denom, (center + half) / denom, confidence
+    ).clamped(0.0, 1.0)
+
+
+def bin_height_interval(
+    p: float, n: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Lemma 1 dispatch: Wald when valid, Wilson score otherwise."""
+    if n * p >= WALD_VALIDITY_COUNT and n * (1.0 - p) >= WALD_VALIDITY_COUNT:
+        return proportion_interval_wald(p, n, confidence)
+    return proportion_interval_wilson(p, n, confidence)
+
+
+def histogram_accuracy(
+    histogram: HistogramDistribution,
+    n: int,
+    confidence: float = 0.95,
+) -> tuple[BinInterval, ...]:
+    """Per-bin accuracy of a histogram learned from a sample of size n.
+
+    Returns the generalised representation ``{(b_i, p_i1, p_i2, c_i)}``
+    of §II-B as a tuple of :class:`BinInterval`.
+    """
+    _check_sample_size(n)
+    bins = []
+    for i, p in enumerate(histogram.probabilities):
+        lo, hi = histogram.bucket_bounds(i)
+        bins.append(
+            BinInterval(lo, hi, bin_height_interval(float(p), n, confidence))
+        )
+    return tuple(bins)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 2: mean and variance intervals
+# ---------------------------------------------------------------------------
+
+def mean_interval(
+    sample_mean: float,
+    sample_std: float,
+    n: int,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Equations (3)/(4): t-interval for n < 30, z-interval for n >= 30."""
+    _check_confidence(confidence)
+    _check_sample_size(n, minimum=2)
+    if sample_std < 0:
+        raise AccuracyError(f"standard deviation must be >= 0, got {sample_std}")
+    alpha_half = (1.0 - confidence) / 2.0
+    if n < SMALL_SAMPLE_MEAN_CUTOFF:
+        quantile = _t_upper(alpha_half, n - 1)
+    else:
+        quantile = _z_upper(alpha_half)
+    half = quantile * sample_std / np.sqrt(n)
+    return ConfidenceInterval(sample_mean - half, sample_mean + half, confidence)
+
+
+def variance_interval(
+    sample_variance: float,
+    n: int,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Equation (5): the chi-square interval for the variance.
+
+    ``[(n-1)s^2 / chi2_{(1-c)/2},  (n-1)s^2 / chi2_{(1+c)/2}]`` where the
+    subscripts locate right-tail areas, i.e. the denominators are the upper
+    and lower chi-square critical values with n-1 degrees of freedom.
+    """
+    _check_confidence(confidence)
+    _check_sample_size(n, minimum=2)
+    if sample_variance < 0:
+        raise AccuracyError(
+            f"sample variance must be >= 0, got {sample_variance}"
+        )
+    alpha_half = (1.0 - confidence) / 2.0
+    df = n - 1
+    chi2_upper = _chi2_upper(alpha_half, df)        # area a/2 to the right
+    chi2_lower = _chi2_upper(1.0 - alpha_half, df)  # area a/2 to the left
+    low = df * sample_variance / chi2_upper
+    high = df * sample_variance / chi2_lower
+    return ConfidenceInterval(low, high, confidence)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: accuracy of query results (and of learned source data)
+# ---------------------------------------------------------------------------
+
+def distribution_accuracy(
+    distribution: Distribution,
+    n: int,
+    confidence: float = 0.95,
+    sample_variance: float | None = None,
+) -> AccuracyInfo:
+    """Accuracy of a distribution given its (de facto) sample size.
+
+    Per Theorem 1: use the distribution's mean and standard deviation as
+    the sample statistics and ``n`` as the sample size.  If the
+    distribution is a histogram, per-bin intervals (Lemma 1) are attached
+    in addition to the mean/variance intervals.
+
+    ``sample_variance`` overrides the variance statistic when the caller
+    has the unbiased s^2 of an actual sample (the distribution's own
+    ``variance()`` is a population quantity).
+    """
+    _check_sample_size(n, minimum=2)
+    s2 = distribution.variance() if sample_variance is None else sample_variance
+    s = float(np.sqrt(s2))
+    info_mean = mean_interval(distribution.mean(), s, n, confidence)
+    info_var = variance_interval(s2, n, confidence)
+    bins: tuple[BinInterval, ...] = ()
+    if isinstance(distribution, HistogramDistribution):
+        bins = histogram_accuracy(distribution, n, confidence)
+    return AccuracyInfo(
+        mean=info_mean,
+        variance=info_var,
+        bins=bins,
+        sample_size=n,
+        method="analytic",
+    )
+
+
+def tuple_probability_interval(
+    probability: float,
+    n: int,
+    confidence: float = 0.95,
+) -> TupleProbabilityInterval:
+    """Accuracy of a result tuple's membership probability.
+
+    Theorem 1 treats the tuple probability as a one-bin histogram whose
+    bin probability is the tuple probability, so Lemma 1 applies directly.
+    """
+    interval = bin_height_interval(probability, n, confidence)
+    return TupleProbabilityInterval(interval)
+
+
+def accuracy_from_sample(
+    values: "np.ndarray | list[float]",
+    confidence: float = 0.95,
+    histogram: HistogramDistribution | None = None,
+) -> AccuracyInfo:
+    """Accuracy info computed directly from a raw observation sample.
+
+    This is the source-data path: given the n observations a distribution
+    was learned from, produce mean/variance intervals (Lemma 2) and,
+    when a learned ``histogram`` is supplied, per-bin intervals (Lemma 1).
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    n = _check_sample_size(arr.size, minimum=2)
+    sample_mean = float(arr.mean())
+    s2 = float(arr.var(ddof=1))
+    s = float(np.sqrt(s2))
+    info_mean = mean_interval(sample_mean, s, n, confidence)
+    info_var = variance_interval(s2, n, confidence)
+    bins: tuple[BinInterval, ...] = ()
+    if histogram is not None:
+        bins = histogram_accuracy(histogram, n, confidence)
+    return AccuracyInfo(
+        mean=info_mean,
+        variance=info_var,
+        bins=bins,
+        sample_size=n,
+        method="analytic",
+    )

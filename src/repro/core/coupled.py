@@ -1,0 +1,110 @@
+"""COUPLED-TESTS — controlling both error rates (paper §IV-C).
+
+A single significance test only bounds the false-positive rate.  The
+coupled-tests technique runs the original test T1 and its inverse T2:
+
+* if T1 rejects -> TRUE (false-positive rate <= alpha1);
+* else if T2 rejects -> FALSE (false-negative rate <= alpha2, because the
+  original test's false negative is exactly the inverse test's false
+  positive);
+* else -> UNSURE (the data cannot support either decision at the requested
+  error rates).
+
+For the two-sided operator '<>' the algorithm splits alpha1 across the two
+one-sided tests; by construction it never answers FALSE there, so the
+false-negative rate is 0 and the union bound keeps the false-positive rate
+below alpha1 (Theorem 3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.predicates import SignificancePredicate, TestResult
+from repro.errors import AccuracyError
+
+__all__ = ["ThreeValued", "CoupledOutcome", "coupled_tests", "CoupledPredicate"]
+
+
+class ThreeValued(enum.Enum):
+    """Three-valued predicate result: TRUE, FALSE, or UNSURE."""
+
+    TRUE = "TRUE"
+    FALSE = "FALSE"
+    UNSURE = "UNSURE"
+
+    def __bool__(self) -> bool:
+        """Strict truthiness: only TRUE selects a tuple; UNSURE does not."""
+        return self is ThreeValued.TRUE
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CoupledOutcome:
+    """Result of COUPLED-TESTS plus the underlying test outcomes."""
+
+    value: ThreeValued
+    primary: TestResult
+    secondary: TestResult | None = None
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+
+def coupled_tests(
+    predicate: SignificancePredicate,
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> CoupledOutcome:
+    """Algorithm COUPLED-TESTS(P, alpha1, alpha2).
+
+    ``alpha1`` bounds the false-positive rate and ``alpha2`` the
+    false-negative rate of the returned three-valued decision.
+    """
+    for name, alpha in (("alpha1", alpha1), ("alpha2", alpha2)):
+        if not 0.0 < alpha < 1.0:
+            raise AccuracyError(f"{name} must be in (0,1), got {alpha}")
+
+    if predicate.op == "<>":
+        # Lines 3-7: split alpha1 between the two one-sided tests.
+        test_lt = predicate.replaced(op="<", alpha=alpha1 / 2.0)
+        test_gt = predicate.replaced(op=">", alpha=alpha1 / 2.0)
+        result_lt = test_lt.run()
+        if result_lt.reject:
+            return CoupledOutcome(ThreeValued.TRUE, result_lt)
+        result_gt = test_gt.run()
+        if result_gt.reject:
+            # Line 19: for '<>' a rejection by either side means TRUE.
+            return CoupledOutcome(ThreeValued.TRUE, result_lt, result_gt)
+        return CoupledOutcome(ThreeValued.UNSURE, result_lt, result_gt)
+
+    # Lines 9-11: T1 is the original test at alpha1, T2 its inverse at alpha2.
+    test_1 = (
+        predicate if predicate.alpha == alpha1
+        else predicate.replaced(alpha=alpha1)
+    )
+    result_1 = test_1.run()
+    if result_1.reject:
+        return CoupledOutcome(ThreeValued.TRUE, result_1)
+    test_2 = predicate.inverse().replaced(alpha=alpha2)
+    result_2 = test_2.run()
+    if result_2.reject:
+        return CoupledOutcome(ThreeValued.FALSE, result_1, result_2)
+    return CoupledOutcome(ThreeValued.UNSURE, result_1, result_2)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CoupledPredicate:
+    """A significance predicate evaluated with coupled error-rate control.
+
+    Wraps any :class:`SignificancePredicate` with (alpha1, alpha2); calling
+    :meth:`evaluate` runs COUPLED-TESTS.  This is the form significance
+    predicates take inside WHERE clauses of the query layer.
+    """
+
+    predicate: SignificancePredicate
+    alpha1: float = 0.05
+    alpha2: float = 0.05
+
+    def evaluate(self) -> CoupledOutcome:
+        return coupled_tests(self.predicate, self.alpha1, self.alpha2)

@@ -1,0 +1,88 @@
+"""De facto sample algebra — Definition 2, Lemma 3, and Lemma 4.
+
+A query-result random variable ``Y = f(X_1, ..., X_d)`` is not directly
+observable, but each tuple of input observations yields a *de facto
+observation* of Y.  Lemma 3: the d.f. sample size of Y is the minimum of
+the input sample sizes.  Lemma 4: the number of distinct d.f. samples is
+``prod_{i=2..d} n_i! / (n_i - n)!`` (inputs ordered by ascending n_i).
+
+A ``None`` sample size denotes an effectively infinite sample — a
+deterministic constant or an exactly-known distribution — which never
+constrains the minimum.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections.abc import Iterable
+
+from repro.distributions.base import Distribution
+from repro.errors import AccuracyError
+
+__all__ = ["df_sample_size", "df_sample_count", "DfSized"]
+
+
+def df_sample_size(sizes: Iterable[int | None]) -> int | None:
+    """Lemma 3: d.f. sample size = min over the input sample sizes.
+
+    ``None`` entries (constants / exact inputs) are ignored; if every input
+    is exact the result is ``None`` — the output carries no sampling error.
+    """
+    finite = []
+    for size in sizes:
+        if size is None:
+            continue
+        if size < 1:
+            raise AccuracyError(f"sample sizes must be >= 1, got {size}")
+        finite.append(int(size))
+    if not finite:
+        return None
+    return min(finite)
+
+
+def df_sample_count(sizes: Iterable[int | None]) -> int | None:
+    """Lemma 4: number of distinct d.f. samples of the output r.v.
+
+    With input sizes sorted ascending as n_1 <= ... <= n_d and
+    n = n_1, the count is ``prod_{i=2..d} P(n_i, n)`` where P is the
+    number of n-permutations.  Returns ``None`` when every input is exact
+    (no sampling at all), and 1 when there is a single sampled input.
+    """
+    finite = sorted(
+        int(s) for s in sizes if s is not None
+    )
+    if not finite:
+        return None
+    if any(s < 1 for s in finite):
+        raise AccuracyError("sample sizes must be >= 1")
+    n = finite[0]
+    count = 1
+    for n_i in finite[1:]:
+        count *= math.perm(n_i, n)
+    return count
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DfSized:
+    """A distribution together with the sample size behind it.
+
+    This is the unit of value that flows through expression evaluation:
+    the distribution answers probabilistic questions, the sample size
+    drives accuracy via Theorem 1.  ``sample_size=None`` marks an exact
+    value (constants, closed-form results of exact inputs).
+    """
+
+    distribution: Distribution
+    sample_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.sample_size is not None and self.sample_size < 1:
+            raise AccuracyError(
+                f"sample size must be >= 1 or None, got {self.sample_size}"
+            )
+
+    @staticmethod
+    def combine_sizes(operands: Iterable["DfSized"]) -> int | None:
+        """d.f. sample size of a function of the given operands (Lemma 3)."""
+        return df_sample_size(op.sample_size for op in operands)

@@ -1,0 +1,139 @@
+"""Analytic power functions of the significance predicates (paper §IV-C).
+
+The power gamma of a test is the probability of returning TRUE when the
+alternative hypothesis actually holds.  For coupled tests, TRUE only ever
+comes from the primary test T1, so the coupled power equals the single-test
+power; the coupled machinery additionally yields probabilities of FALSE
+and UNSURE outcomes, which we expose because the paper studies power via
+the UNSURE rate (Figures 5(g) and 5(h)).
+
+All formulas use the large-sample normal approximation of the test
+statistic; the experiment harness measures power empirically and these
+functions provide the reference curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+from scipy import stats
+
+from repro.errors import AccuracyError, QueryError
+
+__all__ = [
+    "m_test_power",
+    "p_test_power",
+    "CoupledPowerProfile",
+    "coupled_m_test_power",
+    "coupled_p_test_power",
+]
+
+
+def _effect_shift(true_mean: float, c: float, scale: float, op: str) -> float:
+    """Location of the test statistic under the truth, oriented so that a
+    larger shift always means an easier rejection for the given op."""
+    if op == ">":
+        return (true_mean - c) / scale
+    if op == "<":
+        return (c - true_mean) / scale
+    raise QueryError(f"power is defined for one-sided ops, got {op!r}")
+
+
+def m_test_power(
+    true_mean: float,
+    true_std: float,
+    n: int,
+    op: str,
+    c: float,
+    alpha: float = 0.05,
+) -> float:
+    """P[mTest returns TRUE] when the field truly has the given mean/std."""
+    if n < 2:
+        raise AccuracyError(f"need n >= 2, got {n}")
+    if true_std <= 0:
+        raise AccuracyError(f"need true_std > 0, got {true_std}")
+    scale = true_std / math.sqrt(n)
+    shift = _effect_shift(true_mean, c, scale, op)
+    z_alpha = float(stats.norm.isf(alpha))
+    return float(stats.norm.cdf(shift - z_alpha))
+
+
+def p_test_power(
+    true_p: float,
+    n: int,
+    op: str,
+    tau: float,
+    alpha: float = 0.05,
+) -> float:
+    """P[pTest returns TRUE] when the predicate truly holds w.p. true_p.
+
+    The statistic uses the null scale sqrt(tau(1-tau)/n) while the estimate
+    fluctuates with the true scale sqrt(p(1-p)/n); both appear below.
+    """
+    if n < 1:
+        raise AccuracyError(f"need n >= 1, got {n}")
+    if not 0.0 < true_p < 1.0 or not 0.0 < tau < 1.0:
+        raise AccuracyError("true_p and tau must be in (0,1)")
+    z_alpha = float(stats.norm.isf(alpha))
+    null_scale = math.sqrt(tau * (1.0 - tau) / n)
+    true_scale = math.sqrt(true_p * (1.0 - true_p) / n)
+    if op == ">":
+        threshold = tau + z_alpha * null_scale
+        return float(stats.norm.sf((threshold - true_p) / true_scale))
+    if op == "<":
+        threshold = tau - z_alpha * null_scale
+        return float(stats.norm.cdf((threshold - true_p) / true_scale))
+    raise QueryError(f"power is defined for one-sided ops, got {op!r}")
+
+
+class CoupledPowerProfile(NamedTuple):
+    """Probabilities of each three-valued outcome under the true parameters."""
+
+    p_true: float
+    p_false: float
+    p_unsure: float
+
+
+def coupled_m_test_power(
+    true_mean: float,
+    true_std: float,
+    n: int,
+    op: str,
+    c: float,
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> CoupledPowerProfile:
+    """Outcome probabilities of coupled mTest under the true mean/std.
+
+    With the statistic approximately N(shift, 1): TRUE iff it exceeds
+    z_{alpha1}, FALSE iff it falls below -z_{alpha2}, UNSURE in between.
+    """
+    if true_std <= 0:
+        raise AccuracyError(f"need true_std > 0, got {true_std}")
+    scale = true_std / math.sqrt(n)
+    shift = _effect_shift(true_mean, c, scale, op)
+    z1 = float(stats.norm.isf(alpha1))
+    z2 = float(stats.norm.isf(alpha2))
+    p_true = float(stats.norm.sf(z1 - shift))
+    p_false = float(stats.norm.cdf(-z2 - shift))
+    return CoupledPowerProfile(p_true, p_false, max(0.0, 1 - p_true - p_false))
+
+
+def coupled_p_test_power(
+    true_p: float,
+    n: int,
+    op: str,
+    tau: float,
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> CoupledPowerProfile:
+    """Outcome probabilities of coupled pTest under the true probability."""
+    p_true = p_test_power(true_p, n, op, tau, alpha1)
+    inverse = {"<": ">", ">": "<"}.get(op)
+    if inverse is None:
+        raise QueryError(f"power is defined for one-sided ops, got {op!r}")
+    p_false = p_test_power(true_p, n, inverse, tau, alpha2)
+    return CoupledPowerProfile(
+        p_true, p_false, max(0.0, 1.0 - p_true - p_false)
+    )

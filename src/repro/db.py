@@ -1,0 +1,293 @@
+"""The accuracy-aware uncertain stream database facade.
+
+:class:`StreamDatabase` ties the layers together the way the paper's
+system diagram implies:
+
+1. raw observation records stream in (Figure 1),
+2. :meth:`ingest_observations` groups them and *learns* one distribution
+   per group, keeping the sample size — the accuracy source,
+3. one-shot :meth:`query` and push-based :meth:`register_continuous`
+   queries run the SQL-ish dialect with accuracy attached to results,
+   including significance predicates with coupled error-rate control.
+
+The facade stores each stream's current tuples in a bounded buffer
+(newest first out of age); it is a working single-process database, not
+a distributed system.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.errors import QueryError, SchemaError, StreamError
+from repro.core.dfsample import DfSized
+from repro.learning.base import Learner
+from repro.learning.histogram_learner import HistogramLearner
+from repro.learning.registry import make_learner
+from repro.learning.weighted import WeightedLearner
+from repro.query.executor import ExecutorConfig, QueryExecutor, ResultTuple
+from repro.query.planner import compile_query
+from repro.streams.tuples import Schema, UncertainTuple
+
+__all__ = ["StreamDatabase", "ContinuousQuery"]
+
+
+@dataclasses.dataclass
+class _StreamState:
+    schema: Schema | None
+    tuples: deque[UncertainTuple]
+    inserted: int = 0
+
+
+@dataclasses.dataclass
+class ContinuousQuery:
+    """A standing query: evaluated against every newly inserted tuple."""
+
+    name: str
+    source: str
+    executor: QueryExecutor
+    callback: Callable[[ResultTuple], None]
+    matches: int = 0
+
+
+class StreamDatabase:
+    """A single-process accuracy-aware uncertain stream database."""
+
+    def __init__(
+        self,
+        config: ExecutorConfig | None = None,
+        max_tuples_per_stream: int = 100_000,
+    ) -> None:
+        if max_tuples_per_stream < 1:
+            raise StreamError(
+                "max_tuples_per_stream must be >= 1, got "
+                f"{max_tuples_per_stream}"
+            )
+        self.config = config if config is not None else ExecutorConfig()
+        self.max_tuples_per_stream = max_tuples_per_stream
+        self._streams: dict[str, _StreamState] = {}
+        self._continuous: dict[str, ContinuousQuery] = {}
+
+    # -- stream management ---------------------------------------------------
+
+    def create_stream(
+        self, name: str, schema: "Schema | None" = None
+    ) -> None:
+        """Register a stream, optionally with a validated schema."""
+        if not name or not name.isidentifier():
+            raise StreamError(f"stream name must be an identifier: {name!r}")
+        if name in self._streams:
+            raise StreamError(f"stream {name!r} already exists")
+        self._streams[name] = _StreamState(
+            schema=schema,
+            tuples=deque(maxlen=self.max_tuples_per_stream),
+        )
+
+    def drop_stream(self, name: str) -> None:
+        """Remove a stream and any continuous queries reading it."""
+        self._state(name)  # raises if unknown
+        del self._streams[name]
+        stale = [
+            cq_name for cq_name, cq in self._continuous.items()
+            if cq.source == name
+        ]
+        for cq_name in stale:
+            del self._continuous[cq_name]
+
+    def streams(self) -> list[str]:
+        return sorted(self._streams)
+
+    def count(self, name: str) -> int:
+        """Number of tuples currently buffered in the stream."""
+        return len(self._state(name).tuples)
+
+    def stats(self, name: str) -> dict[str, object]:
+        """Operational metadata for one stream.
+
+        ``buffered`` is the current window of tuples; ``inserted`` counts
+        every insert since creation (evictions included); ``watchers``
+        lists the continuous queries reading this stream.
+        """
+        state = self._state(name)
+        return {
+            "buffered": len(state.tuples),
+            "inserted": state.inserted,
+            "has_schema": state.schema is not None,
+            "watchers": sorted(
+                cq_name for cq_name, cq in self._continuous.items()
+                if cq.source == name
+            ),
+        }
+
+    def _state(self, name: str) -> _StreamState:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise StreamError(
+                f"unknown stream {name!r}; have {self.streams()}"
+            ) from None
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def insert(
+        self, name: str, tup: "UncertainTuple | Mapping[str, object]"
+    ) -> None:
+        """Insert one tuple (mappings become probability-1 tuples)."""
+        state = self._state(name)
+        if not isinstance(tup, UncertainTuple):
+            tup = UncertainTuple(dict(tup))
+        if state.schema is not None:
+            state.schema.validate(tup)
+        state.tuples.append(tup)
+        state.inserted += 1
+        for cq in self._continuous.values():
+            if cq.source == name:
+                result = cq.executor.execute_one(tup)
+                if result is not None:
+                    cq.matches += 1
+                    cq.callback(result)
+
+    def insert_many(
+        self,
+        name: str,
+        tuples: Iterable["UncertainTuple | Mapping[str, object]"],
+    ) -> int:
+        """Insert a batch; returns how many tuples were inserted."""
+        count = 0
+        for tup in tuples:
+            self.insert(name, tup)
+            count += 1
+        return count
+
+    def ingest_observations(
+        self,
+        name: str,
+        records: Iterable[Mapping[str, object]],
+        group_by: str,
+        value: str,
+        learner: "Learner | str | None" = None,
+        carry: tuple[str, ...] = (),
+        min_observations: int = 2,
+        age: str | None = None,
+        half_life: float | None = None,
+    ) -> int:
+        """The Figure-1 transformation: raw records -> uncertain tuples.
+
+        Records are grouped by ``group_by``; each group's ``value``
+        readings form the sample a distribution is learned from, and the
+        learned field enters the stream *with its sample size* so
+        accuracy can flow to queries.  ``carry`` attributes are copied
+        from the group's first record (assumed constant per group, like
+        a road's speed limit).  Groups with fewer than
+        ``min_observations`` readings are skipped (their accuracy would
+        be undefined); returns the number of tuples produced.
+
+        Passing ``age`` (a record column holding each observation's age)
+        together with ``half_life`` enables the paper's §VII weighted
+        extension: fresh readings weigh more, the learned Gaussian
+        tracks drift, and the field's sample size becomes the Kish
+        effective size — so stale evidence honestly widens the accuracy
+        intervals.
+        """
+        if (age is None) != (half_life is None):
+            raise SchemaError(
+                "age and half_life must be passed together"
+            )
+        weighted = (
+            WeightedLearner(half_life) if half_life is not None else None
+        )
+        if weighted is None:
+            if learner is None:
+                learner = HistogramLearner(bucket_count=8)
+            elif isinstance(learner, str):
+                learner = make_learner(learner)
+        elif learner is not None:
+            raise SchemaError(
+                "pass either a learner or age/half_life, not both"
+            )
+        groups: dict[object, list[Mapping[str, object]]] = {}
+        for record in records:
+            if group_by not in record or value not in record:
+                raise SchemaError(
+                    f"record {record!r} lacks {group_by!r}/{value!r}"
+                )
+            if age is not None and age not in record:
+                raise SchemaError(f"record {record!r} lacks {age!r}")
+            groups.setdefault(record[group_by], []).append(record)
+
+        produced = 0
+        for group_key in sorted(groups, key=str):
+            members = groups[group_key]
+            if len(members) < min_observations:
+                continue
+            sample = [float(m[value]) for m in members]  # type: ignore[arg-type]
+            if weighted is not None:
+                ages = [float(m[age]) for m in members]  # type: ignore[arg-type,index]
+                fit = weighted.learn(sample, ages)
+                field = DfSized(
+                    fit.distribution,
+                    max(int(fit.effective_size), 2),
+                )
+            else:
+                assert isinstance(learner, Learner)
+                field = learner.learn(sample).as_dfsized()
+            attributes: dict[str, object] = {
+                group_by: group_key,
+                value: field,
+            }
+            for attr in carry:
+                attributes[attr] = members[0].get(attr)
+            self.insert(name, UncertainTuple(attributes))
+            produced += 1
+        return produced
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self, text: str, config: ExecutorConfig | None = None
+    ) -> list[ResultTuple]:
+        """One-shot query over a stream's current buffered tuples."""
+        compiled = compile_query(text)
+        state = self._state(compiled.source)
+        executor = QueryExecutor(
+            compiled,
+            schema=None,
+            config=config if config is not None else self.config,
+        )
+        return executor.execute(list(state.tuples))
+
+    def register_continuous(
+        self,
+        name: str,
+        text: str,
+        callback: Callable[[ResultTuple], None],
+        config: ExecutorConfig | None = None,
+    ) -> ContinuousQuery:
+        """Register a standing query evaluated on each future insert."""
+        if name in self._continuous:
+            raise QueryError(f"continuous query {name!r} already exists")
+        compiled = compile_query(text)
+        self._state(compiled.source)  # source must exist
+        cq = ContinuousQuery(
+            name=name,
+            source=compiled.source,
+            executor=QueryExecutor(
+                compiled,
+                schema=None,
+                config=config if config is not None else self.config,
+            ),
+            callback=callback,
+        )
+        self._continuous[name] = cq
+        return cq
+
+    def unregister_continuous(self, name: str) -> None:
+        try:
+            del self._continuous[name]
+        except KeyError:
+            raise QueryError(f"no continuous query {name!r}") from None
+
+    def continuous_queries(self) -> list[str]:
+        return sorted(self._continuous)

@@ -1,0 +1,46 @@
+"""Probability distribution substrate for the uncertain stream database.
+
+A :class:`~repro.distributions.base.Distribution` is a first-class attribute
+value in an uncertain tuple.  The paper's query processing operates either
+directly on distributions (closed-form Gaussian arithmetic) or via Monte
+Carlo over samples drawn from them (:mod:`repro.distributions.arithmetic`).
+"""
+
+from repro.distributions.base import Distribution, Deterministic
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.parametric import (
+    UniformDistribution,
+    ExponentialDistribution,
+    GammaDistribution,
+    WeibullDistribution,
+)
+from repro.distributions.mixture import MixtureDistribution
+from repro.distributions.arithmetic import (
+    BINARY_OPERATORS,
+    UNARY_OPERATORS,
+    combine,
+    apply_unary,
+)
+from repro.distributions.convolution import convolve_histograms
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "HistogramDistribution",
+    "GaussianDistribution",
+    "EmpiricalDistribution",
+    "DiscreteDistribution",
+    "UniformDistribution",
+    "ExponentialDistribution",
+    "GammaDistribution",
+    "WeibullDistribution",
+    "MixtureDistribution",
+    "BINARY_OPERATORS",
+    "UNARY_OPERATORS",
+    "combine",
+    "apply_unary",
+    "convolve_histograms",
+]

@@ -1,0 +1,90 @@
+"""Monte-Carlo arithmetic on random variables.
+
+§V-C of the paper generates random queries by drawing uniformly from six
+operators: ``+``, ``-``, ``*``, ``/``, ``SQRT(ABS(.))`` and ``SQUARE``.
+This module implements those operators on distributions by sampling: the
+result of combining r.v.'s is an :class:`EmpiricalDistribution` over the
+values of the expression applied sample-wise — exactly the "sequence of
+values of an output random variable" that BOOTSTRAP-ACCURACY-INFO consumes.
+
+Division guards against near-zero denominators by nudging them away from
+zero (the paper's random queries implicitly assume the expression is
+evaluable; real engines do the same to avoid NaN storms).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.errors import DistributionError
+
+__all__ = [
+    "BINARY_OPERATORS",
+    "UNARY_OPERATORS",
+    "combine",
+    "apply_unary",
+    "safe_divide",
+]
+
+_DIV_EPSILON = 1e-9
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise division with near-zero denominators nudged to ±eps."""
+    denom = np.where(
+        np.abs(denominator) < _DIV_EPSILON,
+        np.where(denominator >= 0, _DIV_EPSILON, -_DIV_EPSILON),
+        denominator,
+    )
+    return numerator / denom
+
+
+BINARY_OPERATORS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": safe_divide,
+}
+
+UNARY_OPERATORS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sqrtabs": lambda x: np.sqrt(np.abs(x)),
+    "square": np.square,
+    "neg": np.negative,
+    "abs": np.abs,
+}
+
+
+def combine(
+    op: str,
+    left: Distribution,
+    right: Distribution,
+    rng: np.random.Generator,
+    mc_samples: int = 1000,
+) -> EmpiricalDistribution:
+    """Apply a binary operator to two independent r.v.'s via Monte Carlo."""
+    try:
+        fn = BINARY_OPERATORS[op]
+    except KeyError:
+        raise DistributionError(f"unknown binary operator {op!r}") from None
+    xs = left.sample(rng, mc_samples)
+    ys = right.sample(rng, mc_samples)
+    return EmpiricalDistribution(fn(xs, ys))
+
+
+def apply_unary(
+    op: str,
+    operand: Distribution,
+    rng: np.random.Generator,
+    mc_samples: int = 1000,
+) -> EmpiricalDistribution:
+    """Apply a unary operator to an r.v. via Monte Carlo."""
+    try:
+        fn = UNARY_OPERATORS[op]
+    except KeyError:
+        raise DistributionError(f"unknown unary operator {op!r}") from None
+    xs = operand.sample(rng, mc_samples)
+    return EmpiricalDistribution(fn(xs))

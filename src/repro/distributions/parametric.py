@@ -1,0 +1,118 @@
+"""Parametric distribution families used in the paper's experiments (§V-A).
+
+The synthetic workloads draw from five families: exponential(λ=1),
+Gamma(k=2, θ=2), normal(μ=1, σ²=1), uniform(0,1), and Weibull(λ=1, k=1).
+The normal case is :class:`~repro.distributions.gaussian.GaussianDistribution`;
+the other four live here, each a thin strongly-typed wrapper over the
+matching :mod:`scipy.stats` frozen distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.distributions.base import Distribution
+from repro.errors import DistributionError
+
+__all__ = [
+    "UniformDistribution",
+    "ExponentialDistribution",
+    "GammaDistribution",
+    "WeibullDistribution",
+]
+
+
+class _ScipyBacked(Distribution):
+    """Shared plumbing for wrappers around a frozen scipy distribution."""
+
+    __slots__ = ("_frozen",)
+
+    def mean(self) -> float:
+        return float(self._frozen.mean())
+
+    def variance(self) -> float:
+        return float(self._frozen.var())
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return np.asarray(self._frozen.rvs(size=size, random_state=rng))
+
+    def cdf(self, x: float) -> float:
+        return float(self._frozen.cdf(x))
+
+    def quantile(self, q: float) -> float:
+        """Inverse cdf (percent-point function)."""
+        if not 0.0 <= q <= 1.0:
+            raise DistributionError(f"quantile level must be in [0,1], got {q}")
+        return float(self._frozen.ppf(q))
+
+
+class UniformDistribution(_ScipyBacked):
+    """Continuous uniform on [low, high)."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if not high > low:
+            raise DistributionError(f"need high > low, got [{low}, {high})")
+        self.low = float(low)
+        self.high = float(high)
+        self._frozen = stats.uniform(loc=self.low, scale=self.high - self.low)
+
+    def __repr__(self) -> str:
+        return f"UniformDistribution({self.low:.4g}, {self.high:.4g})"
+
+
+class ExponentialDistribution(_ScipyBacked):
+    """Exponential with rate ``lam`` (mean 1/lam)."""
+
+    __slots__ = ("lam",)
+
+    def __init__(self, lam: float = 1.0) -> None:
+        if lam <= 0:
+            raise DistributionError(f"rate must be > 0, got {lam}")
+        self.lam = float(lam)
+        self._frozen = stats.expon(scale=1.0 / self.lam)
+
+    def __repr__(self) -> str:
+        return f"ExponentialDistribution(lam={self.lam:.4g})"
+
+
+class GammaDistribution(_ScipyBacked):
+    """Gamma with shape ``k`` and scale ``theta`` (mean k*theta)."""
+
+    __slots__ = ("k", "theta")
+
+    def __init__(self, k: float = 2.0, theta: float = 2.0) -> None:
+        if k <= 0 or theta <= 0:
+            raise DistributionError(
+                f"shape and scale must be > 0, got k={k}, theta={theta}"
+            )
+        self.k = float(k)
+        self.theta = float(theta)
+        self._frozen = stats.gamma(a=self.k, scale=self.theta)
+
+    def __repr__(self) -> str:
+        return f"GammaDistribution(k={self.k:.4g}, theta={self.theta:.4g})"
+
+
+class WeibullDistribution(_ScipyBacked):
+    """Weibull with scale ``lam`` and shape ``k``.
+
+    With k=1 it coincides with the exponential of rate 1/lam — exactly the
+    paper's parameterisation (λ=1, k=1).
+    """
+
+    __slots__ = ("lam", "k")
+
+    def __init__(self, lam: float = 1.0, k: float = 1.0) -> None:
+        if lam <= 0 or k <= 0:
+            raise DistributionError(
+                f"scale and shape must be > 0, got lam={lam}, k={k}"
+            )
+        self.lam = float(lam)
+        self.k = float(k)
+        self._frozen = stats.weibull_min(c=self.k, scale=self.lam)
+
+    def __repr__(self) -> str:
+        return f"WeibullDistribution(lam={self.lam:.4g}, k={self.k:.4g})"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the accuracy-aware uncertain stream database.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class at the system boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DistributionError(ReproError):
+    """A distribution was constructed or used with invalid parameters."""
+
+
+class LearningError(ReproError):
+    """A learner was given a sample it cannot learn from (e.g. empty)."""
+
+
+class AccuracyError(ReproError):
+    """Accuracy information could not be computed (e.g. no sample size)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown attributes."""
+
+
+class ParseError(QueryError):
+    """The SQL-ish query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class StreamError(ReproError):
+    """The stream engine was misconfigured or received bad tuples."""
+
+
+class SchemaError(StreamError):
+    """A tuple does not match the schema of the stream it is pushed into."""

@@ -1,0 +1,12 @@
+"""Experiment harnesses — one module per paper figure group (§V).
+
+Every module exposes ``run_*`` functions returning plain result
+dataclasses with a ``render()`` method that prints the same rows/series
+the corresponding paper figure reports.  The benchmarks in
+``benchmarks/`` call these and assert the qualitative shape.
+"""
+
+from repro.experiments.metrics import interval_miss, miss_rate, mean_length
+from repro.experiments.harness import render_table
+
+__all__ = ["interval_miss", "miss_rate", "mean_length", "render_table"]

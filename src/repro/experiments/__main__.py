@@ -1,0 +1,107 @@
+"""Regenerate every paper figure's data table from the command line.
+
+Usage::
+
+    python -m repro.experiments            # full scale (same as benchmarks)
+    python -m repro.experiments --quick    # reduced scale for a fast look
+
+Tables print to stdout; pass ``--out DIR`` to also save one text file
+per figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.fig4 import run_fig4, run_fig4d
+from repro.experiments.fig5_bootstrap import run_fig5a, run_fig5b
+from repro.experiments.fig5_power import run_fig5g, run_fig5h
+from repro.experiments.fig5_predicates import run_fig5d, run_fig5e
+from repro.experiments.fig5_throughput import run_fig5c, run_fig5f
+
+
+def _experiments(quick: bool):
+    """(name, callable) pairs for every figure, scaled by --quick."""
+    if quick:
+        return [
+            ("fig4abc", lambda: run_fig4(
+                seed=7, n_segments=25, sample_sizes=(10, 20, 40, 80),
+                true_sample_size=600,
+            )),
+            ("fig4d", lambda: run_fig4d(seed=7, trials=60)),
+            ("fig5a", lambda: run_fig5a(
+                seed=11, n_route_queries=10, n_random_queries=10,
+                truth_mc=5000,
+            )),
+            ("fig5b", lambda: run_fig5b(seed=11, n_queries=20, truth_mc=5000)),
+            ("fig5c", lambda: run_fig5c(seed=3, n_items=1500, repeats=2)),
+            ("fig5d", lambda: run_fig5d(
+                seed=17, n_pairs=30, sample_sizes=(10, 40, 80)
+            )),
+            ("fig5e", lambda: run_fig5e(
+                seed=17, n_pairs=30, sample_sizes=(10, 40, 80)
+            )),
+            ("fig5f", lambda: run_fig5f(seed=3, n_items=1500, repeats=2)),
+            ("fig5g", lambda: run_fig5g(seed=23, trials=100)),
+            ("fig5h", lambda: run_fig5h(seed=23, trials=100)),
+        ]
+    return [
+        ("fig4abc", lambda: run_fig4(seed=7, n_segments=100)),
+        ("fig4d", lambda: run_fig4d(seed=7, trials=300)),
+        ("fig5a", lambda: run_fig5a(
+            seed=11, n_route_queries=30, n_random_queries=30,
+        )),
+        ("fig5b", lambda: run_fig5b(seed=11, n_queries=60)),
+        ("fig5c", lambda: run_fig5c(seed=3)),
+        ("fig5d", lambda: run_fig5d(seed=17)),
+        ("fig5e", lambda: run_fig5e(seed=17)),
+        ("fig5f", lambda: run_fig5f(seed=3)),
+        ("fig5g", lambda: run_fig5g(seed=23)),
+        ("fig5h", lambda: run_fig5h(seed=23)),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figure data tables.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale (~10x faster, noisier numbers)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help="directory to save one .txt table per figure",
+    )
+    parser.add_argument(
+        "--only", default=None,
+        help="comma-separated figure names (e.g. fig5d,fig5e)",
+    )
+    args = parser.parse_args(argv)
+
+    selected = None
+    if args.only:
+        selected = {name.strip() for name in args.only.split(",")}
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name, runner in _experiments(args.quick):
+        if selected is not None and name not in selected:
+            continue
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        table = result.render()
+        print(table)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

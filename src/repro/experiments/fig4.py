@@ -1,0 +1,293 @@
+"""Figures 4(a)-4(d): accuracy information via analytical methods (§V-B).
+
+Setup per the paper: pick 100 road segments that have large samples
+(>= 600 observations); treat the distribution learned from the complete
+sample as the segment's *true* distribution; then learn distributions
+from small sub-samples (drawn uniformly without replacement) and check
+the resulting 90% confidence intervals against the true values.
+
+* 4(a): sample size n vs the interval length of the mean.
+* 4(b): n vs interval lengths of bin heights / mean / variance,
+  normalised by the n = 10 length.
+* 4(c): n vs miss rates for the three statistics.
+* 4(d): miss rates at n = 20 for the five synthetic families, averaged
+  over the three statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.analytic import (
+    histogram_accuracy,
+    mean_interval,
+    variance_interval,
+)
+from repro.experiments.harness import render_table
+from repro.learning.histogram_learner import HistogramLearner, equi_width_edges
+from repro.workloads.cartel import CarTelSimulator
+from repro.workloads.synthetic import (
+    DISTRIBUTION_NAMES,
+    make_distribution,
+    sample_distribution,
+)
+
+__all__ = ["Fig4Sweep", "Fig4dResult", "run_fig4", "run_fig4d"]
+
+STATISTICS = ("bin_heights", "mean", "variance")
+
+
+@dataclasses.dataclass
+class _SegmentTruth:
+    """Ground truth derived from a segment's complete (large) sample."""
+
+    full_sample: np.ndarray
+    edges: np.ndarray
+    true_mean: float
+    true_variance: float
+    true_heights: np.ndarray
+
+
+@dataclasses.dataclass
+class Fig4Sweep:
+    """Results of the n-sweep shared by Figures 4(a), 4(b), 4(c)."""
+
+    sample_sizes: tuple[int, ...]
+    confidence: float
+    # average interval lengths per statistic per n
+    lengths: dict[str, list[float]]
+    # miss rates per statistic per n
+    miss_rates: dict[str, list[float]]
+
+    def mu_lengths(self) -> list[float]:
+        """Figure 4(a): average CI length of the mean per n."""
+        return self.lengths["mean"]
+
+    def normalized_lengths(self) -> dict[str, list[float]]:
+        """Figure 4(b): lengths normalised by the first (n=10) value."""
+        normalized = {}
+        for stat, series in self.lengths.items():
+            base = series[0] if series and series[0] > 0 else 1.0
+            normalized[stat] = [value / base for value in series]
+        return normalized
+
+    def render(self) -> str:
+        normalized = self.normalized_lengths()
+        rows = []
+        for i, n in enumerate(self.sample_sizes):
+            rows.append(
+                [
+                    n,
+                    self.lengths["mean"][i],
+                    normalized["bin_heights"][i],
+                    normalized["mean"][i],
+                    normalized["variance"][i],
+                    self.miss_rates["bin_heights"][i],
+                    self.miss_rates["mean"][i],
+                    self.miss_rates["variance"][i],
+                ]
+            )
+        return render_table(
+            [
+                "n", "len(mu)", "norm(bins)", "norm(mean)", "norm(var)",
+                "miss(bins)", "miss(mean)", "miss(var)",
+            ],
+            rows,
+            title=(
+                "Figures 4(a)-(c): analytic interval lengths and miss rates "
+                f"({self.confidence * 100:.0f}% CIs, road-delay data)"
+            ),
+        )
+
+
+def _segment_truth(
+    sim: CarTelSimulator,
+    segment_id: int,
+    true_sample_size: int,
+    bucket_count: int,
+) -> _SegmentTruth:
+    full = sim.observations(segment_id, true_sample_size)
+    edges = equi_width_edges(full, bucket_count)
+    counts, _ = np.histogram(np.clip(full, edges[0], edges[-1]), bins=edges)
+    heights = counts / counts.sum()
+    return _SegmentTruth(
+        full_sample=full,
+        edges=edges,
+        true_mean=float(full.mean()),
+        true_variance=float(full.var(ddof=1)),
+        true_heights=heights,
+    )
+
+
+def run_fig4(
+    seed: int = 0,
+    n_segments: int = 100,
+    sample_sizes: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80),
+    confidence: float = 0.9,
+    true_sample_size: int = 600,
+    bucket_count: int = 8,
+) -> Fig4Sweep:
+    """The shared sweep behind Figures 4(a), 4(b), and 4(c)."""
+    rng = np.random.default_rng(seed)
+    sim = CarTelSimulator(max(n_segments * 2, 50), seed=seed)
+    segment_ids = sim.pick_segments(n_segments)
+    truths = {
+        s: _segment_truth(sim, s, true_sample_size, bucket_count)
+        for s in segment_ids
+    }
+
+    lengths: dict[str, list[float]] = {stat: [] for stat in STATISTICS}
+    misses: dict[str, list[float]] = {stat: [] for stat in STATISTICS}
+
+    for n in sample_sizes:
+        length_acc = {stat: 0.0 for stat in STATISTICS}
+        length_cnt = {stat: 0 for stat in STATISTICS}
+        miss_acc = {stat: 0 for stat in STATISTICS}
+        miss_cnt = {stat: 0 for stat in STATISTICS}
+
+        for segment_id in segment_ids:
+            truth = truths[segment_id]
+            sub = rng.choice(truth.full_sample, size=n, replace=False)
+            learner = HistogramLearner(edges=truth.edges)
+            learned = learner.learn(sub)
+
+            # Bin heights (Lemma 1).
+            assert hasattr(learned.distribution, "probabilities")
+            bins = histogram_accuracy(
+                learned.distribution, n, confidence  # type: ignore[arg-type]
+            )
+            for bin_interval, true_height in zip(bins, truth.true_heights):
+                ci = bin_interval.interval
+                length_acc["bin_heights"] += ci.length
+                length_cnt["bin_heights"] += 1
+                miss_acc["bin_heights"] += not ci.contains(float(true_height))
+                miss_cnt["bin_heights"] += 1
+
+            # Mean and variance (Lemma 2) from the raw sub-sample.
+            sub_mean = float(sub.mean())
+            sub_s2 = float(sub.var(ddof=1))
+            ci_mean = mean_interval(sub_mean, np.sqrt(sub_s2), n, confidence)
+            ci_var = variance_interval(sub_s2, n, confidence)
+            length_acc["mean"] += ci_mean.length
+            length_cnt["mean"] += 1
+            miss_acc["mean"] += not ci_mean.contains(truth.true_mean)
+            miss_cnt["mean"] += 1
+            length_acc["variance"] += ci_var.length
+            length_cnt["variance"] += 1
+            miss_acc["variance"] += not ci_var.contains(truth.true_variance)
+            miss_cnt["variance"] += 1
+
+        for stat in STATISTICS:
+            lengths[stat].append(length_acc[stat] / length_cnt[stat])
+            misses[stat].append(miss_acc[stat] / miss_cnt[stat])
+
+    return Fig4Sweep(
+        sample_sizes=tuple(sample_sizes),
+        confidence=confidence,
+        lengths=lengths,
+        miss_rates=misses,
+    )
+
+
+@dataclasses.dataclass
+class Fig4dResult:
+    """Figure 4(d): average miss rate per synthetic distribution family."""
+
+    n: int
+    confidence: float
+    miss_rates: dict[str, float]  # family -> averaged miss rate
+    per_statistic: dict[str, dict[str, float]]
+
+    def render(self) -> str:
+        rows = [
+            [
+                family,
+                self.miss_rates[family],
+                self.per_statistic[family]["bin_heights"],
+                self.per_statistic[family]["mean"],
+                self.per_statistic[family]["variance"],
+            ]
+            for family in self.miss_rates
+        ]
+        return render_table(
+            ["distribution", "avg miss", "miss(bins)", "miss(mean)",
+             "miss(var)"],
+            rows,
+            title=(
+                f"Figure 4(d): miss rates at n={self.n} "
+                f"({self.confidence * 100:.0f}% CIs, synthetic data)"
+            ),
+        )
+
+
+def run_fig4d(
+    seed: int = 0,
+    n: int = 20,
+    trials: int = 200,
+    confidence: float = 0.9,
+    bucket_count: int = 8,
+    true_sample_size: int = 20000,
+) -> Fig4dResult:
+    """Figure 4(d): miss rates across the five distribution families."""
+    rng = np.random.default_rng(seed)
+    miss_rates: dict[str, float] = {}
+    per_statistic: dict[str, dict[str, float]] = {}
+
+    for family in DISTRIBUTION_NAMES:
+        dist = make_distribution(family)
+        true_mean = dist.mean()
+        true_variance = dist.variance()
+        # Shared bucketisation from a large reference sample; its
+        # per-bucket probabilities are the true bin heights.
+        reference = sample_distribution(family, rng, true_sample_size)
+        edges = equi_width_edges(reference, bucket_count)
+        counts, _ = np.histogram(
+            np.clip(reference, edges[0], edges[-1]), bins=edges
+        )
+        true_heights = counts / counts.sum()
+
+        stat_misses = {stat: 0 for stat in STATISTICS}
+        stat_counts = {stat: 0 for stat in STATISTICS}
+        learner = HistogramLearner(edges=edges)
+        for _ in range(trials):
+            sample = sample_distribution(family, rng, n)
+            learned = learner.learn(sample)
+            bins = histogram_accuracy(
+                learned.distribution, n, confidence  # type: ignore[arg-type]
+            )
+            for bin_interval, truth in zip(bins, true_heights):
+                stat_misses["bin_heights"] += (
+                    not bin_interval.interval.contains(float(truth))
+                )
+                stat_counts["bin_heights"] += 1
+            s2 = float(sample.var(ddof=1))
+            ci_mean = mean_interval(
+                float(sample.mean()), np.sqrt(s2), n, confidence
+            )
+            ci_var = variance_interval(s2, n, confidence)
+            stat_misses["mean"] += not ci_mean.contains(true_mean)
+            stat_counts["mean"] += 1
+            stat_misses["variance"] += not ci_var.contains(true_variance)
+            stat_counts["variance"] += 1
+
+        rates = {
+            stat: stat_misses[stat] / stat_counts[stat]
+            for stat in STATISTICS
+        }
+        per_statistic[family] = rates
+        # Average over *intervals* (the paper's "average miss rates for
+        # the intervals over three kinds of statistics"): the b bin
+        # intervals weigh b times the single mean/variance intervals.
+        miss_rates[family] = sum(stat_misses.values()) / sum(
+            stat_counts.values()
+        )
+
+    return Fig4dResult(
+        n=n,
+        confidence=confidence,
+        miss_rates=miss_rates,
+        per_statistic=per_statistic,
+    )

@@ -1,0 +1,337 @@
+"""Figures 5(a)-5(b): bootstrap versus analytical accuracy (§V-C).
+
+Per query we
+
+1. draw per-leaf samples from the *true* input distributions (sizes are
+   heterogeneous), learn empirical input distributions from them,
+2. evaluate the query by Monte Carlo, producing the output value sequence
+   (m = r * n values for d.f. sample size n, Lemma 3),
+3. compute analytic intervals (Theorem 1 on the result distribution) and
+   bootstrap intervals (BOOTSTRAP-ACCURACY-INFO on the value sequence),
+4. compare interval lengths (ratio bootstrap / analytic, per statistic)
+   and check bootstrap miss rates against ground truth from a large
+   Monte-Carlo evaluation with the true input distributions.
+
+Two workloads run, as in the paper: total-delay route queries on the
+road-delay data, and random six-operator expressions over the five
+synthetic families.  Figure 5(b) repeats the comparison with
+normal-only inputs and operators limited to + and −, where the result is
+exactly Gaussian and the analytic normality assumption holds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.analytic import (
+    histogram_accuracy,
+    mean_interval,
+    variance_interval,
+)
+from repro.core.bootstrap import bootstrap_accuracy_info
+from repro.core.dfsample import DfSized
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.experiments.fig4 import STATISTICS
+from repro.experiments.harness import render_table
+from repro.learning.histogram_learner import equi_width_edges
+from repro.query.expressions import EvalContext, Expression
+from repro.streams.tuples import UncertainTuple
+from repro.workloads.cartel import CarTelSimulator
+from repro.workloads.queries import RandomQueryWorkload
+from repro.workloads.routes import Route, make_routes
+from repro.workloads.synthetic import make_distribution
+
+__all__ = ["Fig5abResult", "run_fig5a", "run_fig5b"]
+
+# Number of de-facto resamples r (m = r * n MC values per query).
+_RESAMPLES = 100
+
+
+@dataclasses.dataclass
+class Fig5abResult:
+    """Average bootstrap/analytic length ratios and bootstrap miss rates."""
+
+    label: str
+    confidence: float
+    length_ratio: dict[str, float]  # statistic -> bootstrap/analytic ratio
+    bootstrap_miss: dict[str, float]
+    analytic_miss: dict[str, float]
+    queries: int
+
+    def render(self) -> str:
+        rows = [
+            [
+                stat,
+                self.length_ratio[stat],
+                self.bootstrap_miss[stat],
+                self.analytic_miss[stat],
+            ]
+            for stat in STATISTICS
+        ]
+        return render_table(
+            ["statistic", "len ratio (boot/analytic)", "boot miss",
+             "analytic miss"],
+            rows,
+            title=(
+                f"{self.label} ({self.confidence * 100:.0f}% CIs, "
+                f"{self.queries} queries)"
+            ),
+        )
+
+
+@dataclasses.dataclass
+class _Accumulator:
+    ratio_sum: dict[str, float] = dataclasses.field(
+        default_factory=lambda: {s: 0.0 for s in STATISTICS}
+    )
+    ratio_cnt: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {s: 0 for s in STATISTICS}
+    )
+    boot_miss: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {s: 0 for s in STATISTICS}
+    )
+    analytic_miss: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {s: 0 for s in STATISTICS}
+    )
+    miss_cnt: dict[str, int] = dataclasses.field(
+        default_factory=lambda: {s: 0 for s in STATISTICS}
+    )
+
+    def add_ratio(
+        self, statistic: str, analytic_length: float, bootstrap_length: float
+    ) -> None:
+        if analytic_length > 0:
+            self.ratio_sum[statistic] += bootstrap_length / analytic_length
+            self.ratio_cnt[statistic] += 1
+
+    def add_miss(
+        self, statistic: str, analytic_missed: bool, bootstrap_missed: bool
+    ) -> None:
+        self.boot_miss[statistic] += bootstrap_missed
+        self.analytic_miss[statistic] += analytic_missed
+        self.miss_cnt[statistic] += 1
+
+    def result(self, label: str, confidence: float, queries: int
+               ) -> Fig5abResult:
+        return Fig5abResult(
+            label=label,
+            confidence=confidence,
+            length_ratio={
+                s: self.ratio_sum[s] / max(self.ratio_cnt[s], 1)
+                for s in STATISTICS
+            },
+            bootstrap_miss={
+                s: self.boot_miss[s] / max(self.miss_cnt[s], 1)
+                for s in STATISTICS
+            },
+            analytic_miss={
+                s: self.analytic_miss[s] / max(self.miss_cnt[s], 1)
+                for s in STATISTICS
+            },
+            queries=queries,
+        )
+
+
+def _mc_values(
+    expression: Expression,
+    tup: UncertainTuple,
+    rng: np.random.Generator,
+    m: int,
+) -> np.ndarray:
+    """m Monte-Carlo values of the expression over the tuple's inputs."""
+    ctx = EvalContext(tup, rng, mc_samples=m)
+    result = expression.evaluate(ctx)
+    dist = result.distribution
+    if isinstance(dist, EmpiricalDistribution) and dist.size >= m:
+        return dist.values[:m]
+    return dist.sample(rng, m)
+
+
+def _moments_converge(truth_values: np.ndarray) -> bool:
+    """Whether the true mean/variance of the result are well-defined.
+
+    Division by a zero-crossing operand (e.g. a normal denominator) gives
+    a result with *infinite* variance; no finite interval can cover it and
+    the comparison is ill-posed.  We detect divergence with a split-half
+    stability check on the truth sample's variance: if the two halves
+    disagree wildly, the second moment has not converged and the query is
+    excluded from the mean/variance metrics (bin heights, which are always
+    well-defined, are still compared).
+    """
+    half = truth_values.size // 2
+    if half < 2:
+        return False
+    v1 = float(truth_values[:half].var(ddof=1))
+    v2 = float(truth_values[half:].var(ddof=1))
+    if v1 <= 0.0 or v2 <= 0.0:
+        return True
+    ratio = max(v1, v2) / min(v1, v2)
+    # A factor-20 disagreement between halves of a 20k-draw truth sample
+    # only happens when the second moment diverges; moderately heavy
+    # tails (where the bootstrap's robustness shines) are kept.
+    return ratio < 20.0
+
+
+def _compare_one(
+    acc: _Accumulator,
+    values: np.ndarray,
+    n: int,
+    truth_values: np.ndarray,
+    confidence: float,
+    bucket_count: int,
+) -> None:
+    """Compare analytic vs bootstrap intervals for one query's output."""
+    edges = equi_width_edges(values, bucket_count)
+    true_counts, _ = np.histogram(
+        np.clip(truth_values, edges[0], edges[-1]), bins=edges
+    )
+    true_heights = true_counts / true_counts.sum()
+    true_mean = float(truth_values.mean())
+    true_var = float(truth_values.var(ddof=1))
+
+    # Analytic (Theorem 1): statistics of the result distribution, d.f. n.
+    result_mean = float(values.mean())
+    result_s2 = float(values.var(ddof=1))
+    a_mean = mean_interval(result_mean, np.sqrt(result_s2), n, confidence)
+    a_var = variance_interval(result_s2, n, confidence)
+    counts, _ = np.histogram(np.clip(values, edges[0], edges[-1]), bins=edges)
+    from repro.distributions.histogram import HistogramDistribution
+
+    histogram = HistogramDistribution.from_counts(edges, counts)
+    a_bins = histogram_accuracy(histogram, n, confidence)
+
+    # Bootstrap (BOOTSTRAP-ACCURACY-INFO) on the same value sequence.
+    boot = bootstrap_accuracy_info(values, n, confidence, edges)
+
+    # Length ratios are truth-free and compare over every query; miss
+    # rates only make sense when the true moments are well-defined.
+    acc.add_ratio("mean", a_mean.length, boot.mean.length)
+    acc.add_ratio("variance", a_var.length, boot.variance.length)
+    if _moments_converge(truth_values):
+        acc.add_miss(
+            "mean",
+            not a_mean.contains(true_mean), not boot.mean.contains(true_mean),
+        )
+        acc.add_miss(
+            "variance",
+            not a_var.contains(true_var), not boot.variance.contains(true_var),
+        )
+    for a_bin, b_bin, truth in zip(a_bins, boot.bins, true_heights):
+        acc.add_ratio(
+            "bin_heights", a_bin.interval.length, b_bin.interval.length
+        )
+        acc.add_miss(
+            "bin_heights",
+            not a_bin.interval.contains(float(truth)),
+            not b_bin.interval.contains(float(truth)),
+        )
+
+
+def _route_tuple_and_truth(
+    route: Route,
+    sim: CarTelSimulator,
+    rng: np.random.Generator,
+    sizes: tuple[int, ...],
+    truth_mc: int,
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """(MC values of total delay, d.f. n, truth values) for one route."""
+    size_map = {
+        s: int(rng.choice(sizes)) for s in route.segment_ids
+    }
+    samples = route.segment_samples(sim, size_map)
+    n = min(size_map.values())
+    # MC evaluation of the total: resample each segment's empirical
+    # distribution independently, m = r * n values (r resamples; the
+    # paper wants m large enough for the percentile intervals to
+    # converge — r = 100 is comfortably past that point).
+    m = _RESAMPLES * n
+    total = np.zeros(m)
+    for segment_id in route.segment_ids:
+        total += rng.choice(samples[segment_id], size=m, replace=True)
+    truth = np.zeros(truth_mc)
+    for segment_id in route.segment_ids:
+        truth += sim.observations(segment_id, truth_mc)
+    return total, n, truth
+
+
+def run_fig5a(
+    seed: int = 0,
+    n_route_queries: int = 30,
+    n_random_queries: int = 30,
+    segments_per_route: int = 20,
+    confidence: float = 0.9,
+    bucket_count: int = 8,
+    truth_mc: int = 20000,
+) -> Fig5abResult:
+    """Figure 5(a): mixed road-delay + random synthetic queries."""
+    rng = np.random.default_rng(seed)
+    acc = _Accumulator()
+
+    sim = CarTelSimulator(max(segments_per_route * 3, 80), seed=seed)
+    routes = make_routes(sim, n_route_queries, segments_per_route, rng)
+    for route in routes:
+        values, n, truth = _route_tuple_and_truth(
+            route, sim, rng, (10, 15, 20, 30, 50), truth_mc
+        )
+        _compare_one(acc, values, n, truth, confidence, bucket_count)
+
+    workload = RandomQueryWorkload(rng, empirical_inputs=True)
+    for _ in range(n_random_queries):
+        generated = workload.generate()
+        n = generated.df_sample_size
+        values = _mc_values(generated.expression, generated.tup, rng, _RESAMPLES * n)
+        truth_tup = UncertainTuple(
+            {
+                name: DfSized(
+                    _true_leaf_distribution(generated, name), None
+                )
+                for name in generated.sample_sizes
+            }
+        )
+        truth = _mc_values(generated.expression, truth_tup, rng, truth_mc)
+        _compare_one(acc, values, n, truth, confidence, bucket_count)
+
+    return acc.result(
+        "Figure 5(a): bootstrap vs analytic, skewed workloads",
+        confidence, n_route_queries + n_random_queries,
+    )
+
+
+def _true_leaf_distribution(generated, name):
+    """The true family distribution behind a generated leaf column."""
+    return make_distribution(generated.families[name])
+
+
+def run_fig5b(
+    seed: int = 0,
+    n_queries: int = 60,
+    confidence: float = 0.9,
+    bucket_count: int = 8,
+    truth_mc: int = 20000,
+) -> Fig5abResult:
+    """Figure 5(b): normal-only inputs, operators limited to + and −."""
+    rng = np.random.default_rng(seed)
+    acc = _Accumulator()
+    workload = RandomQueryWorkload(
+        rng, normal_only=True, empirical_inputs=True
+    )
+    for _ in range(n_queries):
+        generated = workload.generate()
+        n = generated.df_sample_size
+        values = _mc_values(generated.expression, generated.tup, rng, _RESAMPLES * n)
+        truth_tup = UncertainTuple(
+            {
+                name: DfSized(
+                    _true_leaf_distribution(generated, name), None
+                )
+                for name in generated.sample_sizes
+            }
+        )
+        truth = _mc_values(generated.expression, truth_tup, rng, truth_mc)
+        _compare_one(acc, values, n, truth, confidence, bucket_count)
+    return acc.result(
+        "Figure 5(b): bootstrap vs analytic, exactly-normal results",
+        confidence, n_queries,
+    )

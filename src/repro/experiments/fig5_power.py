@@ -1,0 +1,138 @@
+"""Figures 5(g) and 5(h): power of the coupled significance tests (§V-D).
+
+5(g): coupled mTest(X, ">", c, 0.05, 0.05) with c = (1 + delta) * mu where
+mu is the family's true mean and the sample has size 20.  Since
+E(X) > c is false, the *correct decisive* answer is FALSE; the paper's
+"power" is the fraction of decisive (non-UNSURE) correct answers, which
+rises with delta — fastest for the uniform family (tiny variance) and
+the Gamma family (largest mean-to-std ratio among the rest), exactly the
+paper's observation.
+
+5(h): coupled pTest(X > v, tau, 0.05, 0.05) with v placed at the true
+quantile where Pr[X > v] = tau * (1 + delta) (H1 true; correct answer
+TRUE), delta = 0.3, sweeping tau.  Because quantile-based decisions are
+distribution-free, all five families' power curves rise together.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.core.coupled import ThreeValued, coupled_tests
+from repro.core.predicates import FieldStats, MTest, PTest
+from repro.experiments.harness import render_table
+from repro.workloads.synthetic import (
+    DISTRIBUTION_NAMES,
+    make_distribution,
+    sample_distribution,
+    true_mean,
+)
+
+__all__ = ["PowerSweep", "run_fig5g", "run_fig5h"]
+
+
+@dataclasses.dataclass
+class PowerSweep:
+    """Empirical power per distribution family per swept parameter value."""
+
+    label: str
+    parameter_name: str
+    parameter_values: tuple[float, ...]
+    power: dict[str, list[float]]  # family -> power per parameter value
+
+    def render(self) -> str:
+        headers = [self.parameter_name] + list(self.power)
+        rows = []
+        for i, value in enumerate(self.parameter_values):
+            rows.append(
+                [value] + [self.power[family][i] for family in self.power]
+            )
+        return render_table(headers, rows, title=self.label)
+
+
+def _family_quantile(name: str, q: float) -> float:
+    """Inverse cdf of the named family (normal handled via scipy)."""
+    dist = make_distribution(name)
+    if hasattr(dist, "quantile"):
+        return dist.quantile(q)  # type: ignore[attr-defined]
+    return float(
+        sps.norm.ppf(q, loc=dist.mean(), scale=dist.std())
+    )
+
+
+def run_fig5g(
+    seed: int = 0,
+    deltas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    n: int = 20,
+    trials: int = 400,
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> PowerSweep:
+    """Figure 5(g): power of coupled mTest versus delta."""
+    rng = np.random.default_rng(seed)
+    power: dict[str, list[float]] = {}
+    for family in DISTRIBUTION_NAMES:
+        mu = true_mean(family)
+        series = []
+        for delta in deltas:
+            c = (1.0 + delta) * mu
+            correct = 0
+            for _ in range(trials):
+                sample = sample_distribution(family, rng, n)
+                field = FieldStats.from_sample(sample)
+                outcome = coupled_tests(
+                    MTest(field, ">", c, alpha1), alpha1, alpha2
+                )
+                # H1 (E(X) > c) is false; the correct decisive answer is
+                # FALSE.  Power = decisive correct fraction.
+                if outcome.value is ThreeValued.FALSE:
+                    correct += 1
+            series.append(correct / trials)
+        power[family] = series
+    return PowerSweep(
+        "Figure 5(g): power of coupled mTest vs delta (n=20)",
+        "delta", tuple(deltas), power,
+    )
+
+
+def run_fig5h(
+    seed: int = 0,
+    taus: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7),
+    delta: float = 0.3,
+    n: int = 20,
+    trials: int = 400,
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> PowerSweep:
+    """Figure 5(h): power of coupled pTest versus tau (delta = 0.3)."""
+    rng = np.random.default_rng(seed)
+    power: dict[str, list[float]] = {}
+    for family in DISTRIBUTION_NAMES:
+        series = []
+        for tau in taus:
+            true_p = tau * (1.0 + delta)
+            if not 0.0 < true_p < 1.0:
+                series.append(float("nan"))
+                continue
+            # v such that Pr[X > v] = true_p, i.e. the (1 - true_p) quantile.
+            v = _family_quantile(family, 1.0 - true_p)
+            correct = 0
+            for _ in range(trials):
+                sample = sample_distribution(family, rng, n)
+                p_hat = float(np.mean(sample > v))
+                outcome = coupled_tests(
+                    PTest(p_hat, n, tau, ">", alpha1), alpha1, alpha2
+                )
+                # H1 (Pr > tau) is true; power = fraction answering TRUE.
+                if outcome.value is ThreeValued.TRUE:
+                    correct += 1
+            series.append(correct / trials)
+        power[family] = series
+    return PowerSweep(
+        f"Figure 5(h): power of coupled pTest vs tau (delta={delta}, n={n})",
+        "tau", tuple(taus), power,
+    )

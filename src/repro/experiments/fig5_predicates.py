@@ -1,0 +1,173 @@
+"""Figures 5(d) and 5(e): error rates of significance predicates (§V-D).
+
+Per the paper: 100 pairs of routes with intentionally close true mean
+delays; 200 comparisons per sample size.  In the first 100 the pair is
+oriented so H0 is actually true (E(X) <= E(Y), predicate "E(X) > E(Y)"):
+any positive answer is a false positive.  In the second 100 the pair is
+flipped so H1 is true: any negative answer is a false negative.  The
+baseline "without significance predicates" simply compares the two
+sample means, as prior accuracy-oblivious systems would.
+
+* 5(d): a single (uncoupled) mdTest at alpha = 0.05 — false positives
+  bounded, false negatives uncontrolled.
+* 5(e): COUPLED-TESTS with alpha1 = alpha2 = 0.05 — both error kinds
+  bounded, plus an UNSURE count that falls with the sample size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.coupled import ThreeValued, coupled_tests
+from repro.core.predicates import FieldStats, MdTest
+from repro.experiments.harness import render_table
+from repro.workloads.cartel import CarTelSimulator
+from repro.workloads.routes import Route, RoutePair, make_close_mean_pairs
+
+__all__ = ["PredicateErrorSweep", "run_fig5d", "run_fig5e"]
+
+
+@dataclasses.dataclass
+class PredicateErrorSweep:
+    """Counts per sample size over 2 x n_pairs comparisons."""
+
+    label: str
+    sample_sizes: tuple[int, ...]
+    n_pairs: int
+    false_positives: list[int]
+    false_negatives: list[int]
+    unsure: list[int] | None
+    baseline_errors: list[int]  # errors without significance predicates
+
+    def render(self) -> str:
+        headers = ["n", "false pos", "false neg"]
+        if self.unsure is not None:
+            headers.append("unsure")
+        headers.append("errors w/o sig. pred.")
+        rows = []
+        for i, n in enumerate(self.sample_sizes):
+            row: list[object] = [
+                n, self.false_positives[i], self.false_negatives[i]
+            ]
+            if self.unsure is not None:
+                row.append(self.unsure[i])
+            row.append(self.baseline_errors[i])
+            rows.append(row)
+        return render_table(
+            headers, rows,
+            title=f"{self.label} ({2 * self.n_pairs} comparisons per n)",
+        )
+
+
+def _route_field(
+    route: Route, sim: CarTelSimulator, n: int
+) -> FieldStats:
+    """FieldStats of a route's total delay from a fresh d.f. sample."""
+    samples = route.segment_samples(sim, n)
+    df_sample = Route.total_delay_df_sample(samples)
+    return FieldStats.from_sample(df_sample)
+
+
+def _run_predicate_sweep(
+    label: str,
+    coupled: bool,
+    seed: int,
+    n_pairs: int,
+    sample_sizes: Sequence[int],
+    alpha1: float,
+    alpha2: float,
+) -> PredicateErrorSweep:
+    rng = np.random.default_rng(seed)
+    sim = CarTelSimulator(200, seed=seed)
+    # A 5% mean gap over 20 noisy lognormal segments puts the Welch
+    # effect size right in the interesting regime: indecisive at n=10,
+    # mostly decisive by n=80 (the paper's "close means" situation).
+    pairs: list[RoutePair] = make_close_mean_pairs(
+        sim, n_pairs, segments_per_route=20, relative_gap=0.05, rng=rng
+    )
+
+    false_positives: list[int] = []
+    false_negatives: list[int] = []
+    unsure: list[int] = []
+    baseline_errors: list[int] = []
+
+    for n in sample_sizes:
+        fp = fn = uns = base_err = 0
+        for pair in pairs:
+            low = _route_field(pair.route_x, sim, n)   # smaller true mean
+            high = _route_field(pair.route_y, sim, n)  # larger true mean
+
+            # H0 true: predicate E(X) > E(Y) with X = low, Y = high.
+            predicate = MdTest(low, high, ">", 0.0, alpha1)
+            if coupled:
+                decision = coupled_tests(predicate, alpha1, alpha2).value
+                if decision is ThreeValued.TRUE:
+                    fp += 1
+                elif decision is ThreeValued.UNSURE:
+                    uns += 1
+            else:
+                if predicate.run().reject:
+                    fp += 1
+            if low.mean > high.mean:  # accuracy-oblivious baseline
+                base_err += 1
+
+            # H1 true: predicate E(X) > E(Y) with X = high, Y = low.
+            predicate = MdTest(high, low, ">", 0.0, alpha1)
+            if coupled:
+                decision = coupled_tests(predicate, alpha1, alpha2).value
+                if decision is ThreeValued.FALSE:
+                    fn += 1
+                elif decision is ThreeValued.UNSURE:
+                    uns += 1
+            else:
+                if not predicate.run().reject:
+                    fn += 1
+            if high.mean <= low.mean:
+                base_err += 1
+
+        false_positives.append(fp)
+        false_negatives.append(fn)
+        unsure.append(uns)
+        baseline_errors.append(base_err)
+
+    return PredicateErrorSweep(
+        label=label,
+        sample_sizes=tuple(sample_sizes),
+        n_pairs=n_pairs,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        unsure=unsure if coupled else None,
+        baseline_errors=baseline_errors,
+    )
+
+
+def run_fig5d(
+    seed: int = 0,
+    n_pairs: int = 100,
+    sample_sizes: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80),
+    alpha: float = 0.05,
+) -> PredicateErrorSweep:
+    """Figure 5(d): single mdTest — FP bounded, FN uncontrolled."""
+    return _run_predicate_sweep(
+        "Figure 5(d): single significance predicate (mdTest, alpha=0.05)",
+        coupled=False, seed=seed, n_pairs=n_pairs,
+        sample_sizes=sample_sizes, alpha1=alpha, alpha2=alpha,
+    )
+
+
+def run_fig5e(
+    seed: int = 0,
+    n_pairs: int = 100,
+    sample_sizes: Sequence[int] = (10, 20, 30, 40, 50, 60, 70, 80),
+    alpha1: float = 0.05,
+    alpha2: float = 0.05,
+) -> PredicateErrorSweep:
+    """Figure 5(e): COUPLED-TESTS — both error kinds bounded + UNSURE."""
+    return _run_predicate_sweep(
+        "Figure 5(e): coupled tests (alpha1=alpha2=0.05)",
+        coupled=True, seed=seed, n_pairs=n_pairs,
+        sample_sizes=sample_sizes, alpha1=alpha1, alpha2=alpha2,
+    )

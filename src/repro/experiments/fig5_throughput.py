@@ -1,0 +1,272 @@
+"""Figures 5(c) and 5(f): stream throughput impact (§V-C, §V-D).
+
+The workload follows the paper: for each stream item 20 raw data points
+are generated and a Gaussian is learned from them; the query is a
+count-based sliding-window AVG with window size 1000, whose result is
+again a Gaussian.  We measure maximum throughput (tuples/second) for:
+
+* 5(c): query processing only; + analytical accuracy info (Lemma 2 on the
+  window result); + bootstrap accuracy info.
+* 5(f): no significance predicate; + coupled mTest; + coupled mdTest
+  (current window mean vs previous result's); + coupled pTest
+  (P[avg > c] > 0.8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.analytic import distribution_accuracy
+from repro.core.bootstrap import bootstrap_accuracy_info
+from repro.core.coupled import coupled_tests
+from repro.core.predicates import FieldStats, MdTest, MTest, PTest
+from repro.experiments.harness import render_table
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.streams.engine import Pipeline
+from repro.streams.operators import (
+    CountingSink,
+    Operator,
+    SlidingGaussianAverage,
+)
+from repro.streams.throughput import measure_throughput
+from repro.streams.tuples import UncertainTuple
+
+__all__ = ["ThroughputResult", "run_fig5c", "run_fig5f"]
+
+RAW_POINTS_PER_ITEM = 20
+WINDOW_SIZE = 1000
+
+
+@dataclasses.dataclass
+class ThroughputResult:
+    """Throughput (tuples/second) per configuration, in listed order."""
+
+    label: str
+    throughputs: dict[str, float]
+
+    def render(self) -> str:
+        rows = [[name, int(tput)] for name, tput in self.throughputs.items()]
+        return render_table(
+            ["configuration", "tuples/second"], rows, title=self.label
+        )
+
+    def relative(self) -> dict[str, float]:
+        """Throughput normalised by the first (baseline) configuration."""
+        baseline = next(iter(self.throughputs.values()))
+        return {
+            name: tput / baseline for name, tput in self.throughputs.items()
+        }
+
+
+def _make_stream(
+    n_items: int, seed: int, mean: float = 100.0, std: float = 10.0
+) -> list[UncertainTuple]:
+    """Stream items carrying 20 raw data points each (paper §V-C).
+
+    Learning the Gaussian from the raw points is *query-processing work*
+    ("the query processor learns a Gaussian distribution from them"), so
+    it happens inside the pipeline, not here.
+    """
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {"item": i, "points": rng.normal(mean, std, RAW_POINTS_PER_ITEM)}
+        )
+        for i in range(n_items)
+    ]
+
+
+class _LearnGaussian(Operator):
+    """Learns a Gaussian attribute from each tuple's raw points (QP step)."""
+
+    def __init__(self, points_attribute: str, output: str) -> None:
+        super().__init__()
+        self.points_attribute = points_attribute
+        self.output = output
+        self._learner = GaussianLearner()
+
+    def process(self, tup: UncertainTuple) -> None:
+        points = tup.value(self.points_attribute)
+        fitted = self._learner.learn(points)  # type: ignore[arg-type]
+        attributes = dict(tup.attributes)
+        attributes[self.output] = fitted.as_dfsized()
+        self.emit(tup.with_attributes(attributes))
+
+
+class _AnalyticAccuracy(Operator):
+    """Attaches analytic accuracy info to the window-average field."""
+
+    def __init__(self, attribute: str, confidence: float = 0.9) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self.confidence = confidence
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        if field.sample_size is not None and field.sample_size >= 2:
+            attributes = dict(tup.attributes)
+            attributes["accuracy"] = distribution_accuracy(
+                field.distribution, field.sample_size, self.confidence
+            )
+            tup = tup.with_attributes(attributes)
+        self.emit(tup)
+
+
+class _BootstrapAccuracy(Operator):
+    """Attaches bootstrap accuracy info to the window-average field."""
+
+    def __init__(
+        self,
+        attribute: str,
+        confidence: float = 0.9,
+        resamples: int = 20,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self.confidence = confidence
+        self.resamples = resamples
+        self._rng = np.random.default_rng(seed)
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        if field.sample_size is not None and field.sample_size >= 2:
+            values = field.distribution.sample(
+                self._rng, self.resamples * field.sample_size
+            )
+            attributes = dict(tup.attributes)
+            attributes["accuracy"] = bootstrap_accuracy_info(
+                values, field.sample_size, self.confidence
+            )
+            tup = tup.with_attributes(attributes)
+        self.emit(tup)
+
+
+def run_fig5c(
+    seed: int = 0, n_items: int = 4000, repeats: int = 3
+) -> ThroughputResult:
+    """Figure 5(c): accuracy-computation overhead on stream throughput."""
+    tuples = _make_stream(n_items, seed)
+
+    def base() -> list[Operator]:
+        return [
+            _LearnGaussian("points", "value"),
+            SlidingGaussianAverage("value", WINDOW_SIZE),
+        ]
+
+    def qp_only() -> Pipeline:
+        return Pipeline(base() + [CountingSink()])
+
+    def with_analytic() -> Pipeline:
+        return Pipeline(base() + [_AnalyticAccuracy("avg"), CountingSink()])
+
+    def with_bootstrap() -> Pipeline:
+        return Pipeline(
+            base() + [_BootstrapAccuracy("avg", seed=seed), CountingSink()]
+        )
+
+    return ThroughputResult(
+        "Figure 5(c): throughput with accuracy computation",
+        {
+            "QP only": measure_throughput(qp_only, tuples, repeats),
+            "analytic": measure_throughput(with_analytic, tuples, repeats),
+            "bootstrap": measure_throughput(with_bootstrap, tuples, repeats),
+        },
+    )
+
+
+class _CoupledMTest(Operator):
+    """Coupled mTest on the window average against a constant."""
+
+    def __init__(self, attribute: str, constant: float) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self.constant = constant
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        if field.sample_size is not None:
+            stats = FieldStats.from_dfsized(field)
+            coupled_tests(MTest(stats, ">", self.constant, 0.05), 0.05, 0.05)
+        self.emit(tup)
+
+
+class _CoupledMdTest(Operator):
+    """Coupled mdTest: current window average vs the previous one."""
+
+    def __init__(self, attribute: str) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self._previous: FieldStats | None = None
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        if field.sample_size is not None:
+            stats = FieldStats.from_dfsized(field)
+            if self._previous is not None:
+                coupled_tests(
+                    MdTest(stats, self._previous, ">", 0.0, 0.05), 0.05, 0.05
+                )
+            self._previous = stats
+        self.emit(tup)
+
+
+class _CoupledPTest(Operator):
+    """Coupled pTest: P[avg > constant] above a probability threshold."""
+
+    def __init__(
+        self, attribute: str, constant: float, tau: float = 0.8
+    ) -> None:
+        super().__init__()
+        self.attribute = attribute
+        self.constant = constant
+        self.tau = tau
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        if field.sample_size is not None:
+            p_hat = field.distribution.prob_greater(self.constant)
+            coupled_tests(
+                PTest(p_hat, field.sample_size, self.tau, ">", 0.05),
+                0.05, 0.05,
+            )
+        self.emit(tup)
+
+
+def run_fig5f(
+    seed: int = 0, n_items: int = 4000, repeats: int = 3
+) -> ThroughputResult:
+    """Figure 5(f): significance-predicate overhead on stream throughput."""
+    tuples = _make_stream(n_items, seed)
+
+    def base() -> list[Operator]:
+        return [
+            _LearnGaussian("points", "value"),
+            SlidingGaussianAverage("value", WINDOW_SIZE),
+        ]
+
+    def no_pred() -> Pipeline:
+        return Pipeline(base() + [CountingSink()])
+
+    def with_mtest() -> Pipeline:
+        return Pipeline(base() + [_CoupledMTest("avg", 99.0), CountingSink()])
+
+    def with_mdtest() -> Pipeline:
+        return Pipeline(base() + [_CoupledMdTest("avg"), CountingSink()])
+
+    def with_ptest() -> Pipeline:
+        return Pipeline(
+            base() + [_CoupledPTest("avg", 99.0, 0.8), CountingSink()]
+        )
+
+    return ThroughputResult(
+        "Figure 5(f): throughput with significance predicates",
+        {
+            "no predicate": measure_throughput(no_pred, tuples, repeats),
+            "mTest": measure_throughput(with_mtest, tuples, repeats),
+            "mdTest": measure_throughput(with_mdtest, tuples, repeats),
+            "pTest": measure_throughput(with_ptest, tuples, repeats),
+        },
+    )

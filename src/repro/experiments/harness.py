@@ -1,0 +1,50 @@
+"""Plain-text rendering helpers for experiment results.
+
+The benchmark harness prints each figure's data as a fixed-width table so
+the series the paper plots can be read (and diffed) directly from test
+output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value: object, digits: int = 4) -> str:
+    """Compact numeric formatting; non-numbers pass through as str."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10000 or magnitude < 0.001:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table with one header row."""
+    str_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

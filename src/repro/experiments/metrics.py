@@ -1,0 +1,43 @@
+"""Metrics shared by the experiments: interval misses and lengths (§V-B).
+
+A confidence interval *misses* when the true parameter value falls
+outside it; the *miss rate* over many intervals is the experiments' main
+quality metric (a 90% interval should miss ~10% of the time or less).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.accuracy import ConfidenceInterval
+from repro.errors import ReproError
+
+__all__ = ["interval_miss", "miss_rate", "mean_length"]
+
+
+def interval_miss(interval: ConfidenceInterval, true_value: float) -> bool:
+    """True when the true value is NOT covered by the interval."""
+    return not interval.contains(true_value)
+
+
+def miss_rate(
+    intervals: Sequence[ConfidenceInterval], true_values: Sequence[float]
+) -> float:
+    """Fraction of intervals that miss their true value."""
+    if len(intervals) != len(true_values):
+        raise ReproError(
+            f"{len(intervals)} intervals but {len(true_values)} true values"
+        )
+    if not intervals:
+        raise ReproError("cannot compute a miss rate over zero intervals")
+    misses = sum(
+        interval_miss(ci, v) for ci, v in zip(intervals, true_values)
+    )
+    return misses / len(intervals)
+
+
+def mean_length(intervals: Sequence[ConfidenceInterval]) -> float:
+    """Average interval length (shorter = more useful)."""
+    if not intervals:
+        raise ReproError("cannot average zero interval lengths")
+    return sum(ci.length for ci in intervals) / len(intervals)

@@ -1,0 +1,35 @@
+"""Distribution learning from raw observation samples.
+
+A stream database transforms raw observation records into a single record
+with a distribution field (Example 1 of the paper).  Each learner consumes
+a sample and produces a :class:`LearnedDistribution` that keeps the sample
+around — the sample size is exactly what the accuracy machinery needs.
+"""
+
+from repro.learning.base import Learner, LearnedDistribution
+from repro.learning.histogram_learner import (
+    HistogramLearner,
+    equi_width_edges,
+    equi_depth_edges,
+)
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.learning.empirical_learner import EmpiricalLearner
+from repro.learning.kde_learner import KdeLearner
+from repro.learning.weighted import WeightedLearner, WeightedLearnedDistribution
+from repro.learning.registry import LEARNERS, make_learner, register_learner
+
+__all__ = [
+    "Learner",
+    "LearnedDistribution",
+    "HistogramLearner",
+    "equi_width_edges",
+    "equi_depth_edges",
+    "GaussianLearner",
+    "EmpiricalLearner",
+    "KdeLearner",
+    "WeightedLearner",
+    "WeightedLearnedDistribution",
+    "LEARNERS",
+    "make_learner",
+    "register_learner",
+]

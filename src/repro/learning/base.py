@@ -1,0 +1,95 @@
+"""Learner protocol and the sample-carrying learned distribution.
+
+The paper's central observation is that once a distribution is learned its
+accuracy information is lost *unless the system keeps the link to the
+sample*.  :class:`LearnedDistribution` is that link: a distribution plus
+the observations it came from, with convenience accessors for the sample
+statistics and the analytical accuracy info.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyInfo
+from repro.core.analytic import accuracy_from_sample, distribution_accuracy
+from repro.core.dfsample import DfSized
+from repro.distributions.base import Distribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import LearningError
+
+__all__ = ["Learner", "LearnedDistribution"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LearnedDistribution:
+    """A distribution bundled with the raw sample it was learned from."""
+
+    distribution: Distribution
+    sample: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.sample, dtype=float).ravel()
+        if arr.size == 0:
+            raise LearningError("learned distribution needs a non-empty sample")
+        object.__setattr__(self, "sample", arr)
+
+    @property
+    def sample_size(self) -> int:
+        return int(self.sample.size)
+
+    def as_dfsized(self) -> DfSized:
+        """The (distribution, sample size) pair used by query evaluation."""
+        return DfSized(self.distribution, self.sample_size)
+
+    def accuracy(self, confidence: float = 0.95) -> AccuracyInfo:
+        """Analytical accuracy info (Lemmas 1 & 2) from the backing sample.
+
+        Mean/variance intervals come from the sample statistics; per-bin
+        intervals are included when the learned distribution is a
+        histogram.
+        """
+        if self.sample_size < 2:
+            # Fall back to Theorem 1 with the distribution statistics is
+            # impossible too (n >= 2 required) — surface a clear error.
+            raise LearningError(
+                "accuracy requires a sample of size >= 2; "
+                f"got {self.sample_size}"
+            )
+        histogram = (
+            self.distribution
+            if isinstance(self.distribution, HistogramDistribution)
+            else None
+        )
+        return accuracy_from_sample(self.sample, confidence, histogram)
+
+    def accuracy_from_distribution(
+        self, confidence: float = 0.95
+    ) -> AccuracyInfo:
+        """Theorem-1-style accuracy using the distribution's own moments."""
+        return distribution_accuracy(
+            self.distribution, self.sample_size, confidence
+        )
+
+
+class Learner(abc.ABC):
+    """Learns a distribution from an iid sample of observations."""
+
+    @abc.abstractmethod
+    def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
+        """Fit a distribution to the sample; raises LearningError if unfit."""
+
+    @staticmethod
+    def _validated(sample: "np.ndarray | list[float]", minimum: int = 1
+                   ) -> np.ndarray:
+        arr = np.asarray(sample, dtype=float).ravel()
+        if arr.size < minimum:
+            raise LearningError(
+                f"need at least {minimum} observations, got {arr.size}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise LearningError("observations must be finite")
+        return arr

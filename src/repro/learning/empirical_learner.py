@@ -1,0 +1,23 @@
+"""Empirical (sample-is-the-distribution) learning.
+
+The least lossy learner: the learned distribution is the empirical
+distribution of the observations themselves.  Useful when downstream query
+processing is Monte-Carlo anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.learning.base import Learner, LearnedDistribution
+
+__all__ = ["EmpiricalLearner"]
+
+
+class EmpiricalLearner(Learner):
+    """Wraps the sample as an :class:`EmpiricalDistribution`."""
+
+    def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
+        arr = self._validated(sample, minimum=1)
+        return LearnedDistribution(EmpiricalDistribution(arr), arr)

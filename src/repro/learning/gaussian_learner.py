@@ -1,0 +1,25 @@
+"""Maximum-likelihood Gaussian learning.
+
+§V-C's throughput workload learns a Gaussian from 20 raw points per item;
+this learner is that step.  The variance uses the unbiased (ddof=1)
+estimator so it agrees with the ``s^2`` statistic in Lemma 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.gaussian import GaussianDistribution
+from repro.learning.base import Learner, LearnedDistribution
+
+__all__ = ["GaussianLearner"]
+
+
+class GaussianLearner(Learner):
+    """Fits N(sample mean, unbiased sample variance)."""
+
+    def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
+        arr = self._validated(sample, minimum=2)
+        mu = float(arr.mean())
+        sigma2 = float(arr.var(ddof=1))
+        return LearnedDistribution(GaussianDistribution(mu, sigma2), arr)

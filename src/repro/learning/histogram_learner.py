@@ -1,0 +1,108 @@
+"""Histogram learning — the paper's default representation (§II-B).
+
+Supports equi-width bucketing (fixed-width buckets over the sample range
+or a caller-supplied range) and equi-depth bucketing (buckets hold roughly
+equal numbers of observations).  Callers may also pin the edges entirely,
+which the experiments use so that the "true" histogram (from the large
+sample) and the learned one (from the small sample) share buckets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import LearningError
+from repro.learning.base import Learner, LearnedDistribution
+
+__all__ = ["equi_width_edges", "equi_depth_edges", "HistogramLearner"]
+
+
+def equi_width_edges(
+    sample: np.ndarray, bucket_count: int,
+    value_range: tuple[float, float] | None = None,
+) -> np.ndarray:
+    """Evenly spaced bucket edges over the sample (or given) range.
+
+    A degenerate range (all observations equal) is widened by one unit so
+    the histogram still has positive-width buckets.
+    """
+    if bucket_count < 1:
+        raise LearningError(f"bucket count must be >= 1, got {bucket_count}")
+    if value_range is None:
+        lo, hi = float(sample.min()), float(sample.max())
+    else:
+        lo, hi = value_range
+    if hi <= lo:
+        lo, hi = lo - 0.5, lo + 0.5
+    return np.linspace(lo, hi, bucket_count + 1)
+
+
+def equi_depth_edges(sample: np.ndarray, bucket_count: int) -> np.ndarray:
+    """Bucket edges at evenly spaced sample quantiles.
+
+    Duplicate quantiles (heavy ties) are collapsed, so the result may have
+    fewer buckets than requested; at least one bucket always survives.
+    """
+    if bucket_count < 1:
+        raise LearningError(f"bucket count must be >= 1, got {bucket_count}")
+    quantiles = np.linspace(0.0, 1.0, bucket_count + 1)
+    edges = np.quantile(sample, quantiles)
+    edges = np.unique(edges)
+    if edges.size < 2:
+        value = float(edges[0]) if edges.size else 0.0
+        edges = np.array([value - 0.5, value + 0.5])
+    return edges
+
+
+class HistogramLearner(Learner):
+    """Learns a :class:`HistogramDistribution` from a sample.
+
+    Parameters
+    ----------
+    bucket_count:
+        Number of buckets (ignored when ``edges`` is given).
+    strategy:
+        ``"equi_width"`` or ``"equi_depth"``.
+    edges:
+        Explicit bucket edges; observations outside are clamped into the
+        first/last bucket.
+    value_range:
+        Optional fixed (lo, hi) range for equi-width bucketing, letting
+        histograms of different samples share a bucketisation.
+    """
+
+    def __init__(
+        self,
+        bucket_count: int = 10,
+        strategy: str = "equi_width",
+        edges: Sequence[float] | None = None,
+        value_range: tuple[float, float] | None = None,
+    ) -> None:
+        if strategy not in ("equi_width", "equi_depth"):
+            raise LearningError(f"unknown bucketing strategy {strategy!r}")
+        if bucket_count < 1:
+            raise LearningError(
+                f"bucket count must be >= 1, got {bucket_count}"
+            )
+        self.bucket_count = bucket_count
+        self.strategy = strategy
+        self.edges = None if edges is None else np.asarray(edges, dtype=float)
+        self.value_range = value_range
+
+    def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
+        arr = self._validated(sample, minimum=1)
+        if self.edges is not None:
+            edges = self.edges
+        elif self.strategy == "equi_width":
+            edges = equi_width_edges(arr, self.bucket_count, self.value_range)
+        else:
+            edges = equi_depth_edges(arr, self.bucket_count)
+        clamped = np.clip(arr, edges[0], edges[-1])
+        counts, _ = np.histogram(clamped, bins=edges)
+        if counts.sum() == 0:
+            raise LearningError("no observations fell into any bucket")
+        histogram = HistogramDistribution.from_counts(edges, counts)
+        return LearnedDistribution(histogram, arr)

@@ -1,0 +1,50 @@
+"""Learner registry: config-friendly names for the built-in learners.
+
+Lets ingestion paths (and user config files) choose a learner by name —
+``"histogram"``, ``"gaussian"``, ``"empirical"``, ``"kde"`` — with
+keyword arguments forwarded to the learner's constructor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import LearningError
+from repro.learning.base import Learner
+from repro.learning.empirical_learner import EmpiricalLearner
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.learning.histogram_learner import HistogramLearner
+from repro.learning.kde_learner import KdeLearner
+
+__all__ = ["LEARNERS", "make_learner", "register_learner"]
+
+LEARNERS: dict[str, Callable[..., Learner]] = {
+    "histogram": HistogramLearner,
+    "gaussian": GaussianLearner,
+    "empirical": EmpiricalLearner,
+    "kde": KdeLearner,
+}
+
+
+def make_learner(name: str, **kwargs: object) -> Learner:
+    """Instantiate a registered learner by name."""
+    try:
+        factory = LEARNERS[name]
+    except KeyError:
+        raise LearningError(
+            f"unknown learner {name!r}; registered: {sorted(LEARNERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_learner(
+    name: str, factory: Callable[..., Learner], replace: bool = False
+) -> None:
+    """Add a custom learner factory to the registry."""
+    if not name:
+        raise LearningError("learner name must be non-empty")
+    if name in LEARNERS and not replace:
+        raise LearningError(
+            f"learner {name!r} already registered (pass replace=True)"
+        )
+    LEARNERS[name] = factory

@@ -1,0 +1,73 @@
+"""Weighted-sample learning — the §VII future-work extension.
+
+Recent observations may deserve more weight than stale ones.  The
+:class:`WeightedLearner` takes observation ages, computes exponential-decay
+weights, fits a weighted Gaussian, and exposes accuracy info through the
+Kish effective sample size so intervals widen as the sample decays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyInfo
+from repro.core.effective import (
+    effective_sample_size,
+    exponential_weights,
+    weighted_accuracy,
+    weighted_stats,
+)
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import LearningError
+
+__all__ = ["WeightedLearnedDistribution", "WeightedLearner"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightedLearnedDistribution:
+    """A weighted fit: distribution + sample + weights + effective n."""
+
+    distribution: GaussianDistribution
+    sample: np.ndarray
+    weights: np.ndarray
+
+    @property
+    def effective_size(self) -> float:
+        return effective_sample_size(self.weights)
+
+    def accuracy(self, confidence: float = 0.95) -> AccuracyInfo:
+        return weighted_accuracy(self.sample, self.weights, confidence)
+
+
+class WeightedLearner:
+    """Learns from (value, age) observations with exponential decay.
+
+    ``half_life`` is in the same unit as the ages; an observation one
+    half-life old counts half as much as a fresh one.
+    """
+
+    def __init__(self, half_life: float) -> None:
+        if half_life <= 0:
+            raise LearningError(f"half-life must be > 0, got {half_life}")
+        self.half_life = half_life
+
+    def learn(
+        self,
+        values: "np.ndarray | list[float]",
+        ages: "np.ndarray | list[float]",
+    ) -> WeightedLearnedDistribution:
+        vals = np.asarray(values, dtype=float).ravel()
+        age_arr = np.asarray(ages, dtype=float).ravel()
+        if vals.size != age_arr.size:
+            raise LearningError(
+                f"{vals.size} values but {age_arr.size} ages"
+            )
+        if vals.size < 2:
+            raise LearningError("need at least 2 observations")
+        weights = exponential_weights(age_arr, self.half_life)
+        ws = weighted_stats(vals, weights)
+        return WeightedLearnedDistribution(
+            GaussianDistribution(ws.mean, ws.variance), vals, weights
+        )

@@ -1,0 +1,238 @@
+"""JSON persistence for distributions, tuples, and database streams.
+
+A stream database restarts; its learned state should survive.  This
+module round-trips every distribution type, :class:`DfSized` values,
+uncertain tuples, and whole :class:`StreamDatabase` instances through a
+plain-JSON representation (human-inspectable, versioned with a format
+tag so future layouts can migrate).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.core.dfsample import DfSized
+from repro.db import StreamDatabase
+from repro.distributions.base import Deterministic, Distribution
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.mixture import MixtureDistribution
+from repro.distributions.parametric import (
+    ExponentialDistribution,
+    GammaDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+)
+from repro.errors import ReproError
+from repro.learning.kde_learner import KdeDistribution
+from repro.streams.tuples import UncertainTuple
+
+__all__ = [
+    "distribution_to_dict",
+    "distribution_from_dict",
+    "tuple_to_dict",
+    "tuple_from_dict",
+    "save_database",
+    "load_database",
+]
+
+FORMAT_VERSION = 1
+
+
+def distribution_to_dict(dist: Distribution) -> dict[str, object]:
+    """Serialise any built-in distribution to plain JSON types."""
+    if isinstance(dist, Deterministic):
+        return {"type": "deterministic", "value": dist.value}
+    if isinstance(dist, GaussianDistribution):
+        return {"type": "gaussian", "mu": dist.mu, "sigma2": dist.sigma2}
+    if isinstance(dist, HistogramDistribution):
+        return {
+            "type": "histogram",
+            "edges": dist.edges.tolist(),
+            "probabilities": dist.probabilities.tolist(),
+        }
+    if isinstance(dist, EmpiricalDistribution):
+        return {"type": "empirical", "values": dist.values.tolist()}
+    if isinstance(dist, DiscreteDistribution):
+        return {
+            "type": "discrete",
+            "support": dist.support.tolist(),
+            "probabilities": dist.probabilities.tolist(),
+        }
+    if isinstance(dist, UniformDistribution):
+        return {"type": "uniform", "low": dist.low, "high": dist.high}
+    if isinstance(dist, ExponentialDistribution):
+        return {"type": "exponential", "lam": dist.lam}
+    if isinstance(dist, GammaDistribution):
+        return {"type": "gamma", "k": dist.k, "theta": dist.theta}
+    if isinstance(dist, WeibullDistribution):
+        return {"type": "weibull", "lam": dist.lam, "k": dist.k}
+    if isinstance(dist, KdeDistribution):
+        return {
+            "type": "kde",
+            "points": dist.points.tolist(),
+            "bandwidth": dist.bandwidth,
+        }
+    if isinstance(dist, MixtureDistribution):
+        return {
+            "type": "mixture",
+            "components": [
+                distribution_to_dict(c) for c in dist.components
+            ],
+            "weights": dist.weights.tolist(),
+        }
+    raise ReproError(
+        f"cannot serialise distribution type {type(dist).__name__}"
+    )
+
+
+def distribution_from_dict(data: Mapping[str, object]) -> Distribution:
+    """Inverse of :func:`distribution_to_dict`."""
+    kind = data.get("type")
+    if kind == "deterministic":
+        return Deterministic(float(data["value"]))  # type: ignore[arg-type]
+    if kind == "gaussian":
+        return GaussianDistribution(
+            float(data["mu"]), float(data["sigma2"])  # type: ignore[arg-type]
+        )
+    if kind == "histogram":
+        return HistogramDistribution(
+            data["edges"], data["probabilities"]  # type: ignore[arg-type]
+        )
+    if kind == "empirical":
+        return EmpiricalDistribution(data["values"])  # type: ignore[arg-type]
+    if kind == "discrete":
+        return DiscreteDistribution(
+            data["support"], data["probabilities"]  # type: ignore[arg-type]
+        )
+    if kind == "uniform":
+        return UniformDistribution(
+            float(data["low"]), float(data["high"])  # type: ignore[arg-type]
+        )
+    if kind == "exponential":
+        return ExponentialDistribution(float(data["lam"]))  # type: ignore[arg-type]
+    if kind == "gamma":
+        return GammaDistribution(
+            float(data["k"]), float(data["theta"])  # type: ignore[arg-type]
+        )
+    if kind == "weibull":
+        return WeibullDistribution(
+            float(data["lam"]), float(data["k"])  # type: ignore[arg-type]
+        )
+    if kind == "kde":
+        return KdeDistribution(
+            np.asarray(data["points"], dtype=float),  # type: ignore[arg-type]
+            float(data["bandwidth"]),  # type: ignore[arg-type]
+        )
+    if kind == "mixture":
+        return MixtureDistribution(
+            [distribution_from_dict(c) for c in data["components"]],  # type: ignore[union-attr]
+            data["weights"],  # type: ignore[arg-type]
+        )
+    raise ReproError(f"unknown serialised distribution type {kind!r}")
+
+
+def _value_to_dict(value: object) -> dict[str, object]:
+    if isinstance(value, DfSized):
+        return {
+            "kind": "dfsized",
+            "distribution": distribution_to_dict(value.distribution),
+            "sample_size": value.sample_size,
+        }
+    if isinstance(value, Distribution):
+        return {
+            "kind": "distribution",
+            "distribution": distribution_to_dict(value),
+        }
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return {"kind": "number", "value": float(value)}
+    if isinstance(value, str):
+        return {"kind": "text", "value": value}
+    raise ReproError(
+        f"cannot serialise attribute of type {type(value).__name__}"
+    )
+
+
+def _value_from_dict(data: Mapping[str, object]) -> object:
+    kind = data.get("kind")
+    if kind == "dfsized":
+        size = data["sample_size"]
+        return DfSized(
+            distribution_from_dict(data["distribution"]),  # type: ignore[arg-type]
+            None if size is None else int(size),  # type: ignore[arg-type]
+        )
+    if kind == "distribution":
+        return distribution_from_dict(data["distribution"])  # type: ignore[arg-type]
+    if kind == "number":
+        return float(data["value"])  # type: ignore[arg-type]
+    if kind == "text":
+        return str(data["value"])
+    raise ReproError(f"unknown serialised value kind {kind!r}")
+
+
+def tuple_to_dict(tup: UncertainTuple) -> dict[str, object]:
+    """Serialise one uncertain tuple."""
+    return {
+        "attributes": {
+            name: _value_to_dict(value)
+            for name, value in tup.attributes.items()
+        },
+        "probability": tup.probability,
+        "timestamp": tup.timestamp,
+    }
+
+
+def tuple_from_dict(data: Mapping[str, object]) -> UncertainTuple:
+    """Inverse of :func:`tuple_to_dict`."""
+    attributes = {
+        name: _value_from_dict(value)
+        for name, value in data["attributes"].items()  # type: ignore[union-attr]
+    }
+    timestamp = data.get("timestamp")
+    return UncertainTuple(
+        attributes,
+        probability=float(data.get("probability", 1.0)),  # type: ignore[arg-type]
+        timestamp=None if timestamp is None else float(timestamp),  # type: ignore[arg-type]
+    )
+
+
+def save_database(db: StreamDatabase, path: "str | pathlib.Path") -> None:
+    """Write every stream's buffered tuples to a JSON file.
+
+    Continuous queries are runtime registrations (they hold callbacks)
+    and are intentionally not persisted.
+    """
+    payload = {
+        "format": FORMAT_VERSION,
+        "streams": {
+            name: [tuple_to_dict(t) for t in db._streams[name].tuples]
+            for name in db.streams()
+        },
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_database(
+    path: "str | pathlib.Path",
+    db: StreamDatabase | None = None,
+) -> StreamDatabase:
+    """Rebuild a database (or populate an existing one) from a JSON file."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported database file format {payload.get('format')!r}"
+        )
+    if db is None:
+        db = StreamDatabase()
+    for name, tuples in payload["streams"].items():
+        if name not in db.streams():
+            db.create_stream(name)
+        for data in tuples:
+            db.insert(name, tuple_from_dict(data))
+    return db

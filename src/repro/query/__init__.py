@@ -1,0 +1,48 @@
+"""SQL-ish query layer over uncertain streams.
+
+The layer has four pieces:
+
+* :mod:`repro.query.expressions` — the expression AST and its evaluation
+  over distribution-valued attributes with d.f.-sample-size propagation.
+* :mod:`repro.query.parser` — a recursive-descent parser for the SELECT
+  dialect, including probability-threshold predicates and the paper's
+  significance predicates (mTest / mdTest / pTest).
+* :mod:`repro.query.planner` — validation and compilation of a parsed
+  query against a schema.
+* :mod:`repro.query.executor` — evaluation of compiled queries over
+  tuples, producing result tuples with accuracy information attached.
+"""
+
+from repro.query.expressions import (
+    Expression,
+    Column,
+    Literal,
+    BinaryOp,
+    UnaryOp,
+    Comparison,
+    EvalContext,
+)
+from repro.query.parser import parse_query, Query
+from repro.query.planner import compile_query, CompiledQuery
+from repro.query.executor import (
+    QueryExecutor,
+    ResultTuple,
+    ExecutorConfig,
+)
+
+__all__ = [
+    "Expression",
+    "Column",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "Comparison",
+    "EvalContext",
+    "parse_query",
+    "Query",
+    "compile_query",
+    "CompiledQuery",
+    "QueryExecutor",
+    "ResultTuple",
+    "ExecutorConfig",
+]

@@ -1,0 +1,550 @@
+"""Query execution with accuracy-aware results.
+
+For each input tuple the executor:
+
+1. evaluates the WHERE conjuncts — probability-threshold and bare
+   comparisons contribute a probability factor (possible-world
+   semantics), significance predicates contribute a TRUE/FALSE/UNSURE
+   decision (COUPLED-TESTS when two alphas are given);
+2. evaluates the SELECT expressions into DfSized values, propagating the
+   de facto sample size (Lemma 3);
+3. attaches accuracy information per Theorem 1 — analytically
+   (Lemmas 1/2) or by bootstrap (BOOTSTRAP-ACCURACY-INFO) — to every
+   distribution-valued output field, and a Lemma-1 interval to the result
+   tuple's membership probability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyInfo, TupleProbabilityInterval
+from repro.core.analytic import (
+    distribution_accuracy,
+    tuple_probability_interval,
+)
+from repro.core.bootstrap import bootstrap_accuracy_info
+from repro.core.coupled import ThreeValued, coupled_tests
+from repro.core.dfsample import DfSized
+from repro.core.predicates import (
+    FieldStats,
+    MdTest,
+    MTest,
+    PTest,
+    SignificancePredicate,
+    VTest,
+)
+from repro.distributions.base import Deterministic
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import QueryError
+from repro.query.expressions import EvalContext
+from repro.query.parser import (
+    AndCondition,
+    CompareCondition,
+    Condition,
+    NotCondition,
+    OrCondition,
+    SignificanceCondition,
+)
+from repro.query.planner import CompiledQuery, compile_query
+from repro.streams.tuples import Schema, UncertainTuple
+
+__all__ = ["ExecutorConfig", "ResultTuple", "QueryExecutor"]
+
+_ACCURACY_METHODS = ("analytic", "bootstrap", "none")
+
+
+@dataclasses.dataclass
+class ExecutorConfig:
+    """Execution knobs.
+
+    ``accuracy_method`` selects how result accuracy is obtained:
+    ``"analytic"`` (Theorem 1), ``"bootstrap"``
+    (BOOTSTRAP-ACCURACY-INFO), or ``"none"`` (accuracy-oblivious — the
+    behaviour of prior systems, kept for the throughput baseline).
+    ``bootstrap_resamples`` is the r of the bootstrap algorithm
+    (m = r * n values are used).
+    """
+
+    confidence: float = 0.95
+    accuracy_method: str = "analytic"
+    mc_samples: int = 1000
+    bootstrap_resamples: int = 20
+    keep_unsure: bool = False
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.accuracy_method not in _ACCURACY_METHODS:
+            raise QueryError(
+                f"accuracy_method must be one of {_ACCURACY_METHODS}, "
+                f"got {self.accuracy_method!r}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise QueryError(
+                f"confidence must be in (0,1), got {self.confidence}"
+            )
+        if self.bootstrap_resamples < 2:
+            raise QueryError(
+                "bootstrap_resamples must be >= 2, "
+                f"got {self.bootstrap_resamples}"
+            )
+
+
+@dataclasses.dataclass
+class ResultTuple:
+    """One query result: values, membership probability, and accuracy."""
+
+    attributes: dict[str, DfSized]
+    probability: float
+    probability_interval: TupleProbabilityInterval | None
+    accuracy: dict[str, AccuracyInfo]
+    decisions: tuple[ThreeValued, ...] = ()
+    source: UncertainTuple | None = None
+    sort_key: float | None = None
+
+    def value(self, name: str) -> DfSized:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise QueryError(f"result has no field {name!r}") from None
+
+    def describe(self) -> str:
+        """Readable rendering of the result with its accuracy info."""
+        lines = [f"probability = {self.probability:.4g}"]
+        if self.probability_interval is not None:
+            lines.append(f"  interval {self.probability_interval.interval}")
+        for name, field in self.attributes.items():
+            dist = field.distribution
+            if isinstance(dist, Deterministic):
+                lines.append(f"{name} = {dist.value:.6g}")
+            else:
+                lines.append(f"{name} ~ {dist!r} (n={field.sample_size})")
+            if name in self.accuracy:
+                indented = "\n".join(
+                    "  " + line
+                    for line in self.accuracy[name].describe().splitlines()
+                )
+                lines.append(indented)
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class _ConditionOutcome:
+    qualifies: bool
+    probability: float
+    sizes: tuple[int | None, ...]
+    decisions: tuple[ThreeValued, ...]
+
+
+class QueryExecutor:
+    """Executes a compiled query over uncertain tuples."""
+
+    def __init__(
+        self,
+        query: "CompiledQuery | str",
+        schema: Schema | None = None,
+        config: ExecutorConfig | None = None,
+    ) -> None:
+        if isinstance(query, str):
+            query = compile_query(query, schema)
+        self.query = query
+        self.config = config if config is not None else ExecutorConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # -- condition evaluation -------------------------------------------------
+
+    def _build_predicate(
+        self, condition: SignificanceCondition, ctx: EvalContext
+    ) -> SignificancePredicate:
+        alpha = condition.alpha1
+        if condition.kind == "mtest":
+            assert condition.expr_x is not None
+            field = FieldStats.from_dfsized(condition.expr_x.evaluate(ctx))
+            return MTest(field, condition.op, condition.constant, alpha)
+        if condition.kind == "vtest":
+            assert condition.expr_x is not None
+            field = FieldStats.from_dfsized(condition.expr_x.evaluate(ctx))
+            return VTest(field, condition.op, condition.constant, alpha)
+        if condition.kind == "mdtest":
+            assert condition.expr_x is not None
+            assert condition.expr_y is not None
+            field_x = FieldStats.from_dfsized(condition.expr_x.evaluate(ctx))
+            field_y = FieldStats.from_dfsized(condition.expr_y.evaluate(ctx))
+            return MdTest(
+                field_x, field_y, condition.op, condition.constant, alpha
+            )
+        assert condition.comparison is not None
+        p_hat, size = condition.comparison.probability(ctx)
+        if size is None:
+            raise QueryError(
+                "pTest needs a sampled operand; the comparison involves "
+                "only exact values"
+            )
+        return PTest(p_hat, size, condition.tau, ">", alpha)
+
+    def _evaluate_significance(
+        self, condition: SignificanceCondition, ctx: EvalContext
+    ) -> _ConditionOutcome:
+        predicate = self._build_predicate(condition, ctx)
+        if condition.alpha2 is None:
+            result = predicate.run()
+            decision = ThreeValued.TRUE if result.reject else ThreeValued.FALSE
+        else:
+            decision = coupled_tests(
+                predicate, condition.alpha1, condition.alpha2
+            ).value
+        qualifies = decision is ThreeValued.TRUE or (
+            decision is ThreeValued.UNSURE and self.config.keep_unsure
+        )
+        return _ConditionOutcome(qualifies, 1.0, (), (decision,))
+
+    def _evaluate_condition(
+        self, condition: Condition, ctx: EvalContext
+    ) -> _ConditionOutcome:
+        if isinstance(condition, CompareCondition):
+            q, size = condition.comparison.probability(ctx)
+            if condition.threshold is not None:
+                return _ConditionOutcome(
+                    q >= condition.threshold, q, (size,), ()
+                )
+            return _ConditionOutcome(q > 0.0, q, (size,), ())
+        if isinstance(condition, SignificanceCondition):
+            return self._evaluate_significance(condition, ctx)
+        if isinstance(condition, AndCondition):
+            probability = 1.0
+            sizes: list[int | None] = []
+            decisions: list[ThreeValued] = []
+            qualifies = True
+            for part in condition.parts:
+                outcome = self._evaluate_condition(part, ctx)
+                qualifies = qualifies and outcome.qualifies
+                probability *= outcome.probability
+                sizes.extend(outcome.sizes)
+                decisions.extend(outcome.decisions)
+            return _ConditionOutcome(
+                qualifies, probability, tuple(sizes), tuple(decisions)
+            )
+        if isinstance(condition, OrCondition):
+            miss_probability = 1.0
+            sizes = []
+            for part in condition.parts:
+                outcome = self._evaluate_condition(part, ctx)
+                miss_probability *= 1.0 - outcome.probability
+                sizes.extend(outcome.sizes)
+            probability = 1.0 - miss_probability
+            return _ConditionOutcome(probability > 0.0, probability,
+                                     tuple(sizes), ())
+        if isinstance(condition, NotCondition):
+            outcome = self._evaluate_condition(condition.part, ctx)
+            probability = 1.0 - outcome.probability
+            return _ConditionOutcome(probability > 0.0, probability,
+                                     outcome.sizes, ())
+        raise QueryError(f"unknown condition node {type(condition).__name__}")
+
+    # -- accuracy ----------------------------------------------------------------
+
+    def _field_accuracy(self, field: DfSized) -> AccuracyInfo | None:
+        method = self.config.accuracy_method
+        if method == "none" or field.sample_size is None:
+            return None
+        dist = field.distribution
+        if isinstance(dist, Deterministic):
+            return None
+        n = field.sample_size
+        if n < 2:
+            return None
+        if method == "analytic":
+            return distribution_accuracy(dist, n, self.config.confidence)
+        # Bootstrap: the value sequence is either the Monte-Carlo output
+        # (empirical result) or freshly sampled from the distribution.
+        m = self.config.bootstrap_resamples * n
+        if isinstance(dist, EmpiricalDistribution) and dist.size >= 2 * n:
+            values = dist.values
+            if values.size < m:
+                extra = dist.sample(self._rng, m - values.size)
+                values = np.concatenate([values, extra])
+        else:
+            values = dist.sample(self._rng, m)
+        edges = (
+            dist.edges if isinstance(dist, HistogramDistribution) else None
+        )
+        return bootstrap_accuracy_info(
+            values, n, self.config.confidence, edges
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_one(self, tup: UncertainTuple) -> ResultTuple | None:
+        """Run the query against a single tuple; None when filtered out."""
+        if self.query.is_aggregate:
+            raise QueryError(
+                "aggregate queries need the whole stream; use execute()"
+            )
+        ctx = EvalContext(tup, self._rng, self.config.mc_samples)
+        probability = tup.probability
+        sizes: list[int | None] = []
+        decisions: list[ThreeValued] = []
+        for conjunct in self.query.conjuncts:
+            outcome = self._evaluate_condition(conjunct, ctx)
+            if not outcome.qualifies:
+                return None
+            probability *= outcome.probability
+            sizes.extend(outcome.sizes)
+            decisions.extend(outcome.decisions)
+        if probability <= 0.0:
+            return None
+
+        if self.query.star:
+            attributes = {
+                name: tup.dfsized(name) for name in tup.attributes
+            }
+        else:
+            attributes = {
+                alias: expr.evaluate(ctx)
+                for expr, alias in self.query.select_items
+            }
+
+        accuracy: dict[str, AccuracyInfo] = {}
+        if self.config.accuracy_method != "none":
+            for name, field in attributes.items():
+                info = self._field_accuracy(field)
+                if info is not None:
+                    accuracy[name] = info
+
+        finite_sizes = [s for s in sizes if s is not None]
+        probability_interval = None
+        if finite_sizes and self.config.accuracy_method != "none":
+            probability_interval = tuple_probability_interval(
+                probability, min(finite_sizes), self.config.confidence
+            )
+
+        sort_key = None
+        if self.query.order_by is not None:
+            sort_key = self.query.order_by.evaluate(ctx).distribution.mean()
+
+        return ResultTuple(
+            attributes=attributes,
+            probability=probability,
+            probability_interval=probability_interval,
+            accuracy=accuracy,
+            decisions=tuple(decisions),
+            source=tup,
+            sort_key=sort_key,
+        )
+
+    @staticmethod
+    def _group_key(tup: UncertainTuple, attribute: str) -> object:
+        """The grouping value of a tuple: must be deterministic."""
+        value = tup.value(attribute)
+        if isinstance(value, DfSized):
+            value = value.distribution
+        if isinstance(value, Deterministic):
+            return value.value
+        if isinstance(value, (int, float, str)) and not isinstance(
+            value, bool
+        ):
+            return value
+        raise QueryError(
+            f"GROUP BY {attribute!r} needs a deterministic key; "
+            f"got {type(value).__name__}"
+        )
+
+    def _execute_aggregate(
+        self, tuples: Iterable[UncertainTuple]
+    ) -> list[ResultTuple]:
+        """SELECT AVG/SUM/COUNT(...) [GROUP BY key] over the input.
+
+        Possible-world moment semantics with independent tuple
+        memberships B_i ~ Bernoulli(p_i) and field values X_i:
+
+        * COUNT: E = sum(p_i),  Var = sum(p_i (1 - p_i))   (exact)
+        * SUM:   E = sum(p_i mu_i),
+                 Var = sum(p_i (sigma_i^2 + mu_i^2) - p_i^2 mu_i^2) (exact)
+        * AVG:   SUM / E[COUNT] with variance scaled by E[COUNT]^2 —
+                 exact when every p_i = 1, a documented first-order
+                 approximation otherwise.
+
+        Each output field is a Gaussian (CLT across the window) carrying
+        the minimum contributing de facto sample size (Lemma 3).  With
+        GROUP BY, one row per group is emitted in sorted key order (the
+        key appears in the output under its attribute name); groups with
+        no qualifying tuples produce no row.
+        """
+        items = list(zip(self.query.select_items, self.query.aggregates))
+        group_by = self.query.group_by
+
+        class _Acc:
+            __slots__ = (
+                "exp_sum", "var_sum", "size_min", "exp_count",
+                "var_count", "condition_sizes", "qualified",
+            )
+
+            def __init__(acc) -> None:
+                acc.exp_sum = [0.0] * len(items)
+                acc.var_sum = [0.0] * len(items)
+                acc.size_min: list[int | None] = [None] * len(items)
+                acc.exp_count = 0.0
+                acc.var_count = 0.0
+                acc.condition_sizes: list[int] = []
+                acc.qualified = 0
+
+        groups: dict[object, _Acc] = {}
+
+        for tup in tuples:
+            ctx = EvalContext(tup, self._rng, self.config.mc_samples)
+            probability = tup.probability
+            keep = True
+            condition_sizes: list[int] = []
+            for conjunct in self.query.conjuncts:
+                outcome = self._evaluate_condition(conjunct, ctx)
+                if not outcome.qualifies:
+                    keep = False
+                    break
+                probability *= outcome.probability
+                condition_sizes.extend(
+                    size for size in outcome.sizes if size is not None
+                )
+            if not keep or probability <= 0.0:
+                continue
+            key = (
+                self._group_key(tup, group_by)
+                if group_by is not None else None
+            )
+            acc = groups.get(key)
+            if acc is None:
+                acc = groups[key] = _Acc()
+            acc.qualified += 1
+            acc.exp_count += probability
+            acc.var_count += probability * (1.0 - probability)
+            acc.condition_sizes.extend(condition_sizes)
+            for i, ((expr, _alias), _agg) in enumerate(items):
+                value = expr.evaluate(ctx)
+                mu = value.distribution.mean()
+                sigma2 = value.distribution.variance()
+                acc.exp_sum[i] += probability * mu
+                acc.var_sum[i] += (
+                    probability * (sigma2 + mu * mu)
+                    - probability * probability * mu * mu
+                )
+                if value.sample_size is not None:
+                    acc.size_min[i] = (
+                        value.sample_size if acc.size_min[i] is None
+                        else min(acc.size_min[i], value.sample_size)
+                    )
+
+        results: list[ResultTuple] = []
+        for key in sorted(groups, key=str):
+            acc = groups[key]
+            attributes: dict[str, DfSized] = {}
+            if group_by is not None:
+                if isinstance(key, str):
+                    # Text keys pass through unchanged.
+                    attributes[group_by] = key  # type: ignore[assignment]
+                else:
+                    attributes[group_by] = DfSized(
+                        Deterministic(float(key)), None  # type: ignore[arg-type]
+                    )
+            for i, ((_expr, alias), agg) in enumerate(items):
+                if agg == "count":
+                    dist = GaussianDistribution(
+                        acc.exp_count, acc.var_count
+                    )
+                    size = (
+                        min(acc.condition_sizes)
+                        if acc.condition_sizes else None
+                    )
+                elif agg == "sum":
+                    dist = GaussianDistribution(
+                        acc.exp_sum[i], max(acc.var_sum[i], 0.0)
+                    )
+                    size = acc.size_min[i]
+                else:  # avg
+                    dist = GaussianDistribution(
+                        acc.exp_sum[i] / acc.exp_count,
+                        max(acc.var_sum[i], 0.0)
+                        / (acc.exp_count * acc.exp_count),
+                    )
+                    size = acc.size_min[i]
+                attributes[alias] = DfSized(dist, size)
+
+            accuracy: dict[str, AccuracyInfo] = {}
+            if self.config.accuracy_method != "none":
+                for name, field in attributes.items():
+                    if not isinstance(field, DfSized):
+                        continue
+                    info = self._field_accuracy(field)
+                    if info is not None:
+                        accuracy[name] = info
+            results.append(
+                ResultTuple(
+                    attributes=attributes,
+                    probability=1.0,
+                    probability_interval=None,
+                    accuracy=accuracy,
+                )
+            )
+        return results
+
+    def execute_iter(
+        self, tuples: Iterable[UncertainTuple]
+    ) -> "Iterable[ResultTuple]":
+        """Stream results tuple-at-a-time (no ORDER BY / LIMIT support).
+
+        The generator form suits continuous processing where buffering
+        the whole result is undesirable; blocking clauses are rejected
+        because they need the full result set.
+        """
+        if self.query.order_by is not None or self.query.limit is not None:
+            raise QueryError(
+                "execute_iter cannot apply ORDER BY / LIMIT; "
+                "use execute() for blocking clauses"
+            )
+        if self.query.is_aggregate:
+            raise QueryError(
+                "aggregate queries need the whole stream; use execute()"
+            )
+        for tup in tuples:
+            result = self.execute_one(tup)
+            if result is not None:
+                yield result
+
+    def execute(
+        self, tuples: Iterable[UncertainTuple]
+    ) -> list[ResultTuple]:
+        """Run the query over a stream of tuples, collecting results.
+
+        ORDER BY sorts by the expected value of the order expression;
+        LIMIT truncates afterwards (or truncates arrival order when no
+        ORDER BY is present).
+        """
+        if self.query.is_aggregate:
+            return self._execute_aggregate(tuples)
+        results = []
+        for tup in tuples:
+            result = self.execute_one(tup)
+            if result is not None:
+                results.append(result)
+        if self.query.order_by is not None:
+            results.sort(
+                key=lambda r: (r.sort_key is None, r.sort_key),
+                reverse=self.query.descending,
+            )
+        if self.query.limit is not None:
+            results = results[: self.query.limit]
+        return results
+
+
+def run_query(
+    text: str,
+    tuples: Sequence[UncertainTuple],
+    schema: Schema | None = None,
+    config: ExecutorConfig | None = None,
+) -> list[ResultTuple]:
+    """One-shot convenience: parse, compile, and execute a query."""
+    executor = QueryExecutor(text, schema=schema, config=config)
+    return executor.execute(tuples)

@@ -1,0 +1,514 @@
+"""Recursive-descent parser for the SELECT dialect.
+
+Supported grammar (case-insensitive keywords)::
+
+    query       := SELECT select_list FROM ident [WHERE condition]
+                   [ORDER BY expr [ASC|DESC]] [LIMIT integer]
+    select_list := '*' | expr [AS ident] (',' expr [AS ident])*
+    condition   := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | atom
+    atom        := '(' condition ')' | sig_call | comparison [PROB number]
+    comparison  := expr cmp expr           cmp in < <= > >= = <>
+    sig_call    := MTEST '(' expr ',' opstr ',' number ',' number [',' number] ')'
+                 | VTEST '(' expr ',' opstr ',' number ',' number [',' number] ')'
+                 | MDTEST '(' expr ',' expr ',' opstr ',' number [',' number] ')'
+                 | PTEST '(' comparison ',' number ',' number [',' number] ')'
+    expr        := term (('+'|'-') term)*
+    term        := unary (('*'|'/') unary)*
+    unary       := '-' unary | postfix
+    postfix     := NUMBER | ident | '(' expr ')' | func '(' expr ')'
+    func        := SQRT | ABS | SQUARE | SQRTABS
+
+``expr > 50 PROB 0.66`` is the paper's probability-threshold predicate
+``expr >_{2/3} 50`` (PROB also accepts fractions: ``PROB 2/3``).  A
+significance call with one alpha runs a single hypothesis test; with two
+alphas it runs COUPLED-TESTS with (alpha1, alpha2).  ``SQRT(x)`` is the
+paper's SQRT(ABS(.)) operator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import ParseError
+from repro.query.expressions import (
+    BinaryOp,
+    Column,
+    Comparison,
+    Expression,
+    Literal,
+    UnaryOp,
+)
+
+__all__ = [
+    "Query",
+    "Condition",
+    "CompareCondition",
+    "SignificanceCondition",
+    "AndCondition",
+    "OrCondition",
+    "NotCondition",
+    "parse_query",
+    "parse_expression",
+]
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AS", "AND", "OR", "NOT", "PROB",
+    "MTEST", "MDTEST", "PTEST", "VTEST", "SQRT", "ABS", "SQUARE", "SQRTABS",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "AVG", "SUM", "COUNT",
+    "GROUP",
+}
+_CMP_OPS = ("<=", ">=", "<>", "<", ">", "=")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<op><=|>=|<>|[<>=+\-*/(),])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'ident' | 'keyword' | 'string' | 'op' | 'eof'
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.upper(), match.start()))
+        elif kind == "string":
+            tokens.append(_Token("string", value[1:-1], match.start()))
+        else:
+            assert kind is not None
+            tokens.append(_Token(kind, value, match.start()))
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+# -- condition AST -----------------------------------------------------------
+
+
+class Condition:
+    """Marker base class for WHERE-clause nodes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CompareCondition(Condition):
+    """A comparison, optionally with a probability threshold.
+
+    ``threshold is None`` — plain possible-world semantics: the result
+    tuple's probability is multiplied by P[comparison].
+    ``threshold = tau`` — the tuple qualifies only when P[comparison] >= tau
+    (the paper's probability-threshold predicate).
+    """
+
+    comparison: Comparison
+    threshold: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SignificanceCondition(Condition):
+    """mTest / mdTest / pTest call in the WHERE clause.
+
+    ``alpha2 is None`` means a single (uncoupled) hypothesis test;
+    otherwise COUPLED-TESTS runs with (alpha1, alpha2).
+    """
+
+    kind: str  # 'mtest' | 'mdtest' | 'ptest'
+    expr_x: Expression | None = None
+    expr_y: Expression | None = None
+    comparison: Comparison | None = None
+    op: str = ">"
+    constant: float = 0.0
+    tau: float = 0.5
+    alpha1: float = 0.05
+    alpha2: float | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class AndCondition(Condition):
+    parts: tuple[Condition, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class OrCondition(Condition):
+    parts: tuple[Condition, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class NotCondition(Condition):
+    part: Condition
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """A parsed query: select items, source, WHERE / ORDER BY / LIMIT.
+
+    ``order_by`` sorts results by the *expected value* of the expression
+    (descending when ``descending``); ``limit`` truncates afterwards.
+    """
+
+    select_items: tuple[tuple[Expression, str], ...]  # (expr, output name)
+    star: bool
+    source: str
+    where: Condition | None
+    order_by: Expression | None = None
+    descending: bool = False
+    limit: int | None = None
+    # Aligned with select_items: 'avg' | 'sum' | 'count' | None per item.
+    aggregates: tuple[str | None, ...] = ()
+    group_by: str | None = None
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True when any SELECT item is an aggregate function."""
+        return any(agg is not None for agg in self.aggregates)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {token.text or 'end of input'!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.expect("keyword", "SELECT")
+        star = False
+        items: list[tuple[Expression, str]] = []
+        aggregates: list[str | None] = []
+        if self.accept("op", "*"):
+            star = True
+        else:
+            items.append(self._select_item(len(items), aggregates))
+            while self.accept("op", ","):
+                items.append(self._select_item(len(items), aggregates))
+        self.expect("keyword", "FROM")
+        source = self.expect("ident").text
+        where = None
+        if self.accept("keyword", "WHERE"):
+            where = self.parse_condition()
+        group_by = None
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            group_by = self.expect("ident").text
+        order_by = None
+        descending = False
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by = self.parse_expr()
+            if self.accept("keyword", "DESC"):
+                descending = True
+            else:
+                self.accept("keyword", "ASC")
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            token = self.expect("number")
+            limit = int(float(token.text))
+            if limit < 0 or limit != float(token.text):
+                raise ParseError(
+                    f"LIMIT must be a non-negative integer, got {token.text}",
+                    token.position,
+                )
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", token.position
+            )
+        return Query(
+            tuple(items), star, source, where,
+            order_by=order_by, descending=descending, limit=limit,
+            aggregates=tuple(aggregates), group_by=group_by,
+        )
+
+    def _select_item(
+        self, index: int, aggregates: "list[str | None]"
+    ) -> tuple[Expression, str]:
+        token = self.peek()
+        aggregate: str | None = None
+        if token.kind == "keyword" and token.text in ("AVG", "SUM", "COUNT"):
+            self.advance()
+            aggregate = token.text.lower()
+            self.expect("op", "(")
+            if aggregate == "count" and self.accept("op", "*"):
+                expr: Expression = Literal(1.0)
+            else:
+                expr = self.parse_expr()
+            self.expect("op", ")")
+        else:
+            expr = self.parse_expr()
+        aggregates.append(aggregate)
+        if self.accept("keyword", "AS"):
+            alias = self.expect("ident").text
+        elif aggregate is not None:
+            alias = aggregate if not isinstance(expr, Column) else (
+                f"{aggregate}_{expr.name}"
+            )
+        elif isinstance(expr, Column):
+            alias = expr.name
+        else:
+            alias = f"expr_{index}"
+        return expr, alias
+
+    def parse_condition(self) -> Condition:
+        parts = [self._and_expr()]
+        while self.accept("keyword", "OR"):
+            parts.append(self._and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return OrCondition(tuple(parts))
+
+    def _and_expr(self) -> Condition:
+        parts = [self._not_expr()]
+        while self.accept("keyword", "AND"):
+            parts.append(self._not_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return AndCondition(tuple(parts))
+
+    def _not_expr(self) -> Condition:
+        if self.accept("keyword", "NOT"):
+            return NotCondition(self._not_expr())
+        return self._atom()
+
+    def _atom(self) -> Condition:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in (
+            "MTEST", "MDTEST", "PTEST", "VTEST"
+        ):
+            return self._sig_call()
+        if token.kind == "op" and token.text == "(":
+            # Could be a parenthesised condition or a parenthesised
+            # expression starting a comparison; try condition first.
+            saved = self.index
+            try:
+                self.advance()
+                inner = self.parse_condition()
+                self.expect("op", ")")
+                return inner
+            except ParseError:
+                self.index = saved
+        return self._comparison_condition()
+
+    def _comparison_condition(self) -> Condition:
+        comparison = self._comparison()
+        threshold = None
+        if self.accept("keyword", "PROB"):
+            threshold = self._probability_literal()
+        return CompareCondition(comparison, threshold)
+
+    def _comparison(self) -> Comparison:
+        left = self.parse_expr()
+        token = self.peek()
+        if token.kind != "op" or token.text not in _CMP_OPS:
+            raise ParseError(
+                f"expected comparison operator, found {token.text!r}",
+                token.position,
+            )
+        self.advance()
+        right = self.parse_expr()
+        return Comparison(token.text, left, right)
+
+    def _probability_literal(self) -> float:
+        number = self.expect("number")
+        value = float(number.text)
+        if self.accept("op", "/"):
+            denominator = float(self.expect("number").text)
+            if denominator == 0:
+                raise ParseError("zero denominator in probability", number.position)
+            value /= denominator
+        if not 0.0 <= value <= 1.0:
+            raise ParseError(
+                f"probability must be in [0,1], got {value}", number.position
+            )
+        return value
+
+    def _signed_number(self) -> float:
+        negative = self.accept("op", "-") is not None
+        token = self.expect("number")
+        value = float(token.text)
+        return -value if negative else value
+
+    def _test_op(self) -> str:
+        token = self.expect("string")
+        if token.text not in ("<", ">", "<>"):
+            raise ParseError(
+                f"test operator must be '<', '>' or '<>', got {token.text!r}",
+                token.position,
+            )
+        return token.text
+
+    def _sig_call(self) -> Condition:
+        kind_token = self.advance()
+        kind = kind_token.text.lower()
+        self.expect("op", "(")
+        if kind in ("mtest", "vtest"):
+            expr = self.parse_expr()
+            self.expect("op", ",")
+            op = self._test_op()
+            self.expect("op", ",")
+            constant = self._signed_number()
+            self.expect("op", ",")
+            alpha1 = self._signed_number()
+            alpha2 = self._optional_alpha()
+            self.expect("op", ")")
+            return SignificanceCondition(
+                kind, expr_x=expr, op=op, constant=constant,
+                alpha1=alpha1, alpha2=alpha2,
+            )
+        if kind == "mdtest":
+            expr_x = self.parse_expr()
+            self.expect("op", ",")
+            expr_y = self.parse_expr()
+            self.expect("op", ",")
+            op = self._test_op()
+            self.expect("op", ",")
+            constant = self._signed_number()
+            self.expect("op", ",")
+            alpha1 = self._signed_number()
+            alpha2 = self._optional_alpha()
+            self.expect("op", ")")
+            return SignificanceCondition(
+                "mdtest", expr_x=expr_x, expr_y=expr_y, op=op,
+                constant=constant, alpha1=alpha1, alpha2=alpha2,
+            )
+        # ptest
+        comparison = self._comparison()
+        self.expect("op", ",")
+        tau = self._probability_literal()
+        self.expect("op", ",")
+        alpha1 = self._signed_number()
+        alpha2 = self._optional_alpha()
+        self.expect("op", ")")
+        return SignificanceCondition(
+            "ptest", comparison=comparison, tau=tau,
+            alpha1=alpha1, alpha2=alpha2,
+        )
+
+    def _optional_alpha(self) -> float | None:
+        if self.accept("op", ","):
+            return self._signed_number()
+        return None
+
+    # -- arithmetic expressions -------------------------------------------------
+
+    def parse_expr(self) -> Expression:
+        left = self._term()
+        while True:
+            if self.accept("op", "+"):
+                left = BinaryOp("+", left, self._term())
+            elif self.accept("op", "-"):
+                left = BinaryOp("-", left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expression:
+        left = self._unary()
+        while True:
+            if self.accept("op", "*"):
+                left = BinaryOp("*", left, self._unary())
+            elif self.accept("op", "/"):
+                left = BinaryOp("/", left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self.accept("op", "-"):
+            return UnaryOp("neg", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expression:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return Literal(float(token.text))
+        if token.kind == "keyword" and token.text in (
+            "SQRT", "ABS", "SQUARE", "SQRTABS"
+        ):
+            self.advance()
+            self.expect("op", "(")
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            # SQRT in this dialect is the paper's SQRT(ABS(.)) operator.
+            op = {
+                "SQRT": "sqrtabs",
+                "SQRTABS": "sqrtabs",
+                "ABS": "abs",
+                "SQUARE": "square",
+            }[token.text]
+            return UnaryOp(op, inner)
+        if token.kind == "ident":
+            self.advance()
+            return Column(token.text)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        raise ParseError(
+            f"expected expression, found {token.text or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`Query` AST."""
+    return _Parser(_tokenize(text)).parse_query()
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone arithmetic expression (used by workload tools)."""
+    parser = _Parser(_tokenize(text))
+    expr = parser.parse_expr()
+    token = parser.peek()
+    if token.kind != "eof":
+        raise ParseError(
+            f"unexpected trailing input {token.text!r}", token.position
+        )
+    return expr

@@ -1,0 +1,50 @@
+"""Pipeline assembly and execution.
+
+A :class:`Pipeline` chains operators into a linear push pipeline, runs a
+tuple source through it, and flushes buffered state at end-of-stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import StreamError
+from repro.streams.operators import Operator
+from repro.streams.tuples import UncertainTuple
+
+__all__ = ["Pipeline"]
+
+
+class Pipeline:
+    """A linear chain of operators ending in a sink.
+
+    The last operator is conventionally a sink (:class:`CollectSink` or
+    :class:`CountingSink`), but any operator chain works — tuples emitted
+    by the final operator simply vanish if it has no terminal behaviour.
+    """
+
+    def __init__(self, operators: Sequence[Operator]) -> None:
+        if not operators:
+            raise StreamError("pipeline needs at least one operator")
+        self.operators = list(operators)
+        for upstream, downstream in zip(self.operators, self.operators[1:]):
+            upstream.connect(downstream)
+
+    @property
+    def head(self) -> Operator:
+        return self.operators[0]
+
+    @property
+    def sink(self) -> Operator:
+        return self.operators[-1]
+
+    def push(self, tup: UncertainTuple) -> None:
+        """Feed one tuple into the pipeline."""
+        self.head.receive(tup)
+
+    def run(self, source: Iterable[UncertainTuple]) -> Operator:
+        """Push every tuple from the source, flush, and return the sink."""
+        for tup in source:
+            self.head.receive(tup)
+        self.head.flush()
+        return self.sink

@@ -1,0 +1,430 @@
+"""Push-based stream operators.
+
+Operators form a linear pipeline (fan-in/fan-out are expressed by running
+several pipelines over the same source).  Each operator receives a tuple,
+does its work, and pushes zero or more tuples downstream; ``flush``
+propagates end-of-stream so windowed operators can drain.
+
+The two filters embody the paper's two predicate styles:
+
+* :class:`ProbabilisticFilter` — classic probability-threshold semantics:
+  the tuple's membership probability is multiplied by P[predicate].
+* :class:`SignificanceFilter` — the paper's significance predicates with
+  coupled error-rate control (§IV): TRUE keeps the tuple, FALSE drops it,
+  and UNSURE is kept or dropped by policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import Counter, deque
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.coupled import ThreeValued, coupled_tests
+from repro.core.dfsample import DfSized
+from repro.core.predicates import SignificancePredicate
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import StreamError
+from repro.streams.tuples import UncertainTuple
+
+__all__ = [
+    "Operator",
+    "Select",
+    "Project",
+    "Derive",
+    "ProbabilisticFilter",
+    "SignificanceFilter",
+    "SlidingGaussianAverage",
+    "WindowAggregate",
+    "TimeWindowAggregate",
+    "CollectSink",
+    "CountingSink",
+]
+
+
+class Operator(abc.ABC):
+    """Base class: process tuples, push results to the downstream operator."""
+
+    def __init__(self) -> None:
+        self._downstream: Operator | None = None
+
+    def connect(self, downstream: "Operator") -> "Operator":
+        """Attach (and return) the downstream operator, enabling chaining."""
+        self._downstream = downstream
+        return downstream
+
+    def emit(self, tup: UncertainTuple) -> None:
+        if self._downstream is not None:
+            self._downstream.receive(tup)
+
+    def receive(self, tup: UncertainTuple) -> None:
+        self.process(tup)
+
+    @abc.abstractmethod
+    def process(self, tup: UncertainTuple) -> None:
+        """Handle one input tuple (call :meth:`emit` for each output)."""
+
+    def flush(self) -> None:
+        """Propagate end-of-stream; override ``on_flush`` to drain state."""
+        self.on_flush()
+        if self._downstream is not None:
+            self._downstream.flush()
+
+    def on_flush(self) -> None:
+        """Hook for subclasses with buffered state."""
+
+
+class Select(Operator):
+    """Keeps tuples for which ``predicate(tuple)`` is truthy."""
+
+    def __init__(self, predicate: Callable[[UncertainTuple], bool]) -> None:
+        super().__init__()
+        self.predicate = predicate
+
+    def process(self, tup: UncertainTuple) -> None:
+        if self.predicate(tup):
+            self.emit(tup)
+
+
+class Project(Operator):
+    """Keeps only the named attributes."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        super().__init__()
+        if not names:
+            raise StreamError("projection needs at least one attribute")
+        self.names = tuple(names)
+
+    def process(self, tup: UncertainTuple) -> None:
+        projected = {name: tup.value(name) for name in self.names}
+        self.emit(tup.with_attributes(projected))
+
+
+class Derive(Operator):
+    """Adds a computed attribute ``name = fn(tuple)``."""
+
+    def __init__(
+        self, name: str, fn: Callable[[UncertainTuple], object]
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.fn = fn
+
+    def process(self, tup: UncertainTuple) -> None:
+        attributes = dict(tup.attributes)
+        attributes[self.name] = self.fn(tup)
+        self.emit(tup.with_attributes(attributes))
+
+
+class ProbabilisticFilter(Operator):
+    """Probability-threshold filtering (possible-world semantics).
+
+    ``probability_fn(tuple)`` returns P[predicate holds] for the tuple; the
+    output tuple's membership probability is scaled by it.  Tuples whose
+    resulting probability falls below ``threshold`` are dropped (the
+    default threshold 0 keeps every tuple with positive probability —
+    plain possible-world semantics).
+    """
+
+    def __init__(
+        self,
+        probability_fn: Callable[[UncertainTuple], float],
+        threshold: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= threshold <= 1.0:
+            raise StreamError(
+                f"probability threshold must be in [0,1], got {threshold}"
+            )
+        self.probability_fn = probability_fn
+        self.threshold = threshold
+
+    def process(self, tup: UncertainTuple) -> None:
+        q = float(self.probability_fn(tup))
+        if not 0.0 <= q <= 1.0:
+            raise StreamError(
+                f"predicate probability must be in [0,1], got {q}"
+            )
+        scaled = tup.scaled(q)
+        if scaled.probability > self.threshold:
+            self.emit(scaled)
+
+
+class SignificanceFilter(Operator):
+    """Filters by a significance predicate with coupled error-rate control.
+
+    ``predicate_factory(tuple)`` binds the test to the tuple's fields; the
+    coupled decision keeps TRUE tuples, drops FALSE ones, and treats UNSURE
+    per ``keep_unsure``.  Decisions are counted for observability.
+    """
+
+    def __init__(
+        self,
+        predicate_factory: Callable[[UncertainTuple], SignificancePredicate],
+        alpha1: float = 0.05,
+        alpha2: float = 0.05,
+        keep_unsure: bool = False,
+    ) -> None:
+        super().__init__()
+        self.predicate_factory = predicate_factory
+        self.alpha1 = alpha1
+        self.alpha2 = alpha2
+        self.keep_unsure = keep_unsure
+        self.decisions: Counter[ThreeValued] = Counter()
+
+    def process(self, tup: UncertainTuple) -> None:
+        predicate = self.predicate_factory(tup)
+        outcome = coupled_tests(predicate, self.alpha1, self.alpha2)
+        self.decisions[outcome.value] += 1
+        keep = outcome.value is ThreeValued.TRUE or (
+            outcome.value is ThreeValued.UNSURE and self.keep_unsure
+        )
+        if keep:
+            self.emit(tup)
+
+
+class SlidingGaussianAverage(Operator):
+    """Count-based sliding-window AVG over a Gaussian attribute (§V-C).
+
+    Maintains running sums of the window members' means and variances, so
+    each arrival costs O(1); the result attribute is the exact Gaussian of
+    the average of independent Gaussians, tagged with the window's minimum
+    input sample size (Lemma 3: the d.f. sample size of the AVG).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        window_size: int,
+        output: str = "avg",
+        emit_partial: bool = True,
+    ) -> None:
+        super().__init__()
+        if window_size < 1:
+            raise StreamError(f"window size must be >= 1, got {window_size}")
+        self.attribute = attribute
+        self.window_size = window_size
+        self.output = output
+        self.emit_partial = emit_partial
+        self._members: deque[tuple[float, float, int | None]] = deque()
+        self._mu_sum = 0.0
+        self._var_sum = 0.0
+        self._size_counts: Counter[int] = Counter()
+        self._exact_count = 0
+
+    def _window_sample_size(self) -> int | None:
+        if self._size_counts:
+            return min(self._size_counts)
+        return None
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        dist = field.distribution
+        if not isinstance(dist, GaussianDistribution):
+            raise StreamError(
+                f"SlidingGaussianAverage needs Gaussian attributes, got "
+                f"{type(dist).__name__}"
+            )
+        self._members.append((dist.mu, dist.sigma2, field.sample_size))
+        self._mu_sum += dist.mu
+        self._var_sum += dist.sigma2
+        if field.sample_size is None:
+            self._exact_count += 1
+        else:
+            self._size_counts[field.sample_size] += 1
+
+        if len(self._members) > self.window_size:
+            old_mu, old_var, old_n = self._members.popleft()
+            self._mu_sum -= old_mu
+            self._var_sum -= old_var
+            if old_n is None:
+                self._exact_count -= 1
+            else:
+                self._size_counts[old_n] -= 1
+                if self._size_counts[old_n] == 0:
+                    del self._size_counts[old_n]
+
+        k = len(self._members)
+        if k < self.window_size and not self.emit_partial:
+            return
+        avg = GaussianDistribution(self._mu_sum / k, self._var_sum / (k * k))
+        attributes = dict(tup.attributes)
+        attributes[self.output] = DfSized(avg, self._window_sample_size())
+        self.emit(tup.with_attributes(attributes))
+
+
+_SCALAR_AGGS = ("avg", "sum", "count", "min", "max")
+
+
+class WindowAggregate(Operator):
+    """Generic count-based sliding aggregate over attribute means.
+
+    Works on any distribution-valued or numeric attribute by aggregating
+    the per-tuple expected values.  ``avg``/``sum`` additionally propagate
+    variance (independence assumption), emitting a Gaussian approximation
+    justified by the CLT for wide windows; ``min``/``max``/``count`` emit
+    deterministic values.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        window_size: int,
+        agg: str = "avg",
+        output: str | None = None,
+    ) -> None:
+        super().__init__()
+        if agg not in _SCALAR_AGGS:
+            raise StreamError(
+                f"unknown aggregate {agg!r}; expected one of {_SCALAR_AGGS}"
+            )
+        if window_size < 1:
+            raise StreamError(f"window size must be >= 1, got {window_size}")
+        self.attribute = attribute
+        self.window_size = window_size
+        self.agg = agg
+        self.output = output if output is not None else agg
+        self._members: deque[tuple[float, float, int | None]] = deque()
+
+    def process(self, tup: UncertainTuple) -> None:
+        field = tup.dfsized(self.attribute)
+        dist = field.distribution
+        self._members.append(
+            (dist.mean(), dist.variance(), field.sample_size)
+        )
+        if len(self._members) > self.window_size:
+            self._members.popleft()
+
+        means = [m for m, _, _ in self._members]
+        variances = [v for _, v, _ in self._members]
+        sizes = [n for _, _, n in self._members if n is not None]
+        df_size = min(sizes) if sizes else None
+        k = len(self._members)
+
+        value: object
+        if self.agg == "count":
+            value = float(k)
+        elif self.agg == "min":
+            value = min(means)
+        elif self.agg == "max":
+            value = max(means)
+        elif self.agg == "sum":
+            value = DfSized(
+                GaussianDistribution(sum(means), sum(variances)), df_size
+            )
+        else:  # avg
+            value = DfSized(
+                GaussianDistribution(
+                    sum(means) / k, sum(variances) / (k * k)
+                ),
+                df_size,
+            )
+        attributes = dict(tup.attributes)
+        attributes[self.output] = value
+        self.emit(tup.with_attributes(attributes))
+
+
+class CollectSink(Operator):
+    """Terminal operator collecting every tuple it receives."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.results: list[UncertainTuple] = []
+
+    def process(self, tup: UncertainTuple) -> None:
+        self.results.append(tup)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterable[UncertainTuple]:
+        return iter(self.results)
+
+
+class CountingSink(Operator):
+    """Terminal operator that only counts tuples (throughput benchmarks)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+
+    def process(self, tup: UncertainTuple) -> None:
+        self.count += 1
+
+
+class TimeWindowAggregate(Operator):
+    """Time-based sliding aggregate over attribute means.
+
+    Keeps the tuples whose timestamps fall within ``duration`` of the
+    newest arrival and emits the updated aggregate per arrival.  Tuples
+    must carry non-decreasing timestamps.  Moment propagation matches
+    :class:`WindowAggregate` (sum/avg emit Gaussian approximations with
+    the window's minimum sample size; count/min/max are deterministic).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        duration: float,
+        agg: str = "avg",
+        output: str | None = None,
+    ) -> None:
+        super().__init__()
+        if agg not in _SCALAR_AGGS:
+            raise StreamError(
+                f"unknown aggregate {agg!r}; expected one of {_SCALAR_AGGS}"
+            )
+        if duration <= 0:
+            raise StreamError(f"duration must be > 0, got {duration}")
+        self.attribute = attribute
+        self.duration = duration
+        self.agg = agg
+        self.output = output if output is not None else agg
+        self._members: deque[tuple[float, float, float, int | None]] = deque()
+
+    def process(self, tup: UncertainTuple) -> None:
+        if tup.timestamp is None:
+            raise StreamError(
+                "TimeWindowAggregate needs timestamped tuples"
+            )
+        if self._members and tup.timestamp < self._members[-1][0]:
+            raise StreamError(
+                "timestamps must be non-decreasing: "
+                f"{tup.timestamp} after {self._members[-1][0]}"
+            )
+        field = tup.dfsized(self.attribute)
+        dist = field.distribution
+        self._members.append(
+            (tup.timestamp, dist.mean(), dist.variance(), field.sample_size)
+        )
+        cutoff = tup.timestamp - self.duration
+        while self._members and self._members[0][0] <= cutoff:
+            self._members.popleft()
+
+        means = [m for _, m, _, _ in self._members]
+        variances = [v for _, _, v, _ in self._members]
+        sizes = [n for _, _, _, n in self._members if n is not None]
+        df_size = min(sizes) if sizes else None
+        k = len(self._members)
+
+        value: object
+        if self.agg == "count":
+            value = float(k)
+        elif self.agg == "min":
+            value = min(means)
+        elif self.agg == "max":
+            value = max(means)
+        elif self.agg == "sum":
+            value = DfSized(
+                GaussianDistribution(sum(means), sum(variances)), df_size
+            )
+        else:  # avg
+            value = DfSized(
+                GaussianDistribution(
+                    sum(means) / k, sum(variances) / (k * k)
+                ),
+                df_size,
+            )
+        attributes = dict(tup.attributes)
+        attributes[self.output] = value
+        self.emit(tup.with_attributes(attributes))

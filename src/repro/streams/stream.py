@@ -1,0 +1,44 @@
+"""Stream sources.
+
+Sources are plain iterables of :class:`UncertainTuple`; these helpers
+build them from raw records and support replaying a recorded stream with
+fresh timestamps.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.streams.tuples import Schema, UncertainTuple
+
+__all__ = ["iter_source", "replay_source"]
+
+
+def iter_source(
+    records: Iterable[Mapping[str, object] | UncertainTuple],
+    schema: Schema | None = None,
+) -> Iterator[UncertainTuple]:
+    """Yield tuples from records, optionally validating against a schema.
+
+    Records may be ready-made tuples or attribute mappings (probability 1).
+    """
+    for record in records:
+        if isinstance(record, UncertainTuple):
+            tup = record
+        else:
+            tup = UncertainTuple(dict(record))
+        if schema is not None:
+            schema.validate(tup)
+        yield tup
+
+
+def replay_source(
+    tuples: Iterable[UncertainTuple],
+    start_time: float = 0.0,
+    interval: float = 1.0,
+) -> Iterator[UncertainTuple]:
+    """Replay tuples with regenerated, evenly spaced timestamps."""
+    t = start_time
+    for tup in tuples:
+        yield UncertainTuple(dict(tup.attributes), tup.probability, t)
+        t += interval

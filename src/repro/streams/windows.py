@@ -1,0 +1,101 @@
+"""Sliding and tumbling windows over stream tuples.
+
+Windows are passive buffers: operators push items in and receive the
+evicted ones back, which enables incremental aggregate maintenance
+(add the new contribution, subtract the evicted one).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from repro.errors import StreamError
+
+__all__ = ["CountWindow", "TumblingWindow", "TimeWindow"]
+
+T = TypeVar("T")
+
+
+class CountWindow(Generic[T]):
+    """Count-based sliding window holding the most recent ``size`` items."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self._items: deque[T] = deque()
+
+    def add(self, item: T) -> T | None:
+        """Insert an item; returns the evicted item once the window is full."""
+        self._items.append(item)
+        if len(self._items) > self.size:
+            return self._items.popleft()
+        return None
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) == self.size
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+
+class TumblingWindow(Generic[T]):
+    """Non-overlapping window: fills up to ``size`` items, then fires."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise StreamError(f"window size must be >= 1, got {size}")
+        self.size = size
+        self._items: list[T] = []
+
+    def add(self, item: T) -> list[T] | None:
+        """Insert an item; returns the full batch when the window closes."""
+        self._items.append(item)
+        if len(self._items) == self.size:
+            batch, self._items = self._items, []
+            return batch
+        return None
+
+    def flush(self) -> list[T]:
+        """Return and clear any partial batch (end of stream)."""
+        batch, self._items = self._items, []
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class TimeWindow(Generic[T]):
+    """Time-based sliding window keeping items newer than ``duration``."""
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0:
+            raise StreamError(f"window duration must be > 0, got {duration}")
+        self.duration = duration
+        self._items: deque[tuple[float, T]] = deque()
+
+    def add(self, timestamp: float, item: T) -> list[T]:
+        """Insert a timestamped item; returns all items that expired."""
+        if self._items and timestamp < self._items[-1][0]:
+            raise StreamError(
+                "timestamps must be non-decreasing: "
+                f"{timestamp} after {self._items[-1][0]}"
+            )
+        self._items.append((timestamp, item))
+        evicted = []
+        cutoff = timestamp - self.duration
+        while self._items and self._items[0][0] <= cutoff:
+            evicted.append(self._items.popleft()[1])
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return (item for _, item in self._items)

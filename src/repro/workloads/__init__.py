@@ -1,0 +1,39 @@
+"""Workload and dataset generators for the experiments (paper §V-A).
+
+* :mod:`repro.workloads.cartel` — a road-delay trace simulator standing in
+  for the CarTel Boston dataset (see DESIGN.md §5 for the substitution
+  rationale).
+* :mod:`repro.workloads.synthetic` — the five R-generated distribution
+  families: exponential, Gamma, normal, uniform, Weibull.
+* :mod:`repro.workloads.queries` — the random query/expression generator
+  over the six operators of §V-C.
+* :mod:`repro.workloads.routes` — routes (~20 segments) and close-mean
+  route pairs for the significance-predicate experiments (§V-D).
+"""
+
+from repro.workloads.cartel import CarTelSimulator, SegmentSpec, RawReport
+from repro.workloads.synthetic import (
+    DISTRIBUTION_NAMES,
+    make_distribution,
+    sample_distribution,
+    true_mean,
+    true_variance,
+)
+from repro.workloads.queries import random_expression, RandomQueryWorkload
+from repro.workloads.routes import Route, make_routes, make_close_mean_pairs
+
+__all__ = [
+    "CarTelSimulator",
+    "SegmentSpec",
+    "RawReport",
+    "DISTRIBUTION_NAMES",
+    "make_distribution",
+    "sample_distribution",
+    "true_mean",
+    "true_variance",
+    "random_expression",
+    "RandomQueryWorkload",
+    "Route",
+    "make_routes",
+    "make_close_mean_pairs",
+]

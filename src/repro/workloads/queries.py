@@ -1,0 +1,149 @@
+"""Random query generation (paper §V-C).
+
+The paper generates random query expressions by assigning equal
+probabilities to six operators — ``+ - * / SQRT(ABS(.)) SQUARE`` — over
+operands drawn from the five synthetic distribution families.  This module
+builds such expressions as :mod:`repro.query.expressions` ASTs, together
+with the input tuple that binds each leaf column to a learned
+distribution, so an expression can be executed exactly like a user query.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.dfsample import DfSized
+from repro.errors import ReproError
+from repro.learning.base import LearnedDistribution
+from repro.learning.empirical_learner import EmpiricalLearner
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.query.expressions import BinaryOp, Column, Expression, UnaryOp
+from repro.streams.tuples import UncertainTuple
+from repro.workloads.synthetic import DISTRIBUTION_NAMES, sample_distribution
+
+__all__ = ["random_expression", "RandomQueryWorkload", "GeneratedQuery"]
+
+_BINARY = ("+", "-", "*", "/")
+_UNARY = ("sqrtabs", "square")
+# Equal probability across the six operators; a draw below 4/6 picks a
+# binary operator, otherwise a unary one.
+_BINARY_SHARE = len(_BINARY) / (len(_BINARY) + len(_UNARY))
+
+
+def random_expression(
+    rng: np.random.Generator,
+    columns: list[str],
+    operator_count: int = 3,
+    binary_only: bool = False,
+) -> Expression:
+    """A random expression with ``operator_count`` operators over columns.
+
+    Each operator is drawn with equal probability from the six of §V-C
+    (or from ``{+, -}`` when ``binary_only`` — the Figure 5(b) setting).
+    Columns are recycled when the expression needs more leaves than there
+    are columns.
+    """
+    if not columns:
+        raise ReproError("need at least one column")
+    if operator_count < 0:
+        raise ReproError(f"operator count must be >= 0, got {operator_count}")
+
+    leaves = [Column(name) for name in columns]
+    rng.shuffle(leaves)  # type: ignore[arg-type]
+    pool: list[Expression] = list(leaves)
+    next_leaf = 0
+
+    def take_operand() -> Expression:
+        nonlocal next_leaf
+        if pool:
+            return pool.pop()
+        node = Column(columns[next_leaf % len(columns)])
+        next_leaf += 1
+        return node
+
+    current: Expression = take_operand()
+    for _ in range(operator_count):
+        if binary_only:
+            op = "+" if rng.random() < 0.5 else "-"
+            current = BinaryOp(op, current, take_operand())
+        elif rng.random() < _BINARY_SHARE:
+            op = str(rng.choice(_BINARY))
+            current = BinaryOp(op, current, take_operand())
+        else:
+            op = str(rng.choice(_UNARY))
+            current = UnaryOp(op, current)
+    return current
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratedQuery:
+    """A random expression plus the tuple binding its leaf columns."""
+
+    expression: Expression
+    tup: UncertainTuple
+    learned: dict[str, LearnedDistribution]
+    sample_sizes: dict[str, int]
+    families: dict[str, str]
+
+    @property
+    def df_sample_size(self) -> int:
+        """Lemma 3: the minimum leaf sample size."""
+        return min(self.sample_sizes.values())
+
+
+class RandomQueryWorkload:
+    """Generates random (expression, input tuple) pairs.
+
+    ``normal_only`` restricts the inputs to the normal family and the
+    operators to ``{+, -}`` — the Figure 5(b) configuration where the
+    result is exactly Gaussian.  ``empirical_inputs`` keeps leaves as
+    sample-backed empirical distributions (the Monte-Carlo processing
+    category); otherwise Gaussians are learned from each leaf sample.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        column_count: int = 3,
+        operator_count: int = 3,
+        sample_sizes: tuple[int, ...] = (10, 15, 20, 30, 50),
+        normal_only: bool = False,
+        empirical_inputs: bool = True,
+    ) -> None:
+        if column_count < 1:
+            raise ReproError(f"need >= 1 column, got {column_count}")
+        self.rng = rng
+        self.column_count = column_count
+        self.operator_count = operator_count
+        self.sample_sizes = sample_sizes
+        self.normal_only = normal_only
+        self.learner = (
+            EmpiricalLearner() if empirical_inputs else GaussianLearner()
+        )
+
+    def generate(self) -> GeneratedQuery:
+        columns = [f"x{i}" for i in range(self.column_count)]
+        expression = random_expression(
+            self.rng, columns, self.operator_count,
+            binary_only=self.normal_only,
+        )
+        attributes: dict[str, object] = {}
+        learned: dict[str, LearnedDistribution] = {}
+        sizes: dict[str, int] = {}
+        families: dict[str, str] = {}
+        for name in columns:
+            family = (
+                "normal" if self.normal_only
+                else str(self.rng.choice(DISTRIBUTION_NAMES))
+            )
+            n = int(self.rng.choice(self.sample_sizes))
+            sample = sample_distribution(family, self.rng, n)
+            fitted = self.learner.learn(sample)
+            learned[name] = fitted
+            sizes[name] = n
+            families[name] = family
+            attributes[name] = DfSized(fitted.distribution, n)
+        tup = UncertainTuple(attributes)
+        return GeneratedQuery(expression, tup, learned, sizes, families)

@@ -1,0 +1,187 @@
+"""Routes over the road network and close-mean route pairs (§V-C, §V-D).
+
+A route is a sequence of road segments; its total delay is the sum of the
+per-segment delays.  Figure 5(a) queries total route delays (about 20
+segments per route, heterogeneous sample sizes); Figures 5(d)/(e) compare
+100 *pairs of routes whose true mean delays are intentionally close*,
+which makes small-sample comparisons genuinely hard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.workloads.cartel import CarTelSimulator
+
+__all__ = ["Route", "RoutePair", "make_routes", "make_close_mean_pairs"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """An ordered sequence of distinct road segments."""
+
+    route_id: int
+    segment_ids: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.segment_ids:
+            raise ReproError("route needs at least one segment")
+        if len(set(self.segment_ids)) != len(self.segment_ids):
+            raise ReproError("route segments must be distinct")
+
+    def true_mean(self, sim: CarTelSimulator) -> float:
+        """True expected total delay: sum of segment delay means."""
+        return sum(sim.true_mean(s) for s in self.segment_ids)
+
+    def true_variance(self, sim: CarTelSimulator) -> float:
+        """True total-delay variance (independent segments)."""
+        return sum(sim.true_variance(s) for s in self.segment_ids)
+
+    def segment_samples(
+        self, sim: CarTelSimulator, sizes: "Mapping[int, int] | int"
+    ) -> dict[int, np.ndarray]:
+        """Fresh iid delay samples per segment.
+
+        ``sizes`` is either one size for every segment or a mapping
+        segment id -> size (the heterogeneous-sample-size situation).
+        """
+        if isinstance(sizes, int):
+            return {
+                s: sim.observations(s, sizes) for s in self.segment_ids
+            }
+        return {
+            s: sim.observations(s, int(sizes[s])) for s in self.segment_ids
+        }
+
+    @staticmethod
+    def total_delay_df_sample(
+        samples: Mapping[int, np.ndarray]
+    ) -> np.ndarray:
+        """A de facto sample of the route's total delay (Definition 2).
+
+        Per Lemma 3 the d.f. sample size is the minimum per-segment size;
+        each d.f. observation sums one observation from every segment.
+        """
+        if not samples:
+            raise ReproError("no segment samples given")
+        n = min(arr.size for arr in samples.values())
+        if n < 1:
+            raise ReproError("every segment needs at least one observation")
+        return np.sum(
+            [np.asarray(arr)[:n] for arr in samples.values()], axis=0
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RoutePair:
+    """Two routes with close true mean delays; ``gap`` = mean_y − mean_x."""
+
+    route_x: Route
+    route_y: Route
+    mean_x: float
+    mean_y: float
+
+    @property
+    def gap(self) -> float:
+        return self.mean_y - self.mean_x
+
+
+def make_routes(
+    sim: CarTelSimulator,
+    n_routes: int,
+    segments_per_route: int = 20,
+    rng: np.random.Generator | None = None,
+) -> list[Route]:
+    """Random routes of the given length over the simulator's network."""
+    if rng is None:
+        rng = np.random.default_rng()
+    ids = sim.segment_ids()
+    if segments_per_route > len(ids):
+        raise ReproError(
+            f"routes of {segments_per_route} segments need a network with "
+            f">= that many segments ({len(ids)} available)"
+        )
+    routes = []
+    for route_id in range(n_routes):
+        chosen = rng.choice(ids, size=segments_per_route, replace=False)
+        routes.append(Route(route_id, tuple(int(s) for s in chosen)))
+    return routes
+
+
+def _best_swap(
+    segment_means: dict[int, float],
+    route_segments: Sequence[int],
+    candidates: Sequence[int],
+    target_gap: float,
+) -> tuple[int, int]:
+    """The (out, in) segment swap whose mean shift is closest to target."""
+    best: tuple[int, int] | None = None
+    best_error = float("inf")
+    for out_segment in route_segments:
+        out_mean = segment_means[out_segment]
+        for in_segment in candidates:
+            shift = segment_means[in_segment] - out_mean
+            if shift <= 0:
+                continue
+            error = abs(shift - target_gap)
+            if error < best_error:
+                best_error = error
+                best = (out_segment, in_segment)
+    if best is None:
+        raise ReproError(
+            "could not construct a close-mean pair; the network has no "
+            "segment swap with a positive mean shift"
+        )
+    return best
+
+
+def make_close_mean_pairs(
+    sim: CarTelSimulator,
+    n_pairs: int,
+    segments_per_route: int = 20,
+    relative_gap: float = 0.02,
+    rng: np.random.Generator | None = None,
+) -> list[RoutePair]:
+    """Route pairs whose true total-delay means differ by ~relative_gap.
+
+    Route Y shares all but one segment with route X; the swapped segment
+    is chosen so the total mean shifts as close as possible to
+    ``relative_gap * mean(X)`` — with mean(Y) > mean(X) by construction,
+    so callers can orient each comparison to make H0 or H1 true (§V-D).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if not 0.0 < relative_gap < 1.0:
+        raise ReproError(
+            f"relative gap must be in (0,1), got {relative_gap}"
+        )
+    ids = sim.segment_ids()
+    segment_means = {s: sim.true_mean(s) for s in ids}
+    pairs = []
+    for pair_id in range(n_pairs):
+        chosen = rng.choice(ids, size=segments_per_route, replace=False)
+        segments_x = tuple(int(s) for s in chosen)
+        outside = [s for s in ids if s not in set(segments_x)]
+        candidate_count = min(len(outside), 60)
+        candidates = rng.choice(outside, size=candidate_count, replace=False)
+        mean_x = sum(segment_means[s] for s in segments_x)
+        out_segment, in_segment = _best_swap(
+            segment_means, segments_x, [int(c) for c in candidates],
+            relative_gap * mean_x,
+        )
+        segments_y = tuple(
+            in_segment if s == out_segment else s for s in segments_x
+        )
+        route_x = Route(2 * pair_id, segments_x)
+        route_y = Route(2 * pair_id + 1, segments_y)
+        pairs.append(
+            RoutePair(
+                route_x, route_y, mean_x,
+                sum(segment_means[s] for s in segments_y),
+            )
+        )
+    return pairs

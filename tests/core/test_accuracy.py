@@ -1,0 +1,134 @@
+"""Tests for the accuracy value types (ConfidenceInterval & friends)."""
+
+import pytest
+
+from repro.core.accuracy import (
+    AccuracyInfo,
+    BinInterval,
+    ConfidenceInterval,
+    TupleProbabilityInterval,
+)
+from repro.errors import AccuracyError
+
+
+class TestConfidenceInterval:
+    def test_basic_properties(self):
+        ci = ConfidenceInterval(1.0, 3.0, 0.95)
+        assert ci.length == 2.0
+        assert ci.midpoint == 2.0
+        assert ci.confidence == 0.95
+
+    def test_contains_inclusive_bounds(self):
+        ci = ConfidenceInterval(1.0, 3.0, 0.9)
+        assert ci.contains(1.0)
+        assert ci.contains(3.0)
+        assert ci.contains(2.0)
+        assert not ci.contains(0.999)
+        assert not ci.contains(3.001)
+
+    def test_zero_width_interval_is_legal(self):
+        ci = ConfidenceInterval(2.0, 2.0, 0.5)
+        assert ci.length == 0.0
+        assert ci.contains(2.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(AccuracyError):
+            ConfidenceInterval(3.0, 1.0, 0.9)
+
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(AccuracyError):
+            ConfidenceInterval(float("nan"), 1.0, 0.9)
+        with pytest.raises(AccuracyError):
+            ConfidenceInterval(0.0, float("nan"), 0.9)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_bad_confidence(self, confidence):
+        with pytest.raises(AccuracyError):
+            ConfidenceInterval(0.0, 1.0, confidence)
+
+    def test_clamped_intersects(self):
+        ci = ConfidenceInterval(-0.2, 1.4, 0.9).clamped(0.0, 1.0)
+        assert ci.low == 0.0
+        assert ci.high == 1.0
+        assert ci.confidence == 0.9
+
+    def test_clamped_noop_when_inside(self):
+        ci = ConfidenceInterval(0.2, 0.6, 0.9)
+        assert ci.clamped(0.0, 1.0) == ci
+
+    def test_clamped_entirely_outside_collapses(self):
+        ci = ConfidenceInterval(1.5, 2.0, 0.9).clamped(0.0, 1.0)
+        assert ci.low == ci.high == 1.0
+
+    def test_str_rendering(self):
+        text = str(ConfidenceInterval(0.05, 0.35, 0.9))
+        assert "0.05" in text and "0.35" in text and "90%" in text
+
+    def test_is_immutable(self):
+        ci = ConfidenceInterval(0.0, 1.0, 0.9)
+        with pytest.raises(AttributeError):
+            ci.low = 0.5  # type: ignore[misc]
+
+
+class TestBinInterval:
+    def test_point_estimate_is_midpoint(self):
+        bi = BinInterval(0.0, 10.0, ConfidenceInterval(0.1, 0.3, 0.9))
+        assert bi.point_estimate == pytest.approx(0.2)
+        assert bi.lower_edge == 0.0
+        assert bi.upper_edge == 10.0
+
+
+class TestTupleProbabilityInterval:
+    def test_clamps_to_unit_interval(self):
+        tpi = TupleProbabilityInterval(ConfidenceInterval(-0.1, 1.2, 0.9))
+        assert tpi.interval.low == 0.0
+        assert tpi.interval.high == 1.0
+
+    def test_preserves_interval_inside_unit(self):
+        inner = ConfidenceInterval(0.42, 0.78, 0.9)
+        assert TupleProbabilityInterval(inner).interval == inner
+
+
+class TestAccuracyInfo:
+    def _info(self, **kwargs) -> AccuracyInfo:
+        defaults = dict(
+            mean=ConfidenceInterval(0.0, 1.0, 0.9),
+            variance=ConfidenceInterval(0.5, 2.0, 0.9),
+            sample_size=10,
+        )
+        defaults.update(kwargs)
+        return AccuracyInfo(**defaults)
+
+    def test_defaults(self):
+        info = self._info()
+        assert info.method == "analytic"
+        assert not info.has_bins
+        assert info.bin_intervals() == ()
+
+    def test_bin_intervals_in_order(self):
+        bins = (
+            BinInterval(0, 1, ConfidenceInterval(0.1, 0.2, 0.9)),
+            BinInterval(1, 2, ConfidenceInterval(0.3, 0.5, 0.9)),
+        )
+        info = self._info(bins=bins)
+        assert info.has_bins
+        assert info.bin_intervals() == (bins[0].interval, bins[1].interval)
+
+    def test_rejects_negative_sample_size(self):
+        with pytest.raises(AccuracyError):
+            self._info(sample_size=-1)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(AccuracyError):
+            self._info(method="magic")
+
+    def test_describe_mentions_everything(self):
+        info = self._info(
+            bins=(BinInterval(0, 5, ConfidenceInterval(0.1, 0.2, 0.9)),),
+            method="bootstrap",
+        )
+        text = info.describe()
+        assert "bootstrap" in text
+        assert "mean" in text
+        assert "variance" in text
+        assert "bin" in text

@@ -1,0 +1,143 @@
+"""Tests for BOOTSTRAP-ACCURACY-INFO and the percentile machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    bootstrap_accuracy_info,
+    classical_bootstrap_accuracy,
+    percentile_interval,
+)
+from repro.errors import AccuracyError
+
+
+class TestPercentileInterval:
+    def test_matches_numpy_linear_percentiles(self, rng):
+        values = rng.normal(0, 1, 137)
+        ci = percentile_interval(values, 0.9)
+        lo, hi = np.percentile(values, [5.0, 95.0])
+        assert ci.low == pytest.approx(float(lo))
+        assert ci.high == pytest.approx(float(hi))
+
+    def test_full_confidence_approaches_min_max(self, rng):
+        values = rng.normal(0, 1, 50)
+        ci = percentile_interval(values, 0.999)
+        assert ci.low >= values.min()
+        assert ci.high <= values.max()
+
+    def test_single_value(self):
+        ci = percentile_interval(np.array([3.0]), 0.9)
+        assert ci.low == ci.high == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(AccuracyError):
+            percentile_interval(np.array([]), 0.9)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(AccuracyError):
+            percentile_interval(np.array([1.0, 2.0]), 1.0)
+
+
+class TestBootstrapAccuracyInfo:
+    def test_paper_example7_shapes(self, rng):
+        # Example 7: n=15, m=300 -> r=20 resamples.
+        values = rng.normal(10, 2, 300)
+        info = bootstrap_accuracy_info(values, 15, 0.9)
+        assert info.sample_size == 15
+        assert info.method == "bootstrap"
+        assert info.mean.low < 10 < info.mean.high
+
+    def test_interval_equals_chunk_mean_percentiles(self, rng):
+        values = rng.normal(0, 1, 200)
+        info = bootstrap_accuracy_info(values, 10, 0.9)
+        chunk_means = values.reshape(20, 10).mean(axis=1)
+        lo, hi = np.percentile(chunk_means, [5, 95])
+        assert info.mean.low == pytest.approx(float(lo))
+        assert info.mean.high == pytest.approx(float(hi))
+
+    def test_variance_uses_unbiased_estimator(self, rng):
+        values = rng.normal(0, 1, 200)
+        info = bootstrap_accuracy_info(values, 10, 0.9)
+        chunk_vars = values.reshape(20, 10).var(axis=1, ddof=1)
+        lo, hi = np.percentile(chunk_vars, [5, 95])
+        assert info.variance.low == pytest.approx(float(lo))
+        assert info.variance.high == pytest.approx(float(hi))
+
+    def test_partial_trailing_chunk_is_dropped(self, rng):
+        # 205 values at n=10 -> r=20 resamples; the last 5 values unused.
+        values = rng.normal(0, 1, 205)
+        info = bootstrap_accuracy_info(values, 10, 0.9)
+        reference = bootstrap_accuracy_info(values[:200], 10, 0.9)
+        assert info.mean == reference.mean
+
+    def test_bin_heights_when_edges_given(self, rng):
+        values = rng.normal(0, 1, 400)
+        edges = [-4, -1, 0, 1, 4]
+        info = bootstrap_accuracy_info(values, 20, 0.9, edges)
+        assert len(info.bins) == 4
+        for bin_interval in info.bins:
+            ci = bin_interval.interval
+            assert 0.0 <= ci.low <= ci.high <= 1.0
+
+    def test_bin_heights_sum_is_about_one(self, rng):
+        values = rng.normal(0, 1, 400)
+        edges = [-5, -1, 1, 5]
+        info = bootstrap_accuracy_info(values, 20, 0.9, edges)
+        midpoints = sum(b.interval.midpoint for b in info.bins)
+        assert midpoints == pytest.approx(1.0, abs=0.1)
+
+    def test_mean_interval_narrows_with_n(self, rng):
+        base = rng.normal(0, 1, 4000)
+        narrow = bootstrap_accuracy_info(base, 100, 0.9)
+        wide = bootstrap_accuracy_info(base, 10, 0.9)
+        assert narrow.mean.length < wide.mean.length
+
+    def test_needs_at_least_two_resamples(self, rng):
+        with pytest.raises(AccuracyError):
+            bootstrap_accuracy_info(rng.normal(0, 1, 15), 10, 0.9)
+
+    def test_rejects_bad_n(self, rng):
+        with pytest.raises(AccuracyError):
+            bootstrap_accuracy_info(rng.normal(0, 1, 100), 0, 0.9)
+
+    def test_coverage_on_normal_data(self, rng):
+        """Percentile intervals cover the true mean at a sane rate."""
+        misses = 0
+        trials = 200
+        for _ in range(trials):
+            sample = rng.normal(3.0, 1.0, 20)
+            values = rng.choice(sample, size=100 * 20, replace=True)
+            info = bootstrap_accuracy_info(values, 20, 0.9)
+            misses += not info.mean.contains(3.0)
+        assert misses / trials < 0.25  # center bias costs some coverage
+
+
+class TestClassicalBootstrap:
+    def test_basic_shapes(self, rng):
+        sample = rng.normal(5, 2, 30)
+        info = classical_bootstrap_accuracy(sample, rng, 0.9, 100)
+        assert info.method == "bootstrap"
+        assert info.sample_size == 30
+        assert info.mean.low < info.mean.high
+
+    def test_with_edges(self, rng):
+        sample = rng.normal(0, 1, 40)
+        info = classical_bootstrap_accuracy(
+            sample, rng, 0.9, 50, edges=[-4, 0, 4]
+        )
+        assert len(info.bins) == 2
+
+    def test_mean_interval_centred_near_sample_mean(self, rng):
+        sample = rng.normal(10, 1, 50)
+        info = classical_bootstrap_accuracy(sample, rng, 0.9, 400)
+        assert info.mean.midpoint == pytest.approx(
+            float(sample.mean()), abs=0.2
+        )
+
+    def test_rejects_tiny_sample(self, rng):
+        with pytest.raises(AccuracyError):
+            classical_bootstrap_accuracy([1.0], rng)
+
+    def test_rejects_one_resample(self, rng):
+        with pytest.raises(AccuracyError):
+            classical_bootstrap_accuracy([1.0, 2.0], rng, n_resamples=1)

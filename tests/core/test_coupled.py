@@ -1,0 +1,156 @@
+"""Tests for the COUPLED-TESTS algorithm (paper §IV-C, Theorem 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coupled import (
+    CoupledPredicate,
+    ThreeValued,
+    coupled_tests,
+)
+from repro.core.predicates import FieldStats, MTest, PTest
+from repro.errors import AccuracyError
+
+
+def _field(mean: float, std: float = 1.0, n: int = 20) -> FieldStats:
+    return FieldStats(mean, std, n)
+
+
+class TestThreeValued:
+    def test_truthiness(self):
+        assert bool(ThreeValued.TRUE)
+        assert not bool(ThreeValued.FALSE)
+        assert not bool(ThreeValued.UNSURE)
+
+
+class TestCoupledOneSided:
+    def test_clear_true(self):
+        outcome = coupled_tests(MTest(_field(10.0), ">", 5.0, 0.05))
+        assert outcome.value is ThreeValued.TRUE
+        assert outcome.secondary is None  # T2 never ran
+
+    def test_clear_false(self):
+        outcome = coupled_tests(MTest(_field(0.0), ">", 5.0, 0.05))
+        assert outcome.value is ThreeValued.FALSE
+        assert outcome.secondary is not None
+
+    def test_unsure_in_between(self):
+        # Mean barely above c: neither test rejects.
+        outcome = coupled_tests(MTest(_field(5.05), ">", 5.0, 0.05))
+        assert outcome.value is ThreeValued.UNSURE
+
+    def test_less_direction_mirrors(self):
+        assert coupled_tests(
+            MTest(_field(0.0), "<", 5.0, 0.05)
+        ).value is ThreeValued.TRUE
+        assert coupled_tests(
+            MTest(_field(10.0), "<", 5.0, 0.05)
+        ).value is ThreeValued.FALSE
+
+    def test_alphas_override_predicate_alpha(self):
+        # A marginal case that rejects at alpha=0.2 but not at 0.01.
+        marginal = MTest(_field(5.3, 1.0, 20), ">", 5.0, 0.05)
+        loose = coupled_tests(marginal, alpha1=0.2, alpha2=0.2)
+        strict = coupled_tests(marginal, alpha1=0.001, alpha2=0.001)
+        assert loose.value is ThreeValued.TRUE
+        assert strict.value is ThreeValued.UNSURE
+
+    def test_works_with_ptest(self):
+        assert coupled_tests(
+            PTest(0.9, 100, 0.5, ">", 0.05)
+        ).value is ThreeValued.TRUE
+        assert coupled_tests(
+            PTest(0.1, 100, 0.5, ">", 0.05)
+        ).value is ThreeValued.FALSE
+        assert coupled_tests(
+            PTest(0.52, 100, 0.5, ">", 0.05)
+        ).value is ThreeValued.UNSURE
+
+
+class TestCoupledTwoSided:
+    def test_difference_found_either_side(self):
+        assert coupled_tests(
+            MTest(_field(10.0), "<>", 5.0, 0.05)
+        ).value is ThreeValued.TRUE
+        assert coupled_tests(
+            MTest(_field(0.0), "<>", 5.0, 0.05)
+        ).value is ThreeValued.TRUE
+
+    def test_never_returns_false(self):
+        # Per the algorithm, '<>' yields TRUE or UNSURE only.
+        for mean in np.linspace(4.0, 6.0, 21):
+            outcome = coupled_tests(MTest(_field(float(mean)), "<>", 5.0, 0.05))
+            assert outcome.value in (ThreeValued.TRUE, ThreeValued.UNSURE)
+
+    def test_equal_means_unsure(self):
+        outcome = coupled_tests(MTest(_field(5.0), "<>", 5.0, 0.05))
+        assert outcome.value is ThreeValued.UNSURE
+
+    def test_alpha_split_between_sides(self):
+        # A shift significant at alpha/2 = 0.05 one-sided but not at
+        # 0.025 flips between TRUE at alpha1=0.1 and UNSURE at 0.05.
+        field = _field(5.42, 1.0, 20)
+        loose = coupled_tests(MTest(field, "<>", 5.0, 0.05), alpha1=0.1)
+        strict = coupled_tests(MTest(field, "<>", 5.0, 0.05), alpha1=0.02)
+        assert loose.value is ThreeValued.TRUE
+        assert strict.value is ThreeValued.UNSURE
+
+
+class TestErrorRateControl:
+    """Theorem 3: both error rates stay below their alphas."""
+
+    def test_false_positive_rate(self, rng):
+        trials = 400
+        false_positives = 0
+        decisive = 0
+        for _ in range(trials):
+            sample = rng.normal(5.0, 1.0, 20)  # H0/H1 boundary: mean == c
+            predicate = MTest(FieldStats.from_sample(sample), ">", 5.0, 0.05)
+            outcome = coupled_tests(predicate, 0.05, 0.05)
+            if outcome.value is ThreeValued.TRUE:
+                false_positives += 1
+            if outcome.value is not ThreeValued.UNSURE:
+                decisive += 1
+        assert false_positives / trials <= 0.09
+
+    def test_false_negative_rate(self, rng):
+        trials = 400
+        false_negatives = 0
+        for _ in range(trials):
+            sample = rng.normal(5.3, 1.0, 20)  # H1 true
+            predicate = MTest(FieldStats.from_sample(sample), ">", 5.0, 0.05)
+            outcome = coupled_tests(predicate, 0.05, 0.05)
+            if outcome.value is ThreeValued.FALSE:
+                false_negatives += 1
+        assert false_negatives / trials <= 0.09
+
+    def test_unsure_shrinks_with_sample_size(self, rng):
+        def unsure_rate(n: int) -> float:
+            unsure = 0
+            trials = 200
+            for _ in range(trials):
+                sample = rng.normal(5.4, 1.0, n)
+                outcome = coupled_tests(
+                    MTest(FieldStats.from_sample(sample), ">", 5.0, 0.05)
+                )
+                unsure += outcome.value is ThreeValued.UNSURE
+            return unsure / trials
+
+        assert unsure_rate(80) < unsure_rate(10)
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self):
+        predicate = MTest(_field(5.0), ">", 4.0, 0.05)
+        with pytest.raises(AccuracyError):
+            coupled_tests(predicate, alpha1=0.0)
+        with pytest.raises(AccuracyError):
+            coupled_tests(predicate, alpha2=1.0)
+
+
+class TestCoupledPredicate:
+    def test_wrapper_delegates(self):
+        wrapped = CoupledPredicate(MTest(_field(10.0), ">", 5.0, 0.05))
+        outcome = wrapped.evaluate()
+        assert outcome.value is ThreeValued.TRUE
+        assert bool(outcome)

@@ -1,0 +1,74 @@
+"""Tests for the de facto sample algebra (Definition 2, Lemmas 3 & 4)."""
+
+import math
+
+import pytest
+
+from repro.core.dfsample import DfSized, df_sample_count, df_sample_size
+from repro.distributions.base import Deterministic
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import AccuracyError
+
+
+class TestDfSampleSize:
+    def test_lemma3_minimum(self):
+        # Example 4: A, B, C with sizes 15, 10, 20 -> (A+B)/2 has 10.
+        assert df_sample_size([15, 10]) == 10
+        assert df_sample_size([20]) == 20
+
+    def test_constants_are_ignored(self):
+        assert df_sample_size([15, None, 10]) == 10
+        assert df_sample_size([None, 7]) == 7
+
+    def test_all_exact_gives_none(self):
+        assert df_sample_size([None, None]) is None
+        assert df_sample_size([]) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(AccuracyError):
+            df_sample_size([0, 10])
+
+
+class TestDfSampleCount:
+    def test_lemma4_two_inputs(self):
+        # n1=10, n2=15: c = P(15, 10) = 15!/5!.
+        expected = math.factorial(15) // math.factorial(5)
+        assert df_sample_count([10, 15]) == expected
+
+    def test_order_does_not_matter(self):
+        assert df_sample_count([15, 10]) == df_sample_count([10, 15])
+
+    def test_single_input_gives_one(self):
+        assert df_sample_count([20]) == 1
+
+    def test_equal_sizes(self):
+        # n1=n2=3: c = P(3,3) = 6.
+        assert df_sample_count([3, 3]) == 6
+
+    def test_three_inputs(self):
+        # sizes 2, 3, 4 -> P(3,2) * P(4,2) = 6 * 12 = 72.
+        assert df_sample_count([4, 2, 3]) == 72
+
+    def test_all_exact_gives_none(self):
+        assert df_sample_count([None]) is None
+
+    def test_constants_ignored(self):
+        assert df_sample_count([None, 5]) == 1
+
+
+class TestDfSized:
+    def test_combine_sizes_matches_lemma3(self):
+        a = DfSized(GaussianDistribution(0, 1), 15)
+        b = DfSized(GaussianDistribution(0, 1), 10)
+        c = DfSized(Deterministic(3.0), None)
+        assert DfSized.combine_sizes([a, b, c]) == 10
+        assert DfSized.combine_sizes([c]) is None
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(AccuracyError):
+            DfSized(Deterministic(1.0), 0)
+
+    def test_is_frozen(self):
+        value = DfSized(Deterministic(1.0), 5)
+        with pytest.raises(AttributeError):
+            value.sample_size = 6  # type: ignore[misc]

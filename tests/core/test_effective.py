@@ -1,0 +1,89 @@
+"""Tests for the weighted-sample extension (effective sample size)."""
+
+import numpy as np
+import pytest
+
+from repro.core.effective import (
+    effective_sample_size,
+    exponential_weights,
+    weighted_accuracy,
+    weighted_stats,
+)
+from repro.errors import AccuracyError
+
+
+class TestExponentialWeights:
+    def test_fresh_observation_weight_one(self):
+        weights = exponential_weights([0.0, 1.0, 2.0], half_life=1.0)
+        assert weights[0] == 1.0
+        assert weights[1] == pytest.approx(0.5)
+        assert weights[2] == pytest.approx(0.25)
+
+    def test_half_life_scales_decay(self):
+        slow = exponential_weights([10.0], half_life=10.0)
+        fast = exponential_weights([10.0], half_life=1.0)
+        assert slow[0] == pytest.approx(0.5)
+        assert fast[0] == pytest.approx(2.0 ** -10)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(AccuracyError):
+            exponential_weights([-1.0], half_life=1.0)
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(AccuracyError):
+            exponential_weights([1.0], half_life=0.0)
+
+
+class TestEffectiveSampleSize:
+    def test_equal_weights_give_n(self):
+        assert effective_sample_size([1.0] * 7 ) == pytest.approx(7.0)
+        assert effective_sample_size([0.3] * 7) == pytest.approx(7.0)
+
+    def test_concentrated_weight_approaches_one(self):
+        n_eff = effective_sample_size([1.0, 1e-9, 1e-9])
+        assert n_eff == pytest.approx(1.0, abs=1e-6)
+
+    def test_between_one_and_n(self, rng):
+        weights = rng.uniform(0.1, 1.0, 30)
+        n_eff = effective_sample_size(weights)
+        assert 1.0 <= n_eff <= 30.0
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(AccuracyError):
+            effective_sample_size([])
+        with pytest.raises(AccuracyError):
+            effective_sample_size([-1.0, 1.0])
+        with pytest.raises(AccuracyError):
+            effective_sample_size([0.0, 0.0])
+
+
+class TestWeightedStats:
+    def test_equal_weights_match_plain_statistics(self, rng):
+        values = rng.normal(5, 2, 40)
+        ws = weighted_stats(values, np.ones(40))
+        assert ws.mean == pytest.approx(float(values.mean()))
+        assert ws.variance == pytest.approx(float(values.var(ddof=1)))
+        assert ws.n_eff == pytest.approx(40.0)
+
+    def test_weighting_pulls_mean(self):
+        ws = weighted_stats([0.0, 10.0], [3.0, 1.0])
+        assert ws.mean == pytest.approx(2.5)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(AccuracyError):
+            weighted_stats([1.0, 2.0], [1.0])
+
+
+class TestWeightedAccuracy:
+    def test_decay_widens_intervals(self, rng):
+        values = rng.normal(10, 2, 50)
+        fresh = weighted_accuracy(values, np.ones(50), 0.9)
+        ages = np.arange(50, dtype=float)
+        decayed_weights = exponential_weights(ages, half_life=5.0)
+        decayed = weighted_accuracy(values, decayed_weights, 0.9)
+        # Heavy decay -> smaller effective n -> wider mean interval.
+        assert decayed.sample_size < fresh.sample_size
+
+    def test_floors_effective_n_at_two(self):
+        info = weighted_accuracy([1.0, 2.0, 3.0], [1.0, 1e-9, 1e-9], 0.9)
+        assert info.sample_size == 2

@@ -1,0 +1,127 @@
+"""Tests for the analytic power functions."""
+
+import pytest
+
+from repro.core.coupled import ThreeValued, coupled_tests
+from repro.core.power import (
+    coupled_m_test_power,
+    coupled_p_test_power,
+    m_test_power,
+    p_test_power,
+)
+from repro.core.predicates import FieldStats, MTest
+from repro.errors import AccuracyError, QueryError
+
+
+class TestMTestPower:
+    def test_power_at_null_equals_alpha(self):
+        # When the true mean sits exactly at c, power degrades to alpha.
+        power = m_test_power(5.0, 1.0, 100, ">", 5.0, 0.05)
+        assert power == pytest.approx(0.05, abs=0.005)
+
+    def test_power_increases_with_effect(self):
+        weak = m_test_power(5.1, 1.0, 20, ">", 5.0)
+        strong = m_test_power(6.0, 1.0, 20, ">", 5.0)
+        assert strong > weak
+
+    def test_power_increases_with_n(self):
+        small = m_test_power(5.3, 1.0, 10, ">", 5.0)
+        large = m_test_power(5.3, 1.0, 100, ">", 5.0)
+        assert large > small
+
+    def test_power_decreases_with_noise(self):
+        quiet = m_test_power(5.5, 0.5, 20, ">", 5.0)
+        noisy = m_test_power(5.5, 3.0, 20, ">", 5.0)
+        assert quiet > noisy
+
+    def test_less_direction_symmetric(self):
+        gt = m_test_power(5.5, 1.0, 20, ">", 5.0)
+        lt = m_test_power(4.5, 1.0, 20, "<", 5.0)
+        assert gt == pytest.approx(lt)
+
+    def test_rejects_two_sided(self):
+        with pytest.raises(QueryError):
+            m_test_power(5.0, 1.0, 20, "<>", 5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AccuracyError):
+            m_test_power(5.0, 0.0, 20, ">", 5.0)
+        with pytest.raises(AccuracyError):
+            m_test_power(5.0, 1.0, 1, ">", 5.0)
+
+    def test_matches_monte_carlo(self, rng):
+        """The formula predicts the empirical TRUE rate of the test."""
+        true_mean, true_std, n, c = 5.5, 1.0, 40, 5.0
+        predicted = m_test_power(true_mean, true_std, n, ">", c, 0.05)
+        hits = 0
+        trials = 500
+        for _ in range(trials):
+            sample = rng.normal(true_mean, true_std, n)
+            if MTest(FieldStats.from_sample(sample), ">", c, 0.05).run():
+                hits += 1
+        assert hits / trials == pytest.approx(predicted, abs=0.07)
+
+
+class TestPTestPower:
+    def test_power_at_null_equals_alpha(self):
+        power = p_test_power(0.5, 400, ">", 0.5, 0.05)
+        assert power == pytest.approx(0.05, abs=0.01)
+
+    def test_power_increases_with_gap(self):
+        near = p_test_power(0.55, 50, ">", 0.5)
+        far = p_test_power(0.8, 50, ">", 0.5)
+        assert far > near
+
+    def test_less_direction(self):
+        assert p_test_power(0.3, 50, "<", 0.5) > 0.5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(AccuracyError):
+            p_test_power(0.0, 50, ">", 0.5)
+        with pytest.raises(QueryError):
+            p_test_power(0.6, 50, "<>", 0.5)
+
+
+class TestCoupledPowerProfiles:
+    def test_probabilities_sum_to_one(self):
+        profile = coupled_m_test_power(5.2, 1.0, 20, ">", 5.0)
+        total = profile.p_true + profile.p_false + profile.p_unsure
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_h1_true_favours_true(self):
+        profile = coupled_m_test_power(7.0, 1.0, 30, ">", 5.0)
+        assert profile.p_true > 0.9
+        assert profile.p_false < 0.01
+
+    def test_h0_true_favours_false(self):
+        profile = coupled_m_test_power(3.0, 1.0, 30, ">", 5.0)
+        assert profile.p_false > 0.9
+
+    def test_boundary_mostly_unsure(self):
+        profile = coupled_m_test_power(5.0, 1.0, 30, ">", 5.0)
+        assert profile.p_unsure == pytest.approx(0.9, abs=0.02)
+
+    def test_coupled_profile_matches_monte_carlo(self, rng):
+        true_mean, n, c = 5.4, 30, 5.0
+        profile = coupled_m_test_power(true_mean, 1.0, n, ">", c)
+        counts = {v: 0 for v in ThreeValued}
+        trials = 500
+        for _ in range(trials):
+            sample = rng.normal(true_mean, 1.0, n)
+            outcome = coupled_tests(
+                MTest(FieldStats.from_sample(sample), ">", c, 0.05)
+            )
+            counts[outcome.value] += 1
+        assert counts[ThreeValued.TRUE] / trials == pytest.approx(
+            profile.p_true, abs=0.08
+        )
+
+    def test_coupled_p_test_profile(self):
+        profile = coupled_p_test_power(0.7, 100, ">", 0.5)
+        assert profile.p_true > 0.9
+        profile = coupled_p_test_power(0.3, 100, ">", 0.5)
+        assert profile.p_false > 0.9
+
+    def test_coupled_p_test_rejects_two_sided(self):
+        with pytest.raises(QueryError):
+            coupled_p_test_power(0.6, 50, "<>", 0.5)

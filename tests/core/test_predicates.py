@@ -1,0 +1,238 @@
+"""Tests for mTest / mdTest / pTest against scipy reference implementations."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.predicates import (
+    FieldStats,
+    MdTest,
+    MTest,
+    PTest,
+    m_test,
+    md_test,
+    p_test,
+)
+from repro.core.dfsample import DfSized
+from repro.distributions.base import Deterministic
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import AccuracyError, QueryError
+
+
+class TestFieldStats:
+    def test_from_sample(self):
+        fs = FieldStats.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert fs.mean == pytest.approx(2.5)
+        assert fs.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert fs.n == 4
+
+    def test_from_distribution(self):
+        fs = FieldStats.from_distribution(GaussianDistribution(5, 4), 30)
+        assert fs.mean == 5 and fs.std == 2 and fs.n == 30
+
+    def test_from_dfsized(self):
+        fs = FieldStats.from_dfsized(
+            DfSized(GaussianDistribution(1, 1), 12)
+        )
+        assert fs.n == 12
+
+    def test_from_dfsized_rejects_exact_values(self):
+        with pytest.raises(AccuracyError):
+            FieldStats.from_dfsized(DfSized(Deterministic(5.0), None))
+
+    def test_rejects_single_observation(self):
+        with pytest.raises(AccuracyError):
+            FieldStats.from_sample([1.0])
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(AccuracyError):
+            FieldStats(0.0, -1.0, 10)
+
+
+class TestMTest:
+    def test_matches_scipy_ttest_pvalue(self, rng):
+        sample = rng.normal(10, 3, 25)
+        fs = FieldStats.from_sample(sample)
+        result = m_test(fs, ">", 9.0, 0.05)
+        reference = stats.ttest_1samp(sample, 9.0, alternative="greater")
+        assert result.statistic == pytest.approx(reference.statistic)
+        assert result.p_value == pytest.approx(reference.pvalue)
+
+    def test_less_alternative_matches_scipy(self, rng):
+        sample = rng.normal(5, 1, 15)
+        fs = FieldStats.from_sample(sample)
+        result = m_test(fs, "<", 6.0, 0.05)
+        reference = stats.ttest_1samp(sample, 6.0, alternative="less")
+        assert result.p_value == pytest.approx(reference.pvalue)
+
+    def test_two_sided_matches_scipy(self, rng):
+        sample = rng.normal(0, 1, 20)
+        fs = FieldStats.from_sample(sample)
+        result = m_test(fs, "<>", 0.5, 0.05)
+        reference = stats.ttest_1samp(sample, 0.5)
+        assert result.p_value == pytest.approx(reference.pvalue)
+
+    def test_reject_iff_pvalue_below_alpha(self, rng):
+        for _ in range(50):
+            sample = rng.normal(0, 1, 10)
+            fs = FieldStats.from_sample(sample)
+            result = m_test(fs, ">", 0.0, 0.05)
+            assert result.reject == (result.p_value < 0.05)
+
+    def test_obvious_rejection(self):
+        fs = FieldStats(mean=100.0, std=1.0, n=50)
+        assert m_test(fs, ">", 10.0, 0.05).reject
+
+    def test_obvious_acceptance(self):
+        fs = FieldStats(mean=10.0, std=1.0, n=50)
+        assert not m_test(fs, ">", 100.0, 0.05).reject
+
+    def test_large_sample_uses_normal_reference(self):
+        fs = FieldStats(mean=0.2, std=1.0, n=100)
+        result = m_test(fs, ">", 0.0, 0.05)
+        z = 0.2 / (1.0 / math.sqrt(100))
+        assert result.p_value == pytest.approx(float(stats.norm.sf(z)))
+
+    def test_zero_std_degenerate(self):
+        fs = FieldStats(mean=5.0, std=0.0, n=10)
+        assert m_test(fs, ">", 4.0, 0.05).reject
+        assert not m_test(fs, ">", 5.0, 0.05).reject
+        assert m_test(fs, "<", 6.0, 0.05).reject
+
+    def test_rejects_unknown_op(self):
+        fs = FieldStats(0.0, 1.0, 10)
+        with pytest.raises(QueryError):
+            m_test(fs, ">=", 0.0, 0.05)
+
+    def test_rejects_bad_alpha(self):
+        fs = FieldStats(0.0, 1.0, 10)
+        with pytest.raises(AccuracyError):
+            m_test(fs, ">", 0.0, 0.0)
+
+    def test_example8_small_vs_large_sample(self):
+        """Paper Example 8/9: same mean, different n -> different verdicts."""
+        x = FieldStats.from_sample([82, 86, 105, 110, 119])
+        assert not m_test(x, ">", 97, 0.05).reject
+        # Y: same-ish mean but n=100 gives significance.
+        y = FieldStats(mean=float(np.mean([82, 86, 105, 110, 119])),
+                       std=15.3, n=100)
+        assert m_test(y, ">", 97, 0.05).reject
+
+
+class TestMdTest:
+    def test_matches_scipy_welch(self, rng):
+        a = rng.normal(10, 2, 18)
+        b = rng.normal(9, 3, 24)
+        result = md_test(
+            FieldStats.from_sample(a), FieldStats.from_sample(b), ">", 0.0,
+        )
+        reference = stats.ttest_ind(
+            a, b, equal_var=False, alternative="greater"
+        )
+        assert result.statistic == pytest.approx(reference.statistic)
+        assert result.p_value == pytest.approx(reference.pvalue, rel=1e-6)
+
+    def test_nonzero_c_shifts_the_test(self):
+        x = FieldStats(mean=10.0, std=1.0, n=30)
+        y = FieldStats(mean=5.0, std=1.0, n=30)
+        assert md_test(x, y, ">", 0.0).reject
+        assert not md_test(x, y, ">", 10.0).reject
+
+    def test_symmetric_swap(self):
+        x = FieldStats(mean=10.0, std=2.0, n=20)
+        y = FieldStats(mean=8.0, std=2.0, n=20)
+        gt = md_test(x, y, ">", 0.0)
+        lt = md_test(y, x, "<", 0.0)
+        assert gt.statistic == pytest.approx(-lt.statistic)
+        assert gt.reject == lt.reject
+
+    def test_zero_variance_degenerate(self):
+        x = FieldStats(mean=2.0, std=0.0, n=10)
+        y = FieldStats(mean=1.0, std=0.0, n=10)
+        assert md_test(x, y, ">", 0.0).reject
+        assert not md_test(x, y, ">", 1.0).reject
+
+    def test_large_samples_approach_normal(self):
+        # The Welch t converges to the normal as df grows.
+        x = FieldStats(mean=1.0, std=1.0, n=200)
+        y = FieldStats(mean=0.9, std=1.0, n=200)
+        result = md_test(x, y, ">", 0.0)
+        z = 0.1 / math.sqrt(1 / 200 + 1 / 200)
+        assert result.p_value == pytest.approx(
+            float(stats.norm.sf(z)), rel=0.01
+        )
+
+
+class TestPTest:
+    def test_matches_one_proportion_z(self):
+        # Example 8's Y: 60 of 100 above the value, tau = 0.5.
+        result = p_test(0.6, 100, ">", 0.5, 0.05)
+        z = (0.6 - 0.5) / math.sqrt(0.5 * 0.5 / 100)
+        assert result.statistic == pytest.approx(z)
+        assert result.reject
+
+    def test_small_sample_not_significant(self):
+        # Example 8's X: 3 of 5 above, same p_hat, tiny n.
+        result = p_test(0.6, 5, ">", 0.5, 0.05)
+        assert not result.reject
+
+    def test_less_direction(self):
+        assert p_test(0.2, 100, "<", 0.5, 0.05).reject
+        assert not p_test(0.45, 100, "<", 0.5, 0.05).reject
+
+    def test_two_sided(self):
+        assert p_test(0.8, 100, "<>", 0.5, 0.05).reject
+        assert not p_test(0.52, 100, "<>", 0.5, 0.05).reject
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(AccuracyError):
+            p_test(0.5, 10, ">", 0.0, 0.05)
+        with pytest.raises(AccuracyError):
+            p_test(0.5, 10, ">", 1.0, 0.05)
+
+    def test_rejects_bad_p_hat(self):
+        with pytest.raises(AccuracyError):
+            p_test(1.2, 10, ">", 0.5, 0.05)
+
+    def test_false_positive_rate_bounded(self, rng):
+        """When H0 holds exactly, rejections stay near alpha."""
+        rejections = 0
+        trials = 500
+        for _ in range(trials):
+            hits = rng.binomial(40, 0.5)
+            if p_test(hits / 40, 40, ">", 0.5, 0.05).reject:
+                rejections += 1
+        assert rejections / trials < 0.09
+
+
+class TestPredicateObjects:
+    def test_mtest_replaced_and_inverse(self):
+        fs = FieldStats(5.0, 1.0, 20)
+        predicate = MTest(fs, ">", 4.0, 0.05)
+        inverse = predicate.inverse()
+        assert inverse.op == "<"
+        assert inverse.c == 4.0
+        loosened = predicate.replaced(alpha=0.1)
+        assert loosened.alpha == 0.1 and loosened.op == ">"
+
+    def test_two_sided_has_no_single_inverse(self):
+        predicate = MTest(FieldStats(0, 1, 10), "<>", 0.0, 0.05)
+        with pytest.raises(QueryError):
+            predicate.inverse()
+
+    def test_mdtest_run_consistency(self):
+        x = FieldStats(10.0, 1.0, 30)
+        y = FieldStats(5.0, 1.0, 30)
+        predicate = MdTest(x, y, ">", 0.0, 0.05)
+        assert predicate.run() == md_test(x, y, ">", 0.0, 0.05)
+
+    def test_ptest_run_consistency(self):
+        predicate = PTest(0.7, 50, 0.5, ">", 0.05)
+        assert predicate.run() == p_test(0.7, 50, ">", 0.5, 0.05)
+
+    def test_test_result_truthiness(self):
+        fs = FieldStats(100.0, 1.0, 30)
+        assert m_test(fs, ">", 0.0, 0.05)
+        assert not m_test(fs, "<", 0.0, 0.05)

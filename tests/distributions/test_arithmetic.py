@@ -1,0 +1,95 @@
+"""Tests for Monte-Carlo arithmetic on random variables."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.arithmetic import (
+    BINARY_OPERATORS,
+    UNARY_OPERATORS,
+    apply_unary,
+    combine,
+    safe_divide,
+)
+from repro.distributions.base import Deterministic
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import DistributionError
+
+
+class TestSafeDivide:
+    def test_normal_division(self):
+        out = safe_divide(np.array([6.0]), np.array([2.0]))
+        assert out[0] == 3.0
+
+    def test_near_zero_denominator_clamped(self):
+        out = safe_divide(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(out[0])
+        assert out[0] > 0
+
+    def test_sign_preserved_for_tiny_negatives(self):
+        out = safe_divide(np.array([1.0]), np.array([-1e-15]))
+        assert out[0] < 0
+
+
+class TestCombine:
+    def test_operator_registry_is_papers_set(self):
+        assert set(BINARY_OPERATORS) == {"+", "-", "*", "/"}
+        assert {"sqrtabs", "square"} <= set(UNARY_OPERATORS)
+
+    def test_addition_of_constants(self, rng):
+        result = combine("+", Deterministic(2.0), Deterministic(3.0), rng, 100)
+        assert isinstance(result, EmpiricalDistribution)
+        assert np.all(result.values == 5.0)
+
+    def test_sum_of_gaussians_matches_closed_form(self, rng):
+        a = GaussianDistribution(1.0, 1.0)
+        b = GaussianDistribution(2.0, 2.0)
+        result = combine("+", a, b, rng, 50_000)
+        assert result.mean() == pytest.approx(3.0, abs=0.05)
+        assert result.variance() == pytest.approx(3.0, rel=0.1)
+
+    def test_product_mean_of_independents(self, rng):
+        a = GaussianDistribution(2.0, 0.5)
+        b = GaussianDistribution(3.0, 0.5)
+        result = combine("*", a, b, rng, 50_000)
+        assert result.mean() == pytest.approx(6.0, abs=0.1)
+
+    def test_result_size_matches_request(self, rng):
+        result = combine(
+            "-", Deterministic(1.0), Deterministic(0.0), rng, 123
+        )
+        assert result.size == 123
+
+    def test_rejects_unknown_operator(self, rng):
+        with pytest.raises(DistributionError):
+            combine("%", Deterministic(1.0), Deterministic(1.0), rng)
+
+
+class TestApplyUnary:
+    def test_square(self, rng):
+        result = apply_unary("square", Deterministic(3.0), rng, 10)
+        assert np.all(result.values == 9.0)
+
+    def test_sqrtabs_of_negative(self, rng):
+        result = apply_unary("sqrtabs", Deterministic(-4.0), rng, 10)
+        assert np.all(result.values == 2.0)
+
+    def test_neg(self, rng):
+        result = apply_unary("neg", Deterministic(5.0), rng, 10)
+        assert np.all(result.values == -5.0)
+
+    def test_abs(self, rng):
+        result = apply_unary("abs", Deterministic(-2.5), rng, 10)
+        assert np.all(result.values == 2.5)
+
+    def test_square_of_standard_normal_is_chi2(self, rng):
+        result = apply_unary(
+            "square", GaussianDistribution(0, 1), rng, 100_000
+        )
+        # Chi-square with 1 dof: mean 1, variance 2.
+        assert result.mean() == pytest.approx(1.0, abs=0.03)
+        assert result.variance() == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_unknown_operator(self, rng):
+        with pytest.raises(DistributionError):
+            apply_unary("log", Deterministic(1.0), rng)

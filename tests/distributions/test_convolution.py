@@ -1,0 +1,129 @@
+"""Tests for exact histogram convolution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.convolution import convolve_histograms, trapezoid_cdf
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import DistributionError
+
+
+class TestTrapezoidCdf:
+    def test_boundaries(self):
+        values = trapezoid_cdf(np.array([0.0, 3.0]), 0.0, 1.0, 2.0)
+        assert values[0] == 0.0
+        assert values[1] == 1.0
+
+    def test_symmetric_case_is_triangular(self):
+        # w1 = w2 = 1: the sum of two U(0,1) is triangular on [0,2].
+        xs = np.array([0.5, 1.0, 1.5])
+        values = trapezoid_cdf(xs, 0.0, 1.0, 1.0)
+        assert values[0] == pytest.approx(0.125)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(0.875)
+
+    def test_flat_region_is_linear(self):
+        # w1=1, w2=3: density is flat on [1, 3].
+        xs = np.array([1.0, 2.0, 3.0])
+        values = trapezoid_cdf(xs, 0.0, 1.0, 3.0)
+        assert values[1] - values[0] == pytest.approx(values[2] - values[1])
+
+    def test_monotone(self):
+        xs = np.linspace(-1, 6, 100)
+        values = trapezoid_cdf(xs, 0.5, 0.7, 2.3)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_shift(self):
+        base = trapezoid_cdf(np.array([1.0]), 0.0, 1.0, 1.0)
+        shifted = trapezoid_cdf(np.array([11.0]), 10.0, 1.0, 1.0)
+        assert base[0] == pytest.approx(shifted[0])
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(DistributionError):
+            trapezoid_cdf(np.array([0.0]), 0.0, 2.0, 1.0)
+        with pytest.raises(DistributionError):
+            trapezoid_cdf(np.array([0.0]), 0.0, 0.0, 1.0)
+
+
+class TestConvolveHistograms:
+    def test_sum_of_uniform_histograms(self):
+        u = HistogramDistribution([0, 1], [1.0])
+        total = convolve_histograms(u, u, bucket_count=16)
+        # Triangular on [0, 2]: mean 1, variance 1/6.
+        assert total.mean() == pytest.approx(1.0, abs=0.01)
+        assert total.variance() == pytest.approx(1 / 6, rel=0.05)
+        assert total.edges[0] == pytest.approx(0.0)
+        assert total.edges[-1] == pytest.approx(2.0)
+
+    def test_matches_monte_carlo(self, rng):
+        a = HistogramDistribution([0, 2, 5, 9], [0.2, 0.5, 0.3])
+        b = HistogramDistribution([1, 4, 6], [0.6, 0.4])
+        exact = convolve_histograms(a, b, bucket_count=12)
+        mc = a.sample(rng, 200_000) + b.sample(rng, 200_000)
+        counts, _ = np.histogram(mc, bins=exact.edges)
+        assert np.allclose(
+            exact.probabilities, counts / counts.sum(), atol=0.01
+        )
+
+    def test_subtraction(self, rng):
+        a = HistogramDistribution([0, 2, 5], [0.5, 0.5])
+        b = HistogramDistribution([1, 3], [1.0])
+        exact = convolve_histograms(a, b, subtract=True, bucket_count=12)
+        mc = a.sample(rng, 200_000) - b.sample(rng, 200_000)
+        assert exact.mean() == pytest.approx(float(mc.mean()), abs=0.03)
+        assert exact.edges[0] == pytest.approx(-3.0)
+        assert exact.edges[-1] == pytest.approx(4.0)
+
+    def test_mean_additivity(self):
+        # Bucket masses are exact; the midpoint-based mean converges to
+        # the true sum as the output grid refines.
+        a = HistogramDistribution([0, 1, 3], [0.25, 0.75])
+        b = HistogramDistribution([2, 4, 8], [0.6, 0.4])
+        total = convolve_histograms(a, b, bucket_count=400)
+        assert total.mean() == pytest.approx(a.mean() + b.mean(), rel=1e-4)
+
+    def test_variance_additivity_close(self):
+        # Bucket re-flattening perturbs variance slightly; with fine
+        # output buckets it converges to the exact sum.
+        a = HistogramDistribution([0, 1, 3], [0.25, 0.75])
+        b = HistogramDistribution([2, 4, 8], [0.6, 0.4])
+        total = convolve_histograms(a, b, bucket_count=400)
+        assert total.variance() == pytest.approx(
+            a.variance() + b.variance(), rel=0.01
+        )
+
+    def test_zero_probability_buckets_skipped(self):
+        a = HistogramDistribution([0, 1, 2], [1.0, 0.0])
+        b = HistogramDistribution([0, 1], [1.0])
+        # 12 buckets over [0, 3] puts an output edge exactly at 2.0, so
+        # the "no mass beyond 2" claim is testable without re-flattening
+        # artifacts.
+        total = convolve_histograms(a, b, bucket_count=12)
+        assert total.edges[-1] == pytest.approx(3.0)
+        assert total.cdf(2.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_rejects_bad_bucket_count(self):
+        u = HistogramDistribution([0, 1], [1.0])
+        with pytest.raises(DistributionError):
+            convolve_histograms(u, u, bucket_count=0)
+
+
+class TestQueryIntegration:
+    def test_histogram_sum_in_expressions_is_exact(self, rng):
+        from repro.core.dfsample import DfSized
+        from repro.query.expressions import BinaryOp, Column, EvalContext
+        from repro.streams.tuples import UncertainTuple
+
+        a = HistogramDistribution([0, 2, 4], [0.5, 0.5])
+        b = HistogramDistribution([1, 2, 3], [0.3, 0.7])
+        tup = UncertainTuple(
+            {"a": DfSized(a, 20), "b": DfSized(b, 30)}
+        )
+        ctx = EvalContext(tup, rng, 100)
+        value = BinaryOp("+", Column("a"), Column("b")).evaluate(ctx)
+        assert isinstance(value.distribution, HistogramDistribution)
+        assert value.sample_size == 20
+        # Masses are exact; the midpoint mean carries a small grid bias.
+        assert value.distribution.mean() == pytest.approx(
+            a.mean() + b.mean(), rel=1e-3
+        )

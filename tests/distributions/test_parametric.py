@@ -1,0 +1,100 @@
+"""Tests for the parametric families (§V-A parameterisations)."""
+
+import pytest
+
+from repro.distributions.parametric import (
+    ExponentialDistribution,
+    GammaDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+)
+from repro.errors import DistributionError
+
+
+class TestUniform:
+    def test_paper_parameterisation(self):
+        u = UniformDistribution(0.0, 1.0)
+        assert u.mean() == pytest.approx(0.5)
+        assert u.variance() == pytest.approx(1.0 / 12.0)
+
+    def test_cdf(self):
+        u = UniformDistribution(2.0, 4.0)
+        assert u.cdf(2.0) == 0.0
+        assert u.cdf(3.0) == pytest.approx(0.5)
+        assert u.cdf(4.0) == 1.0
+
+    def test_quantile(self):
+        u = UniformDistribution(0.0, 10.0)
+        assert u.quantile(0.3) == pytest.approx(3.0)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(DistributionError):
+            UniformDistribution(1.0, 1.0)
+
+
+class TestExponential:
+    def test_paper_parameterisation(self):
+        e = ExponentialDistribution(1.0)
+        assert e.mean() == pytest.approx(1.0)
+        assert e.variance() == pytest.approx(1.0)
+
+    def test_rate_two(self):
+        e = ExponentialDistribution(2.0)
+        assert e.mean() == pytest.approx(0.5)
+
+    def test_cdf(self):
+        import math
+
+        e = ExponentialDistribution(1.0)
+        assert e.cdf(1.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(DistributionError):
+            ExponentialDistribution(0.0)
+
+
+class TestGamma:
+    def test_paper_parameterisation(self):
+        g = GammaDistribution(2.0, 2.0)
+        assert g.mean() == pytest.approx(4.0)  # k * theta
+        assert g.variance() == pytest.approx(8.0)  # k * theta^2
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DistributionError):
+            GammaDistribution(-1.0, 2.0)
+
+
+class TestWeibull:
+    def test_paper_parameterisation_equals_exponential(self):
+        # Weibull(lam=1, k=1) is exponential(1).
+        w = WeibullDistribution(1.0, 1.0)
+        assert w.mean() == pytest.approx(1.0)
+        assert w.variance() == pytest.approx(1.0)
+        e = ExponentialDistribution(1.0)
+        for x in (0.5, 1.0, 2.0):
+            assert w.cdf(x) == pytest.approx(e.cdf(x))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(DistributionError):
+            WeibullDistribution(1.0, 0.0)
+
+
+class TestSamplingMoments:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            UniformDistribution(0, 1),
+            ExponentialDistribution(1.0),
+            GammaDistribution(2.0, 2.0),
+            WeibullDistribution(1.0, 1.0),
+        ],
+        ids=["uniform", "exponential", "gamma", "weibull"],
+    )
+    def test_sample_mean_matches(self, dist, rng):
+        samples = dist.sample(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_quantile_inverts_cdf(self):
+        g = GammaDistribution(2.0, 2.0)
+        for q in (0.1, 0.5, 0.9):
+            assert g.cdf(g.quantile(q)) == pytest.approx(q)

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the distribution substrate.
+
+These check structural invariants every distribution must satisfy:
+cdf monotonicity and range, probability normalisation, and consistency
+between analytic moments and the sampling path.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions.base import Deterministic
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.mixture import MixtureDistribution
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(min_value=1e-6, max_value=1e6)
+
+
+@st.composite
+def histograms(draw) -> HistogramDistribution:
+    b = draw(st.integers(min_value=1, max_value=8))
+    start = draw(st.floats(min_value=-1e3, max_value=1e3))
+    widths = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0),
+            min_size=b, max_size=b,
+        )
+    )
+    edges = np.concatenate(([start], start + np.cumsum(widths)))
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=b, max_size=b,
+        ).filter(lambda ps: sum(ps) > 1e-9)
+    )
+    return HistogramDistribution(edges, probs)
+
+
+@st.composite
+def gaussians(draw) -> GaussianDistribution:
+    mu = draw(st.floats(min_value=-1e4, max_value=1e4))
+    sigma2 = draw(st.floats(min_value=0.0, max_value=1e4))
+    return GaussianDistribution(mu, sigma2)
+
+
+@st.composite
+def empiricals(draw) -> EmpiricalDistribution:
+    values = draw(
+        st.lists(finite_floats, min_size=1, max_size=50)
+    )
+    return EmpiricalDistribution(values)
+
+
+@st.composite
+def discretes(draw) -> DiscreteDistribution:
+    k = draw(st.integers(min_value=1, max_value=10))
+    support = draw(
+        st.lists(finite_floats, min_size=k, max_size=k, unique=True)
+    )
+    probs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=k, max_size=k,
+        ).filter(lambda ps: sum(ps) > 1e-9)
+    )
+    return DiscreteDistribution(support, probs)
+
+
+@st.composite
+def any_distribution(draw):
+    kind = draw(st.sampled_from(["hist", "gauss", "emp", "disc", "det"]))
+    if kind == "hist":
+        return draw(histograms())
+    if kind == "gauss":
+        return draw(gaussians())
+    if kind == "emp":
+        return draw(empiricals())
+    if kind == "disc":
+        return draw(discretes())
+    return Deterministic(draw(finite_floats))
+
+
+@given(dist=any_distribution(), x=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_cdf_in_unit_interval(dist, x):
+    value = dist.cdf(x)
+    assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@given(dist=any_distribution(), a=finite_floats, b=finite_floats)
+@settings(max_examples=200, deadline=None)
+def test_cdf_monotone(dist, a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert dist.cdf(lo) <= dist.cdf(hi) + 1e-12
+
+
+@given(dist=any_distribution(), x=finite_floats)
+@settings(max_examples=100, deadline=None)
+def test_tail_probabilities_complement(dist, x):
+    assert dist.prob_greater(x) == 1.0 - dist.cdf(x)
+
+
+@given(dist=any_distribution())
+@settings(max_examples=100, deadline=None)
+def test_variance_non_negative(dist):
+    assert dist.variance() >= -1e-9
+    assert dist.std() >= 0.0
+
+
+@given(hist=histograms())
+@settings(max_examples=100, deadline=None)
+def test_histogram_probabilities_normalised(hist):
+    assert abs(hist.probabilities.sum() - 1.0) < 1e-9
+
+
+@given(hist=histograms())
+@settings(max_examples=100, deadline=None)
+def test_histogram_mean_within_support(hist):
+    assert hist.edges[0] - 1e-9 <= hist.mean() <= hist.edges[-1] + 1e-9
+
+
+@given(disc=discretes())
+@settings(max_examples=100, deadline=None)
+def test_discrete_mean_within_support(disc):
+    assert disc.support.min() - 1e-6 <= disc.mean() <= disc.support.max() + 1e-6
+
+
+@given(dist=any_distribution(), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=50, deadline=None)
+def test_samples_are_finite_and_sized(dist, seed):
+    rng = np.random.default_rng(seed)
+    samples = dist.sample(rng, 16)
+    assert samples.shape == (16,)
+    assert np.all(np.isfinite(samples))
+
+
+@given(
+    mu=st.floats(min_value=-100, max_value=100),
+    sigma2=st.floats(min_value=0.01, max_value=100),
+    shift=st.floats(min_value=-100, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_gaussian_shift_preserves_shape(mu, sigma2, shift):
+    g = GaussianDistribution(mu, sigma2)
+    shifted = g.shifted(shift)
+    assert shifted.variance() == g.variance()
+    assert shifted.mean() == mu + shift
+
+
+@given(
+    components=st.lists(gaussians(), min_size=1, max_size=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_mixture_mean_within_component_range(components):
+    m = MixtureDistribution(components)
+    means = [c.mean() for c in components]
+    assert min(means) - 1e-6 <= m.mean() <= max(means) + 1e-6
+
+
+@given(emp=empiricals(), q=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100, deadline=None)
+def test_empirical_quantile_within_range(emp, q):
+    value = emp.quantile(q)
+    assert emp.values.min() <= value <= emp.values.max()

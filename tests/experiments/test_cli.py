@@ -1,0 +1,28 @@
+"""Tests for the `python -m repro.experiments` report generator."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_quick_single_figure(self, capsys, tmp_path):
+        exit_code = main(
+            ["--quick", "--only", "fig4d", "--out", str(tmp_path)]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 4(d)" in captured.out
+        assert (tmp_path / "fig4d.txt").exists()
+        assert "Figure 4(d)" in (tmp_path / "fig4d.txt").read_text()
+
+    def test_only_filter_skips_others(self, capsys):
+        main(["--quick", "--only", "fig5g"])
+        captured = capsys.readouterr()
+        assert "Figure 5(g)" in captured.out
+        assert "Figure 4(d)" not in captured.out
+
+    def test_unknown_only_runs_nothing(self, capsys):
+        exit_code = main(["--quick", "--only", "nonexistent"])
+        assert exit_code == 0
+        assert "Figure" not in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Tests for experiment metrics and the table renderer."""
+
+import pytest
+
+from repro.core.accuracy import ConfidenceInterval
+from repro.errors import ReproError
+from repro.experiments.harness import format_number, render_table
+from repro.experiments.metrics import interval_miss, mean_length, miss_rate
+
+
+def _ci(low, high):
+    return ConfidenceInterval(low, high, 0.9)
+
+
+class TestMetrics:
+    def test_interval_miss(self):
+        assert not interval_miss(_ci(0, 1), 0.5)
+        assert interval_miss(_ci(0, 1), 1.5)
+        assert not interval_miss(_ci(0, 1), 1.0)  # inclusive
+
+    def test_miss_rate(self):
+        intervals = [_ci(0, 1), _ci(0, 1), _ci(0, 1), _ci(0, 1)]
+        truths = [0.5, 2.0, -1.0, 1.0]
+        assert miss_rate(intervals, truths) == pytest.approx(0.5)
+
+    def test_miss_rate_validates_lengths(self):
+        with pytest.raises(ReproError):
+            miss_rate([_ci(0, 1)], [0.5, 0.6])
+        with pytest.raises(ReproError):
+            miss_rate([], [])
+
+    def test_mean_length(self):
+        assert mean_length([_ci(0, 1), _ci(0, 3)]) == pytest.approx(2.0)
+        with pytest.raises(ReproError):
+            mean_length([])
+
+
+class TestRenderTable:
+    def test_renders_headers_and_rows(self):
+        text = render_table(
+            ["name", "value"], [["alpha", 1.5], ["beta", 2]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "2" in lines[4]
+
+    def test_column_alignment(self):
+        text = render_table(["a"], [["short"], ["much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) >= len("much longer cell")
+
+    def test_format_number(self):
+        assert format_number(3) == "3"
+        assert format_number(0) == "0"
+        assert format_number(0.123456) == "0.1235"
+        assert format_number(1e-9) == "1e-09"
+        assert format_number("text") == "text"
+        assert format_number(True) == "True"

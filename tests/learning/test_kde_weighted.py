@@ -1,0 +1,119 @@
+"""Tests for the KDE learner and the weighted (decay) learner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.kde_learner import (
+    KdeDistribution,
+    KdeLearner,
+    silverman_bandwidth,
+)
+from repro.learning.weighted import WeightedLearner
+
+
+class TestKdeDistribution:
+    def test_moments(self, rng):
+        points = rng.normal(5, 2, 100)
+        kde = KdeDistribution(points, 0.5)
+        assert kde.mean() == pytest.approx(float(points.mean()))
+        assert kde.variance() == pytest.approx(
+            float(points.var()) + 0.25
+        )
+
+    def test_cdf_monotone_and_bounded(self, rng):
+        kde = KdeDistribution(rng.normal(0, 1, 50), 0.3)
+        xs = np.linspace(-5, 5, 50)
+        cdfs = [kde.cdf(float(x)) for x in xs]
+        assert all(0 <= v <= 1 for v in cdfs)
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+
+    def test_pdf_integrates_to_one(self, rng):
+        kde = KdeDistribution(rng.normal(0, 1, 30), 0.4)
+        xs = np.linspace(-8, 8, 2000)
+        total = np.trapezoid([kde.pdf(float(x)) for x in xs], xs)
+        assert total == pytest.approx(1.0, abs=0.01)
+
+    def test_sampling_moments(self, rng):
+        kde = KdeDistribution(rng.normal(3, 1, 200), 0.2)
+        samples = kde.sample(rng, 50_000)
+        assert samples.mean() == pytest.approx(kde.mean(), abs=0.05)
+
+    def test_rejects_bad_bandwidth(self, rng):
+        with pytest.raises(LearningError):
+            KdeDistribution(rng.normal(0, 1, 10), 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(LearningError):
+            KdeDistribution(np.array([]), 1.0)
+
+
+class TestKdeLearner:
+    def test_silverman_default(self, rng):
+        sample = rng.normal(0, 1, 100)
+        fitted = KdeLearner().learn(sample)
+        assert fitted.distribution.bandwidth == pytest.approx(
+            silverman_bandwidth(sample)
+        )
+
+    def test_explicit_bandwidth(self, rng):
+        fitted = KdeLearner(bandwidth=0.7).learn(rng.normal(0, 1, 20))
+        assert fitted.distribution.bandwidth == 0.7
+
+    def test_degenerate_sample_still_learns(self):
+        fitted = KdeLearner().learn([2.0, 2.0, 2.0])
+        assert fitted.distribution.mean() == pytest.approx(2.0)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(LearningError):
+            KdeLearner(bandwidth=-1.0)
+
+
+class TestWeightedLearner:
+    def test_equal_ages_match_plain_fit(self, rng):
+        values = rng.normal(10, 2, 40)
+        fitted = WeightedLearner(half_life=5.0).learn(
+            values, np.zeros(40)
+        )
+        assert fitted.distribution.mean() == pytest.approx(
+            float(values.mean())
+        )
+        assert fitted.effective_size == pytest.approx(40.0)
+
+    def test_decay_shrinks_effective_size(self, rng):
+        values = rng.normal(0, 1, 40)
+        ages = np.arange(40, dtype=float)
+        fitted = WeightedLearner(half_life=3.0).learn(values, ages)
+        assert fitted.effective_size < 40.0
+
+    def test_fresh_observations_dominate(self):
+        # Two stale outliers, two fresh values: mean stays near fresh.
+        values = [100.0, 100.0, 1.0, 1.0]
+        ages = [50.0, 50.0, 0.0, 0.0]
+        fitted = WeightedLearner(half_life=2.0).learn(values, ages)
+        assert fitted.distribution.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_accuracy_uses_effective_size(self, rng):
+        values = rng.normal(0, 1, 60)
+        fresh = WeightedLearner(half_life=100.0).learn(
+            values, np.zeros(60)
+        )
+        decayed = WeightedLearner(half_life=2.0).learn(
+            values, np.arange(60, dtype=float)
+        )
+        assert (
+            decayed.accuracy(0.9).sample_size
+            < fresh.accuracy(0.9).sample_size
+        )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(LearningError):
+            WeightedLearner(half_life=1.0).learn([1.0, 2.0], [0.0])
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(LearningError):
+            WeightedLearner(half_life=0.0)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(LearningError):
+            WeightedLearner(half_life=1.0).learn([1.0], [0.0])

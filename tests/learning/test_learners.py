@@ -1,0 +1,151 @@
+"""Tests for the distribution learners."""
+
+import numpy as np
+import pytest
+
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.errors import LearningError
+from repro.learning.base import LearnedDistribution
+from repro.learning.empirical_learner import EmpiricalLearner
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.learning.histogram_learner import (
+    HistogramLearner,
+    equi_depth_edges,
+    equi_width_edges,
+)
+
+
+class TestLearnedDistribution:
+    def test_keeps_sample(self, rng):
+        sample = rng.normal(0, 1, 25)
+        fitted = GaussianLearner().learn(sample)
+        assert fitted.sample_size == 25
+        assert np.array_equal(fitted.sample, sample)
+
+    def test_as_dfsized(self, rng):
+        fitted = GaussianLearner().learn(rng.normal(0, 1, 30))
+        value = fitted.as_dfsized()
+        assert value.sample_size == 30
+        assert value.distribution is fitted.distribution
+
+    def test_accuracy_from_backing_sample(self, paper_example3_sample):
+        fitted = GaussianLearner().learn(paper_example3_sample)
+        info = fitted.accuracy(0.9)
+        # Must match the paper's Example 3 (driven by the raw sample).
+        assert info.mean.low == pytest.approx(65.97, abs=0.02)
+        assert info.mean.high == pytest.approx(76.23, abs=0.02)
+
+    def test_accuracy_includes_bins_for_histograms(self, rng):
+        fitted = HistogramLearner(bucket_count=4).learn(rng.normal(0, 1, 50))
+        info = fitted.accuracy(0.9)
+        assert len(info.bins) == 4
+
+    def test_accuracy_rejects_single_observation(self):
+        fitted = EmpiricalLearner().learn([1.0])
+        with pytest.raises(LearningError):
+            fitted.accuracy()
+
+    def test_accuracy_from_distribution_moments(self, rng):
+        fitted = GaussianLearner().learn(rng.normal(5, 1, 40))
+        info = fitted.accuracy_from_distribution(0.9)
+        assert info.mean.contains(fitted.distribution.mean())
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(LearningError):
+            LearnedDistribution(GaussianDistribution(0, 1), np.array([]))
+
+
+class TestGaussianLearner:
+    def test_fits_sample_moments(self, rng):
+        sample = rng.normal(10, 3, 100)
+        fitted = GaussianLearner().learn(sample)
+        dist = fitted.distribution
+        assert isinstance(dist, GaussianDistribution)
+        assert dist.mean() == pytest.approx(float(sample.mean()))
+        assert dist.variance() == pytest.approx(float(sample.var(ddof=1)))
+
+    def test_needs_two_observations(self):
+        with pytest.raises(LearningError):
+            GaussianLearner().learn([1.0])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(LearningError):
+            GaussianLearner().learn([1.0, float("nan")])
+
+
+class TestEmpiricalLearner:
+    def test_distribution_is_the_sample(self, rng):
+        sample = rng.normal(0, 1, 20)
+        fitted = EmpiricalLearner().learn(sample)
+        assert fitted.distribution.mean() == pytest.approx(
+            float(sample.mean())
+        )
+        assert fitted.sample_size == 20
+
+
+class TestEquiWidthEdges:
+    def test_spans_sample_range(self, rng):
+        sample = rng.uniform(3, 9, 100)
+        edges = equi_width_edges(sample, 5)
+        assert edges[0] == pytest.approx(sample.min())
+        assert edges[-1] == pytest.approx(sample.max())
+        assert len(edges) == 6
+        assert np.allclose(np.diff(edges), np.diff(edges)[0])
+
+    def test_explicit_range(self, rng):
+        edges = equi_width_edges(rng.uniform(0, 1, 10), 4, (0.0, 100.0))
+        assert edges[0] == 0.0 and edges[-1] == 100.0
+
+    def test_degenerate_range_widened(self):
+        edges = equi_width_edges(np.array([5.0, 5.0]), 2)
+        assert edges[-1] > edges[0]
+
+    def test_rejects_zero_buckets(self, rng):
+        with pytest.raises(LearningError):
+            equi_width_edges(rng.normal(0, 1, 10), 0)
+
+
+class TestEquiDepthEdges:
+    def test_buckets_hold_equal_mass(self, rng):
+        sample = rng.exponential(1.0, 10_000)
+        edges = equi_depth_edges(sample, 4)
+        counts, _ = np.histogram(sample, bins=edges)
+        assert np.allclose(counts / counts.sum(), 0.25, atol=0.02)
+
+    def test_heavy_ties_collapse(self):
+        edges = equi_depth_edges(np.array([1.0] * 50), 4)
+        assert len(edges) >= 2
+        assert edges[-1] > edges[0]
+
+
+class TestHistogramLearner:
+    def test_learns_frequencies(self, rng):
+        learner = HistogramLearner(edges=[0, 1, 2, 3])
+        fitted = learner.learn([0.5, 0.6, 1.5, 2.5])
+        hist = fitted.distribution
+        assert isinstance(hist, HistogramDistribution)
+        assert np.allclose(hist.probabilities, [0.5, 0.25, 0.25])
+
+    def test_out_of_range_clamped_into_boundary_buckets(self):
+        learner = HistogramLearner(edges=[0, 1, 2])
+        fitted = learner.learn([-5.0, 0.5, 5.0])
+        hist = fitted.distribution
+        assert hist.probabilities[0] == pytest.approx(2 / 3)
+        assert hist.probabilities[1] == pytest.approx(1 / 3)
+
+    def test_equi_depth_strategy(self, rng):
+        learner = HistogramLearner(bucket_count=4, strategy="equi_depth")
+        fitted = learner.learn(rng.exponential(1, 400))
+        hist = fitted.distribution
+        assert np.allclose(hist.probabilities, 0.25, atol=0.05)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(LearningError):
+            HistogramLearner(strategy="magic")
+
+    def test_value_range_shares_bucketisation(self, rng):
+        learner = HistogramLearner(bucket_count=4, value_range=(0.0, 8.0))
+        a = learner.learn(rng.uniform(0, 8, 50))
+        b = learner.learn(rng.uniform(0, 8, 70))
+        assert np.array_equal(a.distribution.edges, b.distribution.edges)

@@ -1,0 +1,70 @@
+"""Tests for the learner registry."""
+
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.base import Learner, LearnedDistribution
+from repro.learning.gaussian_learner import GaussianLearner
+from repro.learning.histogram_learner import HistogramLearner
+from repro.learning.registry import LEARNERS, make_learner, register_learner
+
+
+class TestMakeLearner:
+    def test_builtin_names(self):
+        assert isinstance(make_learner("histogram"), HistogramLearner)
+        assert isinstance(make_learner("gaussian"), GaussianLearner)
+        assert "empirical" in LEARNERS and "kde" in LEARNERS
+
+    def test_kwargs_forwarded(self):
+        learner = make_learner("histogram", bucket_count=13)
+        assert learner.bucket_count == 13
+
+    def test_unknown_name(self):
+        with pytest.raises(LearningError, match="unknown learner"):
+            make_learner("magic")
+
+
+class TestRegisterLearner:
+    def test_register_and_use(self):
+        class MyLearner(Learner):
+            def learn(self, sample) -> LearnedDistribution:
+                return GaussianLearner().learn(sample)
+
+        register_learner("custom-test", MyLearner)
+        try:
+            assert isinstance(make_learner("custom-test"), MyLearner)
+        finally:
+            del LEARNERS["custom-test"]
+
+    def test_no_silent_overwrite(self):
+        with pytest.raises(LearningError, match="already registered"):
+            register_learner("gaussian", GaussianLearner)
+
+    def test_explicit_replace(self):
+        original = LEARNERS["gaussian"]
+        try:
+            register_learner("gaussian", GaussianLearner, replace=True)
+        finally:
+            LEARNERS["gaussian"] = original
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(LearningError):
+            register_learner("", GaussianLearner)
+
+
+class TestDbIntegration:
+    def test_string_learner_in_ingest(self, rng):
+        from repro.db import StreamDatabase
+        from repro.distributions.empirical import EmpiricalDistribution
+
+        db = StreamDatabase()
+        db.create_stream("s")
+        db.ingest_observations(
+            "s",
+            [{"g": 1, "v": float(x)} for x in rng.normal(0, 1, 15)],
+            group_by="g", value="v", learner="empirical",
+        )
+        result = db.query("SELECT v FROM s")[0]
+        assert isinstance(
+            result.value("v").distribution, EmpiricalDistribution
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for aggregate-query invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.query.executor import ExecutorConfig, run_query
+from repro.streams.tuples import UncertainTuple
+
+
+@st.composite
+def tuple_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    tuples = []
+    for _ in range(count):
+        mean = draw(st.floats(min_value=-50, max_value=50))
+        var = draw(st.floats(min_value=0.0, max_value=25.0))
+        n = draw(st.integers(min_value=2, max_value=40))
+        p = draw(st.floats(min_value=0.05, max_value=1.0))
+        group = draw(st.sampled_from([1.0, 2.0, 3.0]))
+        tuples.append(
+            UncertainTuple(
+                {"g": group, "v": DfSized(GaussianDistribution(mean, var), n)},
+                probability=p,
+            )
+        )
+    return tuples
+
+
+@given(tuples=tuple_sets())
+@settings(max_examples=100, deadline=None)
+def test_count_within_bounds_and_sum_variance_non_negative(tuples):
+    rows = run_query(
+        "SELECT COUNT(*) AS c, SUM(v) AS s FROM t", tuples,
+        config=ExecutorConfig(seed=1),
+    )
+    assert len(rows) == 1
+    count = rows[0].value("c").distribution
+    assert 0.0 <= count.mean() <= len(tuples)
+    assert count.variance() >= 0.0
+    assert rows[0].value("s").distribution.variance() >= 0.0
+
+
+@given(tuples=tuple_sets())
+@settings(max_examples=100, deadline=None)
+def test_groups_partition_the_count(tuples):
+    total = run_query(
+        "SELECT COUNT(*) AS c FROM t", tuples,
+        config=ExecutorConfig(seed=1),
+    )[0].value("c").distribution.mean()
+    grouped = run_query(
+        "SELECT COUNT(*) AS c FROM t GROUP BY g", tuples,
+        config=ExecutorConfig(seed=1),
+    )
+    partitioned = sum(
+        row.value("c").distribution.mean() for row in grouped
+    )
+    assert abs(partitioned - total) < 1e-9
+
+
+@given(tuples=tuple_sets())
+@settings(max_examples=100, deadline=None)
+def test_sum_decomposes_over_groups(tuples):
+    total = run_query(
+        "SELECT SUM(v) AS s FROM t", tuples,
+        config=ExecutorConfig(seed=1),
+    )[0].value("s").distribution
+    grouped = run_query(
+        "SELECT SUM(v) AS s FROM t GROUP BY g", tuples,
+        config=ExecutorConfig(seed=1),
+    )
+    mean_sum = sum(r.value("s").distribution.mean() for r in grouped)
+    var_sum = sum(r.value("s").distribution.variance() for r in grouped)
+    assert abs(mean_sum - total.mean()) < 1e-6 * max(1, abs(total.mean()))
+    assert abs(var_sum - total.variance()) < 1e-6 * max(1, total.variance())
+
+
+@given(tuples=tuple_sets())
+@settings(max_examples=75, deadline=None)
+def test_avg_between_min_and_max_field_mean(tuples):
+    rows = run_query(
+        "SELECT AVG(v) AS m FROM t", tuples,
+        config=ExecutorConfig(seed=1),
+    )
+    means = [t.dfsized("v").distribution.mean() for t in tuples]
+    avg = rows[0].value("m").distribution.mean()
+    assert min(means) - 1e-9 <= avg <= max(means) + 1e-9

@@ -1,0 +1,170 @@
+"""Tests for expression evaluation over uncertain tuples."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.distributions.base import Deterministic
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import QueryError
+from repro.query.expressions import (
+    BinaryOp,
+    Column,
+    Comparison,
+    EvalContext,
+    Literal,
+    UnaryOp,
+    predicate_probability,
+)
+from repro.streams.tuples import UncertainTuple
+
+
+@pytest.fixture
+def ctx(rng) -> EvalContext:
+    tup = UncertainTuple(
+        {
+            "g": DfSized(GaussianDistribution(10.0, 4.0), 15),
+            "h": DfSized(GaussianDistribution(5.0, 1.0), 10),
+            "e": DfSized(EmpiricalDistribution([1.0, 2.0, 3.0]), 3),
+            "k": 7.0,
+        }
+    )
+    return EvalContext(tup, rng, mc_samples=20_000)
+
+
+class TestLeaves:
+    def test_column_returns_dfsized(self, ctx):
+        value = Column("g").evaluate(ctx)
+        assert value.sample_size == 15
+        assert value.distribution.mean() == 10.0
+
+    def test_raw_number_column_is_exact(self, ctx):
+        value = Column("k").evaluate(ctx)
+        assert value.sample_size is None
+        assert value.distribution == Deterministic(7.0)
+
+    def test_literal_is_exact(self, ctx):
+        value = Literal(3.0).evaluate(ctx)
+        assert value.sample_size is None
+
+    def test_columns_sets(self):
+        expr = BinaryOp("+", Column("a"), UnaryOp("neg", Column("b")))
+        assert expr.columns() == {"a", "b"}
+        assert Literal(1.0).columns() == set()
+
+
+class TestClosedFormArithmetic:
+    def test_gaussian_plus_gaussian(self, ctx):
+        value = BinaryOp("+", Column("g"), Column("h")).evaluate(ctx)
+        dist = value.distribution
+        assert isinstance(dist, GaussianDistribution)
+        assert dist.mu == pytest.approx(15.0)
+        assert dist.sigma2 == pytest.approx(5.0)
+        assert value.sample_size == 10  # Lemma 3
+
+    def test_gaussian_minus_constant(self, ctx):
+        value = BinaryOp("-", Column("g"), Literal(4.0)).evaluate(ctx)
+        dist = value.distribution
+        assert isinstance(dist, GaussianDistribution)
+        assert dist.mu == pytest.approx(6.0)
+        assert value.sample_size == 15
+
+    def test_constant_minus_gaussian(self, ctx):
+        value = BinaryOp("-", Literal(0.0), Column("g")).evaluate(ctx)
+        dist = value.distribution
+        assert isinstance(dist, GaussianDistribution)
+        assert dist.mu == pytest.approx(-10.0)
+        assert dist.sigma2 == pytest.approx(4.0)
+
+    def test_gaussian_scaled_by_constant(self, ctx):
+        value = BinaryOp("/", Column("g"), Literal(2.0)).evaluate(ctx)
+        dist = value.distribution
+        assert isinstance(dist, GaussianDistribution)
+        assert dist.mu == pytest.approx(5.0)
+        assert dist.sigma2 == pytest.approx(1.0)
+
+    def test_constant_folding(self, ctx):
+        value = BinaryOp("*", Literal(3.0), Literal(4.0)).evaluate(ctx)
+        assert value.distribution == Deterministic(12.0)
+        assert value.sample_size is None
+
+    def test_neg_gaussian_closed_form(self, ctx):
+        value = UnaryOp("neg", Column("g")).evaluate(ctx)
+        assert isinstance(value.distribution, GaussianDistribution)
+        assert value.distribution.mu == pytest.approx(-10.0)
+
+
+class TestMonteCarloFallback:
+    def test_gaussian_product_is_empirical(self, ctx):
+        value = BinaryOp("*", Column("g"), Column("h")).evaluate(ctx)
+        assert isinstance(value.distribution, EmpiricalDistribution)
+        assert value.distribution.mean() == pytest.approx(50.0, rel=0.05)
+        assert value.sample_size == 10
+
+    def test_square_matches_moments(self, ctx):
+        value = UnaryOp("square", Column("h")).evaluate(ctx)
+        # E[X^2] = var + mean^2 = 1 + 25.
+        assert value.distribution.mean() == pytest.approx(26.0, rel=0.05)
+
+    def test_sqrtabs(self, ctx):
+        value = UnaryOp("sqrtabs", Literal(-9.0)).evaluate(ctx)
+        assert value.distribution.mean() == pytest.approx(3.0)
+
+    def test_mixed_exact_and_sampled_size(self, ctx):
+        value = BinaryOp("*", Column("e"), Literal(2.0)).evaluate(ctx)
+        assert value.sample_size == 3
+
+
+class TestValidation:
+    def test_rejects_unknown_binary_op(self):
+        with pytest.raises(QueryError):
+            BinaryOp("%", Literal(1.0), Literal(2.0))
+
+    def test_rejects_unknown_unary_op(self):
+        with pytest.raises(QueryError):
+            UnaryOp("log", Literal(1.0))
+
+    def test_rejects_unknown_comparison(self):
+        with pytest.raises(QueryError):
+            Comparison("~", Literal(1.0), Literal(2.0))
+
+    def test_rejects_tiny_mc_budget(self, rng):
+        with pytest.raises(QueryError):
+            EvalContext(UncertainTuple({}), rng, mc_samples=1)
+
+
+class TestPredicateProbability:
+    def test_cdf_fast_path(self, ctx):
+        comparison = Comparison(">", Column("g"), Literal(10.0))
+        p, n = predicate_probability(comparison, ctx)
+        assert p == pytest.approx(0.5)
+        assert n == 15
+
+    def test_flipped_fast_path(self, ctx):
+        comparison = Comparison("<", Literal(10.0), Column("g"))
+        p, n = predicate_probability(comparison, ctx)
+        assert p == pytest.approx(0.5)
+
+    def test_monte_carlo_two_distributions(self, ctx):
+        comparison = Comparison(">", Column("g"), Column("h"))
+        p, n = predicate_probability(comparison, ctx)
+        # P[N(10,4) > N(5,1)] = Phi(5 / sqrt(5)) ~ 0.987.
+        assert p == pytest.approx(0.987, abs=0.01)
+        assert n == 10
+
+    def test_all_exact_gives_none_size(self, ctx):
+        comparison = Comparison(">", Literal(2.0), Literal(1.0))
+        p, n = predicate_probability(comparison, ctx)
+        assert p == 1.0
+        assert n is None
+
+    def test_less_equal_cdf(self, ctx):
+        comparison = Comparison("<=", Column("g"), Literal(10.0))
+        p, _ = predicate_probability(comparison, ctx)
+        assert p == pytest.approx(0.5)
+
+    def test_probability_in_unit_interval(self, ctx):
+        comparison = Comparison("<>", Column("e"), Column("h"))
+        p, _ = predicate_probability(comparison, ctx)
+        assert 0.0 <= p <= 1.0

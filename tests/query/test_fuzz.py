@@ -1,0 +1,122 @@
+"""Fuzz tests: random queries over random uncertain tuples never break
+the executor's invariants.
+
+Whatever the query and data, every produced result must have a
+membership probability in [0, 1], a well-ordered probability interval
+containing the point probability, internally consistent accuracy
+records, and deterministic behaviour under a fixed seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dfsample import DfSized
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.query.executor import ExecutorConfig, QueryExecutor
+from repro.query.expressions import BinaryOp, Column, UnaryOp
+from repro.query.parser import parse_query
+from repro.streams.tuples import UncertainTuple
+from repro.workloads.queries import random_expression
+
+_COLUMNS = ["a", "b", "c"]
+
+
+@st.composite
+def uncertain_tuples(draw) -> UncertainTuple:
+    attributes: dict[str, object] = {}
+    for name in _COLUMNS:
+        kind = draw(st.sampled_from(["gauss", "emp", "number"]))
+        n = draw(st.integers(min_value=2, max_value=60))
+        if kind == "gauss":
+            mu = draw(st.floats(min_value=-100, max_value=100))
+            sigma2 = draw(st.floats(min_value=0.0, max_value=100))
+            attributes[name] = DfSized(GaussianDistribution(mu, sigma2), n)
+        elif kind == "emp":
+            values = draw(
+                st.lists(
+                    st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=12,
+                )
+            )
+            attributes[name] = DfSized(EmpiricalDistribution(values), n)
+        else:
+            attributes[name] = draw(
+                st.floats(min_value=-100, max_value=100)
+            )
+    probability = draw(st.floats(min_value=0.01, max_value=1.0))
+    return UncertainTuple(attributes, probability=probability)
+
+
+@st.composite
+def query_texts(draw) -> str:
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    select = random_expression(
+        rng, list(_COLUMNS), draw(st.integers(0, 3))
+    )
+    where = ""
+    if draw(st.booleans()):
+        column = draw(st.sampled_from(_COLUMNS))
+        constant = draw(st.integers(-50, 50))
+        op = draw(st.sampled_from(["<", ">", "<=", ">="]))
+        where = f" WHERE {column} {op} {constant}"
+        if draw(st.booleans()):
+            threshold = draw(st.sampled_from(["0.25", "0.5", "2/3"]))
+            where += f" PROB {threshold}"
+    return f"SELECT {_render(select)} AS out FROM s{where}"
+
+
+def _render(expr) -> str:
+    if isinstance(expr, Column):
+        return expr.name
+    if isinstance(expr, BinaryOp):
+        return f"({_render(expr.left)} {expr.op} {_render(expr.right)})"
+    assert isinstance(expr, UnaryOp)
+    keyword = {
+        "sqrtabs": "SQRT", "square": "SQUARE", "abs": "ABS", "neg": "-",
+    }[expr.op]
+    if expr.op == "neg":
+        return f"(-{_render(expr.operand)})"
+    return f"{keyword}({_render(expr.operand)})"
+
+
+@given(text=query_texts(), tup=uncertain_tuples(), seed=st.integers(0, 1000))
+@settings(max_examples=150, deadline=None)
+def test_executor_invariants_hold(text, tup, seed):
+    parse_query(text)  # the generator must emit valid dialect
+    executor = QueryExecutor(
+        text, config=ExecutorConfig(seed=seed, mc_samples=200)
+    )
+    result = executor.execute_one(tup)
+    if result is None:
+        return
+    assert 0.0 <= result.probability <= 1.0
+    if result.probability_interval is not None:
+        interval = result.probability_interval.interval
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+        assert interval.low - 1e-9 <= result.probability <= interval.high + 1e-9
+    field = result.value("out")
+    for info in result.accuracy.values():
+        assert info.mean.low <= info.mean.high
+        assert info.variance.low <= info.variance.high
+        assert info.sample_size >= 2
+    assert np.isfinite(field.distribution.mean())
+
+
+@given(text=query_texts(), tup=uncertain_tuples())
+@settings(max_examples=50, deadline=None)
+def test_seeded_executions_are_deterministic(text, tup):
+    first = QueryExecutor(
+        text, config=ExecutorConfig(seed=99, mc_samples=200)
+    ).execute_one(tup)
+    second = QueryExecutor(
+        text, config=ExecutorConfig(seed=99, mc_samples=200)
+    ).execute_one(tup)
+    assert (first is None) == (second is None)
+    if first is not None:
+        assert first.probability == second.probability
+        assert first.value("out").distribution.mean() == second.value(
+            "out"
+        ).distribution.mean()

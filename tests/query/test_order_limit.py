@@ -1,0 +1,122 @@
+"""Tests for ORDER BY / LIMIT in the query layer."""
+
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import ParseError, QueryError
+from repro.query.executor import ExecutorConfig, run_query
+from repro.query.parser import parse_query
+from repro.query.planner import compile_query
+from repro.streams.tuples import Schema, UncertainTuple
+
+
+def _tuples(means):
+    return [
+        UncertainTuple(
+            {"id": float(i), "v": DfSized(GaussianDistribution(m, 1.0), 10)}
+        )
+        for i, m in enumerate(means)
+    ]
+
+
+class TestParsing:
+    def test_order_by_default_ascending(self):
+        query = parse_query("SELECT v FROM s ORDER BY v")
+        assert query.order_by is not None
+        assert not query.descending
+        assert query.limit is None
+
+    def test_order_by_desc_and_limit(self):
+        query = parse_query("SELECT v FROM s ORDER BY v + 1 DESC LIMIT 5")
+        assert query.descending
+        assert query.limit == 5
+
+    def test_limit_without_order(self):
+        query = parse_query("SELECT v FROM s LIMIT 3")
+        assert query.order_by is None
+        assert query.limit == 3
+
+    def test_order_after_where(self):
+        query = parse_query(
+            "SELECT v FROM s WHERE v > 0 ORDER BY v ASC LIMIT 1"
+        )
+        assert query.where is not None
+        assert query.limit == 1
+
+    def test_rejects_fractional_limit(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT v FROM s LIMIT 2.5")
+
+    def test_rejects_order_without_by(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT v FROM s ORDER v")
+
+
+class TestPlanner:
+    def test_order_columns_validated(self):
+        schema = Schema(["v"])
+        with pytest.raises(QueryError):
+            compile_query("SELECT v FROM s ORDER BY missing", schema)
+
+    def test_order_passed_through(self):
+        compiled = compile_query("SELECT v FROM s ORDER BY v DESC LIMIT 2")
+        assert compiled.order_by is not None
+        assert compiled.descending
+        assert compiled.limit == 2
+
+
+class TestExecution:
+    def test_ascending_order_by_expected_value(self):
+        results = run_query(
+            "SELECT id FROM s ORDER BY v",
+            _tuples([5.0, 1.0, 9.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        ids = [r.value("id").distribution.mean() for r in results]
+        assert ids == [1.0, 0.0, 2.0]
+
+    def test_descending_with_limit(self):
+        results = run_query(
+            "SELECT id FROM s ORDER BY v DESC LIMIT 2",
+            _tuples([5.0, 1.0, 9.0, 3.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        ids = [r.value("id").distribution.mean() for r in results]
+        assert ids == [2.0, 0.0]
+
+    def test_order_by_expression(self):
+        # ORDER BY -v reverses the v ordering.
+        results = run_query(
+            "SELECT id FROM s ORDER BY 0 - v",
+            _tuples([5.0, 1.0, 9.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        ids = [r.value("id").distribution.mean() for r in results]
+        assert ids == [2.0, 0.0, 1.0]
+
+    def test_limit_without_order_truncates_arrival_order(self):
+        results = run_query(
+            "SELECT id FROM s LIMIT 2",
+            _tuples([5.0, 1.0, 9.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        ids = [r.value("id").distribution.mean() for r in results]
+        assert ids == [0.0, 1.0]
+
+    def test_limit_zero(self):
+        results = run_query(
+            "SELECT id FROM s LIMIT 0",
+            _tuples([5.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        assert results == []
+
+    def test_order_with_where_filters_first(self):
+        results = run_query(
+            "SELECT id FROM s WHERE v > 4 PROB 0.5 ORDER BY v DESC",
+            _tuples([5.0, 1.0, 9.0]),
+            config=ExecutorConfig(seed=0),
+        )
+        ids = [r.value("id").distribution.mean() for r in results]
+        assert ids == [2.0, 0.0]

@@ -1,0 +1,209 @@
+"""Tests for the SQL-ish parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.expressions import (
+    BinaryOp,
+    Column,
+    Comparison,
+    Literal,
+    UnaryOp,
+)
+from repro.query.parser import (
+    AndCondition,
+    CompareCondition,
+    NotCondition,
+    OrCondition,
+    SignificanceCondition,
+    parse_expression,
+    parse_query,
+)
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("a + b * c")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_expression("(a + b) * c")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expression("a - b - c")
+        assert isinstance(expr, BinaryOp)
+        assert isinstance(expr.left, BinaryOp)
+        assert str(expr) == "((a - b) - c)"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-a + b")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.left, UnaryOp) and expr.left.op == "neg"
+
+    def test_functions(self):
+        assert parse_expression("SQRT(a)") == UnaryOp("sqrtabs", Column("a"))
+        assert parse_expression("SQUARE(a)") == UnaryOp("square", Column("a"))
+        assert parse_expression("ABS(a)") == UnaryOp("abs", Column("a"))
+        assert parse_expression("sqrtabs(a)") == UnaryOp(
+            "sqrtabs", Column("a")
+        )
+
+    def test_numbers(self):
+        assert parse_expression("3.5") == Literal(3.5)
+        assert parse_expression(".5") == Literal(0.5)
+        assert parse_expression("42") == Literal(42.0)
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b )")
+
+    def test_rejects_incomplete(self):
+        with pytest.raises(ParseError):
+            parse_expression("a +")
+
+    def test_rejects_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("a @ b")
+
+
+class TestSelectList:
+    def test_star(self):
+        query = parse_query("SELECT * FROM s")
+        assert query.star
+        assert query.source == "s"
+
+    def test_columns_and_aliases(self):
+        query = parse_query("SELECT a, b AS bee, a + b FROM s")
+        names = [alias for _, alias in query.select_items]
+        assert names == ["a", "bee", "expr_2"]
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select a from s where a > 1")
+        assert query.source == "s"
+        assert query.where is not None
+
+    def test_rejects_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a")
+
+    def test_rejects_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM s extra")
+
+
+class TestWhereConditions:
+    def test_bare_comparison(self):
+        query = parse_query("SELECT a FROM s WHERE a > 5")
+        cond = query.where
+        assert isinstance(cond, CompareCondition)
+        assert cond.threshold is None
+        assert cond.comparison.op == ">"
+
+    def test_probability_threshold(self):
+        query = parse_query("SELECT a FROM s WHERE a > 50 PROB 0.66")
+        cond = query.where
+        assert isinstance(cond, CompareCondition)
+        assert cond.threshold == pytest.approx(0.66)
+
+    def test_probability_threshold_fraction(self):
+        # The paper's 'Delay >2/3 50' written as PROB 2/3.
+        query = parse_query("SELECT a FROM s WHERE a > 50 PROB 2/3")
+        assert query.where.threshold == pytest.approx(2 / 3)
+
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM s WHERE a > 5 PROB 1.5")
+
+    def test_and_or_not(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE a > 1 AND (b < 2 OR NOT c > 3)"
+        )
+        cond = query.where
+        assert isinstance(cond, AndCondition)
+        assert isinstance(cond.parts[1], OrCondition)
+        assert isinstance(cond.parts[1].parts[1], NotCondition)
+
+    def test_comparison_operators(self):
+        for op in ("<", "<=", ">", ">=", "=", "<>"):
+            query = parse_query(f"SELECT a FROM s WHERE a {op} 1")
+            assert query.where.comparison.op == op
+
+    def test_comparison_between_expressions(self):
+        query = parse_query("SELECT a FROM s WHERE a + b > c * 2")
+        comparison = query.where.comparison
+        assert isinstance(comparison, Comparison)
+        assert comparison.columns() == {"a", "b", "c"}
+
+
+class TestSignificanceCalls:
+    def test_mtest(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE mTest(a, '>', 97, 0.05)"
+        )
+        cond = query.where
+        assert isinstance(cond, SignificanceCondition)
+        assert cond.kind == "mtest"
+        assert cond.op == ">"
+        assert cond.constant == 97.0
+        assert cond.alpha1 == 0.05
+        assert cond.alpha2 is None  # single test
+
+    def test_mtest_coupled(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE mTest(a, '<>', 0, 0.05, 0.01)"
+        )
+        assert query.where.alpha2 == 0.01
+        assert query.where.op == "<>"
+
+    def test_mtest_negative_constant(self):
+        query = parse_query("SELECT a FROM s WHERE mTest(a, '<', -5, 0.05)")
+        assert query.where.constant == -5.0
+
+    def test_mdtest(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE mdTest(a, b, '>', 0, 0.05, 0.05)"
+        )
+        cond = query.where
+        assert cond.kind == "mdtest"
+        assert cond.expr_x == Column("a")
+        assert cond.expr_y == Column("b")
+
+    def test_ptest(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE pTest(a > 100, 0.5, 0.05)"
+        )
+        cond = query.where
+        assert cond.kind == "ptest"
+        assert cond.tau == 0.5
+        assert cond.comparison.op == ">"
+
+    def test_ptest_with_fraction_tau(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE pTest(a > 1, 2/3, 0.05, 0.05)"
+        )
+        assert query.where.tau == pytest.approx(2 / 3)
+        assert query.where.alpha2 == 0.05
+
+    def test_sig_call_composes_with_and(self):
+        query = parse_query(
+            "SELECT a FROM s WHERE mTest(a, '>', 0, 0.05) AND a > 1"
+        )
+        assert isinstance(query.where, AndCondition)
+
+    def test_rejects_bad_test_op(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM s WHERE mTest(a, '>=', 0, 0.05)")
+
+    def test_rejects_unquoted_op(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM s WHERE mTest(a, >, 0, 0.05)")
+
+
+class TestErrorPositions:
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("SELECT a FROM s WHERE a @ 5")
+        assert excinfo.value.position is not None

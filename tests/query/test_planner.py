@@ -1,0 +1,83 @@
+"""Tests for query compilation and validation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import CompareCondition, SignificanceCondition
+from repro.query.planner import compile_query
+from repro.streams.tuples import Schema
+
+
+class TestCompilation:
+    def test_compiles_from_text(self):
+        compiled = compile_query("SELECT a, b AS bee FROM s WHERE a > 1")
+        assert compiled.source == "s"
+        assert len(compiled.select_items) == 2
+        assert len(compiled.conjuncts) == 1
+        assert compiled.referenced_columns == frozenset({"a", "b"})
+
+    def test_flattens_nested_and(self):
+        compiled = compile_query(
+            "SELECT a FROM s WHERE a > 1 AND b > 2 AND c > 3"
+        )
+        assert len(compiled.conjuncts) == 3
+        assert all(
+            isinstance(c, CompareCondition) for c in compiled.conjuncts
+        )
+
+    def test_no_where_gives_no_conjuncts(self):
+        compiled = compile_query("SELECT a FROM s")
+        assert compiled.conjuncts == ()
+
+    def test_collects_columns_from_sig_conditions(self):
+        compiled = compile_query(
+            "SELECT a FROM s WHERE mdTest(x, y, '>', 0, 0.05)"
+        )
+        assert {"x", "y"} <= compiled.referenced_columns
+        assert isinstance(compiled.conjuncts[0], SignificanceCondition)
+
+
+class TestSchemaValidation:
+    def test_accepts_known_columns(self):
+        schema = Schema(["a", "b"])
+        compile_query("SELECT a FROM s WHERE b > 1", schema)
+
+    def test_rejects_unknown_columns(self):
+        schema = Schema(["a"])
+        with pytest.raises(QueryError, match="unknown attributes"):
+            compile_query("SELECT a FROM s WHERE b > 1", schema)
+
+    def test_rejects_unknown_in_select(self):
+        schema = Schema(["a"])
+        with pytest.raises(QueryError):
+            compile_query("SELECT z FROM s", schema)
+
+
+class TestCompositionRules:
+    def test_rejects_significance_under_or(self):
+        with pytest.raises(QueryError, match="significance"):
+            compile_query(
+                "SELECT a FROM s WHERE mTest(a, '>', 0, 0.05) OR a > 1"
+            )
+
+    def test_rejects_significance_under_not(self):
+        with pytest.raises(QueryError, match="significance"):
+            compile_query(
+                "SELECT a FROM s WHERE NOT mTest(a, '>', 0, 0.05)"
+            )
+
+    def test_rejects_threshold_under_or(self):
+        with pytest.raises(QueryError, match="threshold"):
+            compile_query(
+                "SELECT a FROM s WHERE (a > 1 PROB 0.5) OR b > 2"
+            )
+
+    def test_allows_bare_comparisons_under_or_not(self):
+        compiled = compile_query(
+            "SELECT a FROM s WHERE a > 1 OR NOT b > 2"
+        )
+        assert len(compiled.conjuncts) == 1
+
+    def test_rejects_duplicate_output_names(self):
+        with pytest.raises(QueryError, match="duplicate"):
+            compile_query("SELECT a, b AS a FROM s")

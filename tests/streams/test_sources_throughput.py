@@ -1,0 +1,88 @@
+"""Tests for stream sources and throughput measurement."""
+
+import pytest
+
+from repro.errors import SchemaError, StreamError
+from repro.streams.engine import Pipeline
+from repro.streams.operators import CountingSink
+from repro.streams.stream import iter_source, replay_source
+from repro.streams.throughput import ThroughputMeter, measure_throughput
+from repro.streams.tuples import Schema, UncertainTuple
+
+
+class TestIterSource:
+    def test_wraps_mappings(self):
+        tuples = list(iter_source([{"a": 1.0}, {"a": 2.0}]))
+        assert all(isinstance(t, UncertainTuple) for t in tuples)
+        assert tuples[1].value("a") == 2.0
+
+    def test_passes_tuples_through(self):
+        original = UncertainTuple({"a": 1.0}, probability=0.5)
+        tuples = list(iter_source([original]))
+        assert tuples[0] is original
+
+    def test_validates_against_schema(self):
+        schema = Schema([("a", "number")])
+        with pytest.raises(SchemaError):
+            list(iter_source([{"b": 1.0}], schema))
+
+
+class TestReplaySource:
+    def test_regenerates_timestamps(self):
+        source = [UncertainTuple({"a": 1.0}, timestamp=99.0)] * 3
+        replayed = list(replay_source(source, start_time=10.0, interval=2.0))
+        assert [t.timestamp for t in replayed] == [10.0, 12.0, 14.0]
+
+    def test_preserves_attributes_and_probability(self):
+        source = [UncertainTuple({"a": 7.0}, probability=0.3)]
+        replayed = list(replay_source(source))
+        assert replayed[0].value("a") == 7.0
+        assert replayed[0].probability == 0.3
+
+
+class TestThroughputMeter:
+    def test_accumulates(self):
+        meter = ThroughputMeter()
+        meter.record(100, 2.0)
+        meter.record(100, 2.0)
+        assert meter.tuples_per_second == pytest.approx(50.0)
+
+    def test_zero_time_is_zero_rate(self):
+        assert ThroughputMeter().tuples_per_second == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(StreamError):
+            ThroughputMeter().record(-1, 1.0)
+
+
+class TestMeasureThroughput:
+    def test_positive_rate(self):
+        tuples = [UncertainTuple({"x": float(i)}) for i in range(200)]
+        rate = measure_throughput(
+            lambda: Pipeline([CountingSink()]), tuples, repeats=2
+        )
+        assert rate > 0
+
+    def test_fresh_pipeline_per_repeat(self):
+        built = []
+
+        def factory() -> Pipeline:
+            pipe = Pipeline([CountingSink()])
+            built.append(pipe)
+            return pipe
+
+        tuples = [UncertainTuple({"x": 1.0})] * 10
+        measure_throughput(factory, tuples, repeats=3)
+        assert len(built) == 3
+        assert all(p.sink.count == 10 for p in built)
+
+    def test_rejects_empty_tuples(self):
+        with pytest.raises(StreamError):
+            measure_throughput(lambda: Pipeline([CountingSink()]), [], 1)
+
+    def test_rejects_zero_repeats(self):
+        tuples = [UncertainTuple({"x": 1.0})]
+        with pytest.raises(StreamError):
+            measure_throughput(
+                lambda: Pipeline([CountingSink()]), tuples, 0
+            )

@@ -1,0 +1,120 @@
+"""Tests for uncertain tuples and schemas."""
+
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.distributions.base import Deterministic
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import SchemaError
+from repro.streams.tuples import AttributeSpec, Schema, UncertainTuple
+
+
+class TestAttributeSpec:
+    def test_kinds(self):
+        assert AttributeSpec("x", "number").accepts(3.5)
+        assert not AttributeSpec("x", "number").accepts("hi")
+        assert not AttributeSpec("x", "number").accepts(True)
+        assert AttributeSpec("x", "text").accepts("hi")
+        assert AttributeSpec("x", "any").accepts(object())
+
+    def test_distribution_kind(self):
+        spec = AttributeSpec("x", "distribution")
+        assert spec.accepts(GaussianDistribution(0, 1))
+        assert spec.accepts(DfSized(Deterministic(1.0), None))
+        assert not spec.accepts(3.0)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("x", "blob")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("")
+
+
+class TestSchema:
+    def test_construction_forms(self):
+        schema = Schema(["a", ("b", "number"), AttributeSpec("c", "text")])
+        assert schema.names == ("a", "b", "c")
+        assert schema.spec("b").kind == "number"
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_spec_unknown_name(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).spec("b")
+
+    def test_validate_accepts_matching_tuple(self):
+        schema = Schema([("x", "number"), ("d", "distribution")])
+        tup = UncertainTuple(
+            {"x": 1.0, "d": DfSized(GaussianDistribution(0, 1), 5)}
+        )
+        schema.validate(tup)  # no raise
+
+    def test_validate_missing_attribute(self):
+        schema = Schema(["x", "y"])
+        with pytest.raises(SchemaError, match="missing"):
+            schema.validate(UncertainTuple({"x": 1.0}))
+
+    def test_validate_extra_attribute(self):
+        schema = Schema(["x"])
+        with pytest.raises(SchemaError, match="undeclared"):
+            schema.validate(UncertainTuple({"x": 1.0, "y": 2.0}))
+
+    def test_validate_kind_mismatch(self):
+        schema = Schema([("x", "distribution")])
+        with pytest.raises(SchemaError, match="kind"):
+            schema.validate(UncertainTuple({"x": 1.0}))
+
+
+class TestUncertainTuple:
+    def test_defaults(self):
+        tup = UncertainTuple({"a": 1.0})
+        assert tup.probability == 1.0
+        assert tup.timestamp is None
+
+    def test_attributes_copied(self):
+        source = {"a": 1.0}
+        tup = UncertainTuple(source)
+        source["a"] = 2.0
+        assert tup.value("a") == 1.0
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(SchemaError):
+            UncertainTuple({"a": 1.0}, probability=1.5)
+        with pytest.raises(SchemaError):
+            UncertainTuple({"a": 1.0}, probability=-0.1)
+
+    def test_value_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            UncertainTuple({"a": 1.0}).value("b")
+
+    def test_dfsized_coercion(self):
+        tup = UncertainTuple(
+            {
+                "raw": 5.0,
+                "dist": GaussianDistribution(1, 1),
+                "sized": DfSized(GaussianDistribution(2, 1), 10),
+            }
+        )
+        assert tup.dfsized("raw").distribution == Deterministic(5.0)
+        assert tup.dfsized("raw").sample_size is None
+        assert tup.dfsized("dist").sample_size is None
+        assert tup.dfsized("sized").sample_size == 10
+
+    def test_scaled_multiplies_probability(self):
+        tup = UncertainTuple({"a": 1.0}, probability=0.8)
+        scaled = tup.scaled(0.5)
+        assert scaled.probability == pytest.approx(0.4)
+        assert tup.probability == 0.8  # original untouched
+
+    def test_with_attributes_preserves_metadata(self):
+        tup = UncertainTuple({"a": 1.0}, probability=0.7, timestamp=3.0)
+        replaced = tup.with_attributes({"b": 2.0})
+        assert replaced.probability == 0.7
+        assert replaced.timestamp == 3.0
+        assert "a" not in replaced.attributes

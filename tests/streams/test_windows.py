@@ -1,0 +1,84 @@
+"""Tests for the window buffers."""
+
+import pytest
+
+from repro.errors import StreamError
+from repro.streams.windows import CountWindow, TimeWindow, TumblingWindow
+
+
+class TestCountWindow:
+    def test_fills_then_evicts_fifo(self):
+        window = CountWindow(3)
+        assert window.add("a") is None
+        assert window.add("b") is None
+        assert window.add("c") is None
+        assert window.is_full
+        assert window.add("d") == "a"
+        assert list(window) == ["b", "c", "d"]
+
+    def test_len(self):
+        window = CountWindow(5)
+        window.add(1)
+        window.add(2)
+        assert len(window) == 2
+        assert not window.is_full
+
+    def test_size_one(self):
+        window = CountWindow(1)
+        assert window.add(1) is None
+        assert window.add(2) == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(StreamError):
+            CountWindow(0)
+
+
+class TestTumblingWindow:
+    def test_fires_on_full(self):
+        window = TumblingWindow(2)
+        assert window.add(1) is None
+        assert window.add(2) == [1, 2]
+        assert window.add(3) is None
+        assert len(window) == 1
+
+    def test_flush_returns_partial(self):
+        window = TumblingWindow(3)
+        window.add(1)
+        window.add(2)
+        assert window.flush() == [1, 2]
+        assert window.flush() == []
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(StreamError):
+            TumblingWindow(0)
+
+
+class TestTimeWindow:
+    def test_evicts_expired(self):
+        window = TimeWindow(10.0)
+        assert window.add(0.0, "a") == []
+        assert window.add(5.0, "b") == []
+        assert window.add(10.5, "c") == ["a"]
+        assert list(window) == ["b", "c"]
+
+    def test_eviction_boundary_inclusive(self):
+        window = TimeWindow(10.0)
+        window.add(0.0, "a")
+        # Exactly duration apart: the old item has aged out.
+        assert window.add(10.0, "b") == ["a"]
+
+    def test_multiple_evictions_at_once(self):
+        window = TimeWindow(1.0)
+        window.add(0.0, "a")
+        window.add(0.5, "b")
+        assert window.add(5.0, "c") == ["a", "b"]
+
+    def test_rejects_time_regression(self):
+        window = TimeWindow(10.0)
+        window.add(5.0, "a")
+        with pytest.raises(StreamError):
+            window.add(4.0, "b")
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(StreamError):
+            TimeWindow(0.0)

@@ -1,0 +1,171 @@
+"""Paper-conformance suite: every worked example in the paper, in order.
+
+Each test reproduces one of the paper's numbered examples end to end and
+asserts the numbers the paper prints (where it prints any).  This is the
+quickest way for a reviewer to check the implementation against the
+text.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    DfSized,
+    ExecutorConfig,
+    FieldStats,
+    GaussianDistribution,
+    HistogramLearner,
+    MTest,
+    ThreeValued,
+    UncertainTuple,
+    accuracy_from_sample,
+    bin_height_interval,
+    bootstrap_accuracy_info,
+    coupled_tests,
+    df_sample_count,
+    df_sample_size,
+    m_test,
+    p_test,
+    run_query,
+    tuple_probability_interval,
+)
+
+
+class TestExample1:
+    """Roads 19 and 20: 3 vs 50 observations of the Delay attribute."""
+
+    def test_sparse_road_gets_wider_accuracy(self, rng):
+        learner = HistogramLearner(bucket_count=8, value_range=(0, 150))
+        sparse = learner.learn(rng.normal(60, 15, 3))
+        dense = learner.learn(rng.normal(60, 15, 50))
+        assert (
+            sparse.accuracy(0.9).mean.length
+            > dense.accuracy(0.9).mean.length
+        )
+
+    def test_threshold_query_selects_both_but_flags_reliability(self, rng):
+        learner = HistogramLearner(bucket_count=8, value_range=(0, 150))
+        tuples = [
+            UncertainTuple(
+                {"road_id": float(road),
+                 "delay": learner.learn(rng.normal(70, 10, n)).as_dfsized()}
+            )
+            for road, n in [(19, 3), (20, 50)]
+        ]
+        # "SELECT Road_ID FROM t WHERE Delay >2/3 50"
+        results = run_query(
+            "SELECT road_id FROM t WHERE delay > 50 PROB 2/3",
+            tuples, config=ExecutorConfig(seed=0, confidence=0.9),
+        )
+        assert len(results) == 2
+        widths = [r.probability_interval.interval.length for r in results]
+        assert widths[0] > widths[1]  # road 19's answer is less reliable
+
+
+class TestExample2:
+    """n=20, buckets with 3/4/8/5 observations, 90% intervals."""
+
+    EXPECTED = {
+        0.15: (0.062, 0.322),  # Wilson (np < 4)
+        0.20: (0.05, 0.35),
+        0.40: (0.22, 0.58),
+        0.25: (0.09, 0.41),
+    }
+
+    @pytest.mark.parametrize("p,expected", sorted(EXPECTED.items()))
+    def test_bucket_intervals(self, p, expected):
+        ci = bin_height_interval(p, 20, 0.9)
+        assert ci.low == pytest.approx(expected[0], abs=0.005)
+        assert ci.high == pytest.approx(expected[1], abs=0.005)
+
+
+class TestExample3:
+    """10 delay observations -> mean CI [65.97, 76.23], var [41.66, 211.99]."""
+
+    def test_printed_numbers(self, paper_example3_sample):
+        info = accuracy_from_sample(paper_example3_sample, 0.9)
+        assert info.mean.low == pytest.approx(65.97, abs=0.02)
+        assert info.mean.high == pytest.approx(76.23, abs=0.02)
+        assert info.variance.low == pytest.approx(41.66, abs=0.05)
+        assert info.variance.high == pytest.approx(211.99, abs=0.5)
+
+
+class TestExample4:
+    """SELECT (A+B)/2 FROM S WHERE C > 80 with sizes 15/10/20."""
+
+    def test_df_sample_sizes(self):
+        assert df_sample_size([15, 10]) == 10   # the (A+B)/2 field
+        assert df_sample_size([20]) == 20       # the membership boolean
+
+    def test_through_the_query_engine(self, rng):
+        tup = UncertainTuple(
+            {
+                "a": DfSized(GaussianDistribution(10, 1), 15),
+                "b": DfSized(GaussianDistribution(20, 1), 10),
+                "c": DfSized(GaussianDistribution(85, 25), 20),
+            }
+        )
+        results = run_query(
+            "SELECT (a + b) / 2 AS y FROM s WHERE c > 80",
+            [tup], config=ExecutorConfig(seed=0, confidence=0.9),
+        )
+        assert results[0].value("y").sample_size == 10
+
+
+class TestExample5:
+    """Pr[C > 80] = 0.6 at n=20 -> tuple probability CI [0.42, 0.78]."""
+
+    def test_printed_interval(self):
+        interval = tuple_probability_interval(0.6, 20, 0.9).interval
+        assert interval.low == pytest.approx(0.42, abs=0.005)
+        assert interval.high == pytest.approx(0.78, abs=0.005)
+
+
+class TestExample7:
+    """n=15, m=300 -> r=20 resamples; percentile intervals at alpha=0.9."""
+
+    def test_resample_structure(self, rng):
+        values = rng.normal(50, 5, 300)
+        info = bootstrap_accuracy_info(values, 15, 0.9)
+        chunk_means = values.reshape(20, 15).mean(axis=1)
+        lo, hi = np.percentile(chunk_means, [5, 95])
+        assert info.mean.low == pytest.approx(float(lo))
+        assert info.mean.high == pytest.approx(float(hi))
+
+
+class TestExamples8And9:
+    """Temperature fields X (n=5) and Y (n=100) with equal means."""
+
+    X_SAMPLE = [82, 86, 105, 110, 119]
+
+    def test_p1_probability_threshold_accepts_both(self):
+        # Both have Pr[temp > 100] ~ 0.6 >= 0.5: the accuracy-oblivious
+        # predicate cannot tell them apart (Example 8's complaint).
+        assert 3 / 5 >= 0.5 and 60 / 100 >= 0.5
+
+    def test_ptest_separates(self):
+        # pTest("temperature > 100", 0.5, 0.05).
+        assert p_test(0.6, 100, ">", 0.5, 0.05).reject      # Y passes
+        assert not p_test(0.6, 5, ">", 0.5, 0.05).reject    # X does not
+
+    def test_mtest_separates(self):
+        x = FieldStats.from_sample(self.X_SAMPLE)
+        assert not m_test(x, ">", 97, 0.05).reject          # X: not sig.
+        y = FieldStats(mean=x.mean, std=x.std, n=100)
+        assert m_test(y, ">", 97, 0.05).reject              # Y: significant
+
+    def test_coupled_form_reports_unsure_for_x(self):
+        x = FieldStats.from_sample(self.X_SAMPLE)
+        outcome = coupled_tests(MTest(x, ">", 97, 0.05), 0.05, 0.05)
+        assert outcome.value is ThreeValued.UNSURE
+
+
+class TestLemma4Example:
+    """c = prod P(n_i, n): two inputs 10 and 15 give 15!/5! d.f. samples."""
+
+    def test_count(self):
+        assert df_sample_count([10, 15]) == (
+            math.factorial(15) // math.factorial(5)
+        )

@@ -1,0 +1,154 @@
+"""Tests for JSON persistence of distributions, tuples, and databases."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.db import StreamDatabase
+from repro.distributions.base import Deterministic
+from repro.distributions.discrete import DiscreteDistribution
+from repro.distributions.empirical import EmpiricalDistribution
+from repro.distributions.gaussian import GaussianDistribution
+from repro.distributions.histogram import HistogramDistribution
+from repro.distributions.mixture import MixtureDistribution
+from repro.distributions.parametric import (
+    ExponentialDistribution,
+    GammaDistribution,
+    UniformDistribution,
+    WeibullDistribution,
+)
+from repro.errors import ReproError
+from repro.learning.kde_learner import KdeDistribution
+from repro.persist import (
+    distribution_from_dict,
+    distribution_to_dict,
+    load_database,
+    save_database,
+    tuple_from_dict,
+    tuple_to_dict,
+)
+from repro.streams.tuples import UncertainTuple
+
+
+ALL_DISTRIBUTIONS = [
+    Deterministic(3.5),
+    GaussianDistribution(1.0, 2.0),
+    HistogramDistribution([0, 1, 3], [0.25, 0.75]),
+    EmpiricalDistribution([1.0, 2.0, 2.0, 5.0]),
+    DiscreteDistribution([1.0, 4.0], [0.4, 0.6]),
+    UniformDistribution(2.0, 9.0),
+    ExponentialDistribution(0.5),
+    GammaDistribution(2.0, 3.0),
+    WeibullDistribution(1.5, 2.0),
+    KdeDistribution(np.array([1.0, 2.0, 3.0]), 0.4),
+    MixtureDistribution(
+        [GaussianDistribution(0, 1), ExponentialDistribution(1.0)],
+        [0.3, 0.7],
+    ),
+]
+
+
+class TestDistributionRoundTrip:
+    @pytest.mark.parametrize(
+        "dist", ALL_DISTRIBUTIONS, ids=lambda d: type(d).__name__
+    )
+    def test_round_trip_preserves_behaviour(self, dist):
+        restored = distribution_from_dict(distribution_to_dict(dist))
+        assert type(restored) is type(dist)
+        assert restored.mean() == pytest.approx(dist.mean())
+        assert restored.variance() == pytest.approx(dist.variance())
+        for x in (-1.0, 0.5, 2.0, 10.0):
+            assert restored.cdf(x) == pytest.approx(dist.cdf(x))
+
+    def test_json_safe(self):
+        import json
+
+        for dist in ALL_DISTRIBUTIONS:
+            json.dumps(distribution_to_dict(dist))  # must not raise
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            distribution_from_dict({"type": "cauchy"})
+
+    def test_unserialisable_rejected(self):
+        class Strange(GaussianDistribution):
+            pass
+
+        strange = Strange(0, 1)
+        # Subclasses of known types serialise as their base behaviour.
+        data = distribution_to_dict(strange)
+        assert data["type"] == "gaussian"
+
+
+class TestTupleRoundTrip:
+    def test_full_tuple(self):
+        tup = UncertainTuple(
+            {
+                "road": 19.0,
+                "name": "main-st",
+                "delay": DfSized(GaussianDistribution(60, 25), 12),
+                "raw_dist": HistogramDistribution([0, 1], [1.0]),
+            },
+            probability=0.8,
+            timestamp=42.0,
+        )
+        restored = tuple_from_dict(tuple_to_dict(tup))
+        assert restored.probability == 0.8
+        assert restored.timestamp == 42.0
+        assert restored.value("road") == 19.0
+        assert restored.value("name") == "main-st"
+        delay = restored.dfsized("delay")
+        assert delay.sample_size == 12
+        assert delay.distribution.mean() == pytest.approx(60.0)
+
+    def test_exact_dfsized_round_trips_none_size(self):
+        tup = UncertainTuple(
+            {"v": DfSized(Deterministic(1.0), None)}
+        )
+        restored = tuple_from_dict(tuple_to_dict(tup))
+        assert restored.dfsized("v").sample_size is None
+
+
+class TestDatabaseRoundTrip:
+    def test_save_and_load(self, tmp_path, rng):
+        db = StreamDatabase()
+        db.create_stream("roads")
+        from repro.learning.histogram_learner import HistogramLearner
+
+        learner = HistogramLearner(bucket_count=4)
+        for road in (1, 2):
+            fitted = learner.learn(rng.normal(60, 10, 30))
+            db.insert(
+                "roads",
+                UncertainTuple(
+                    {"road": float(road), "delay": fitted.as_dfsized()}
+                ),
+            )
+        path = tmp_path / "db.json"
+        save_database(db, path)
+
+        restored = load_database(path)
+        assert restored.streams() == ["roads"]
+        assert restored.count("roads") == 2
+        results = restored.query("SELECT road, delay FROM roads")
+        assert len(results) == 2
+        assert results[0].accuracy["delay"].sample_size == 30
+
+    def test_load_into_existing_database(self, tmp_path):
+        db = StreamDatabase()
+        db.create_stream("s")
+        db.insert("s", {"x": 1.0})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+
+        target = StreamDatabase()
+        target.create_stream("s")
+        target.insert("s", {"x": 99.0})
+        load_database(path, db=target)
+        assert target.count("s") == 2
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": 99, "streams": {}}')
+        with pytest.raises(ReproError):
+            load_database(path)

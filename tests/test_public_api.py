@@ -1,0 +1,71 @@
+"""Integrity tests for the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PACKAGES_WITH_ALL = [
+    "repro",
+    "repro.core",
+    "repro.distributions",
+    "repro.streams",
+    "repro.query",
+    "repro.learning",
+    "repro.workloads",
+]
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("module_name", PACKAGES_WITH_ALL)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", PACKAGES_WITH_ALL)
+    def test_no_duplicate_exports(self, module_name):
+        module = importlib.import_module(module_name)
+        assert len(set(module.__all__)) == len(module.__all__)
+
+    def test_version_present(self):
+        assert repro.__version__
+
+    def test_key_entry_points_importable(self):
+        from repro import (  # noqa: F401
+            StreamDatabase,
+            run_query,
+            coupled_tests,
+            bootstrap_accuracy_info,
+            accuracy_from_sample,
+        )
+
+    def test_every_public_callable_has_docstring(self):
+        missing = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not (obj.__doc__ or "").strip():
+                missing.append(name)
+        assert not missing, f"public names without docstrings: {missing}"
+
+    def test_exceptions_share_base(self):
+        from repro import (
+            AccuracyError,
+            DistributionError,
+            LearningError,
+            ParseError,
+            QueryError,
+            ReproError,
+            SchemaError,
+            StreamError,
+        )
+
+        for exc in (
+            DistributionError, LearningError, AccuracyError, QueryError,
+            ParseError, StreamError, SchemaError,
+        ):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ParseError, QueryError)
+        assert issubclass(SchemaError, StreamError)

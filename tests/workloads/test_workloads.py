@@ -1,0 +1,214 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.query.expressions import Column
+from repro.workloads.cartel import CarTelSimulator
+from repro.workloads.queries import RandomQueryWorkload, random_expression
+from repro.workloads.routes import Route, make_close_mean_pairs, make_routes
+from repro.workloads.synthetic import (
+    DISTRIBUTION_NAMES,
+    make_distribution,
+    sample_distribution,
+    true_mean,
+    true_variance,
+)
+
+
+class TestSynthetic:
+    def test_five_families(self):
+        assert len(DISTRIBUTION_NAMES) == 5
+
+    def test_paper_parameterisations(self):
+        # §V-A: exp(1), Gamma(2,2), N(1,1), U(0,1), Weibull(1,1).
+        assert true_mean("exponential") == pytest.approx(1.0)
+        assert true_mean("gamma") == pytest.approx(4.0)
+        assert true_mean("normal") == pytest.approx(1.0)
+        assert true_mean("uniform") == pytest.approx(0.5)
+        assert true_mean("weibull") == pytest.approx(1.0)
+        assert true_variance("uniform") == pytest.approx(1 / 12)
+        assert true_variance("gamma") == pytest.approx(8.0)
+
+    def test_sampling_matches_moments(self, rng):
+        for name in DISTRIBUTION_NAMES:
+            samples = sample_distribution(name, rng, 50_000)
+            assert samples.mean() == pytest.approx(
+                true_mean(name), rel=0.05
+            ), name
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ReproError):
+            make_distribution("cauchy")
+
+
+class TestCarTelSimulator:
+    def test_deterministic_with_seed(self):
+        a = CarTelSimulator(20, seed=1)
+        b = CarTelSimulator(20, seed=1)
+        assert a.true_mean(5) == b.true_mean(5)
+
+    def test_observations_match_segment_moments(self, small_sim):
+        sid = small_sim.segment_ids()[0]
+        obs = np.concatenate(
+            [small_sim.observations(sid, 5000) for _ in range(4)]
+        )
+        assert obs.mean() == pytest.approx(small_sim.true_mean(sid), rel=0.05)
+        assert obs.var() == pytest.approx(
+            small_sim.true_variance(sid), rel=0.15
+        )
+
+    def test_delays_are_positive_and_skewed(self, small_sim):
+        sid = small_sim.segment_ids()[3]
+        obs = small_sim.observations(sid, 5000)
+        assert obs.min() > 0
+        # Lognormal delays: mean above median (right skew).
+        assert obs.mean() > np.median(obs)
+
+    def test_pick_segments_distinct(self, small_sim):
+        chosen = small_sim.pick_segments(30)
+        assert len(set(chosen)) == 30
+
+    def test_pick_too_many_rejected(self, small_sim):
+        with pytest.raises(ReproError):
+            small_sim.pick_segments(10_000)
+
+    def test_report_stream_shape(self, small_sim):
+        reports = list(small_sim.report_stream(window_minutes=10))
+        assert reports, "a window should contain reports"
+        sample = reports[0]
+        record = sample.as_record()
+        assert set(record) == {
+            "segment_id", "length", "minute", "delay", "speed_limit",
+        }
+        assert all(0 <= r.minute < 10 for r in reports)
+
+    def test_report_counts_heterogeneous(self, small_sim):
+        reports = list(small_sim.report_stream())
+        counts: dict[int, int] = {}
+        for report in reports:
+            counts[report.segment_id] = counts.get(report.segment_id, 0) + 1
+        assert max(counts.values()) > 3 * min(counts.values())
+
+    def test_unknown_segment_rejected(self, small_sim):
+        with pytest.raises(ReproError):
+            small_sim.observations(99999, 5)
+
+
+class TestRandomExpressions:
+    def test_operator_count_zero_is_single_column(self, rng):
+        expr = random_expression(rng, ["a"], 0)
+        assert expr == Column("a")
+
+    def test_references_only_given_columns(self, rng):
+        for _ in range(20):
+            expr = random_expression(rng, ["a", "b"], 4)
+            assert expr.columns() <= {"a", "b"}
+
+    def test_binary_only_mode(self, rng):
+        for _ in range(20):
+            expr = random_expression(rng, ["a", "b", "c"], 3, binary_only=True)
+            assert "sqrtabs" not in str(expr)
+            assert "square" not in str(expr)
+            assert "*" not in str(expr) and "/" not in str(expr)
+
+    def test_rejects_no_columns(self, rng):
+        with pytest.raises(ReproError):
+            random_expression(rng, [], 2)
+
+
+class TestRandomQueryWorkload:
+    def test_generated_query_is_executable(self, rng):
+        workload = RandomQueryWorkload(rng)
+        generated = workload.generate()
+        from repro.query.expressions import EvalContext
+
+        value = generated.expression.evaluate(
+            EvalContext(generated.tup, rng, 500)
+        )
+        assert value.sample_size == generated.df_sample_size
+
+    def test_families_recorded(self, rng):
+        generated = RandomQueryWorkload(rng).generate()
+        assert set(generated.families.values()) <= set(DISTRIBUTION_NAMES)
+
+    def test_normal_only_mode(self, rng):
+        generated = RandomQueryWorkload(rng, normal_only=True).generate()
+        assert set(generated.families.values()) == {"normal"}
+
+
+class TestRoutes:
+    def test_make_routes_basic(self, small_sim, rng):
+        routes = make_routes(small_sim, 5, 10, rng)
+        assert len(routes) == 5
+        assert all(len(r.segment_ids) == 10 for r in routes)
+
+    def test_route_true_mean_is_sum(self, small_sim, rng):
+        route = make_routes(small_sim, 1, 5, rng)[0]
+        assert route.true_mean(small_sim) == pytest.approx(
+            sum(small_sim.true_mean(s) for s in route.segment_ids)
+        )
+
+    def test_route_rejects_duplicates(self):
+        with pytest.raises(ReproError):
+            Route(0, (1, 1, 2))
+
+    def test_df_sample_is_min_size(self, small_sim, rng):
+        route = make_routes(small_sim, 1, 4, rng)[0]
+        sizes = dict(zip(route.segment_ids, [10, 20, 5, 30]))
+        samples = route.segment_samples(small_sim, sizes)
+        df = Route.total_delay_df_sample(samples)
+        assert df.size == 5
+
+    def test_df_sample_mean_near_route_mean(self, small_sim, rng):
+        route = make_routes(small_sim, 1, 10, rng)[0]
+        samples = route.segment_samples(small_sim, 500)
+        df = Route.total_delay_df_sample(samples)
+        assert df.mean() == pytest.approx(
+            route.true_mean(small_sim), rel=0.1
+        )
+
+    def test_close_mean_pairs_hit_target_gap(self, small_sim, rng):
+        pairs = make_close_mean_pairs(small_sim, 8, 10, 0.05, rng)
+        for pair in pairs:
+            assert pair.gap > 0  # Y always has the larger mean
+            relative = pair.gap / pair.mean_x
+            assert relative == pytest.approx(0.05, abs=0.04)
+
+    def test_pair_routes_differ_in_one_segment(self, small_sim, rng):
+        pair = make_close_mean_pairs(small_sim, 1, 10, 0.03, rng)[0]
+        shared = set(pair.route_x.segment_ids) & set(pair.route_y.segment_ids)
+        assert len(shared) == 9
+
+    def test_rejects_bad_gap(self, small_sim, rng):
+        with pytest.raises(ReproError):
+            make_close_mean_pairs(small_sim, 1, 10, 0.0, rng)
+
+
+class TestCongestion:
+    def test_profile_shape(self):
+        # Off-peak ~1.0; rush hours clearly elevated; 24h periodic.
+        assert CarTelSimulator.congestion_factor(3.0) == pytest.approx(
+            1.0, abs=0.01
+        )
+        assert CarTelSimulator.congestion_factor(8.5) == pytest.approx(1.6)
+        assert CarTelSimulator.congestion_factor(17.5) > 1.55
+        assert CarTelSimulator.congestion_factor(26.0) == pytest.approx(
+            CarTelSimulator.congestion_factor(2.0)
+        )
+
+    def test_rush_hour_observations_slower(self, small_sim):
+        sid = small_sim.segment_ids()[0]
+        off_peak = small_sim.observations(sid, 4000)
+        rush = small_sim.observations(sid, 4000, hour=8.5)
+        assert rush.mean() > 1.4 * off_peak.mean()
+
+    def test_report_stream_hour_matters(self):
+        calm = CarTelSimulator(30, seed=3)
+        busy = CarTelSimulator(30, seed=3)
+        calm_delays = [r.delay for r in calm.report_stream(start_hour=3.0)]
+        busy_delays = [r.delay for r in busy.report_stream(start_hour=8.5)]
+        assert sum(busy_delays) / len(busy_delays) > 1.3 * (
+            sum(calm_delays) / len(calm_delays)
+        )
