@@ -8,6 +8,11 @@ assert is:
 * 5(f): all three significance predicates run at the same order of
   magnitude as the no-predicate baseline, i.e. hypothesis testing on
   distribution summaries is cheap relative to query processing.
+
+Both harnesses also measure the batched execution path
+(:meth:`Pipeline.run_batched` + the vectorized accuracy kernels) and
+assert it beats the per-tuple path by at least 1.5x on the
+accuracy-heavy configurations.
 """
 
 import pytest
@@ -30,6 +35,9 @@ def test_fig5c_accuracy_overhead(benchmark, results_dir):
     # keep a usable fraction of baseline throughput.
     assert relative["analytic"] > 0.3
     assert relative["bootstrap"] > 0.1
+    # The vectorized kernels must pay for themselves on the hot path.
+    assert rates["analytic (batched)"] > 1.5 * rates["analytic"]
+    assert rates["bootstrap (batched)"] > 1.5 * rates["bootstrap"]
 
 
 def test_fig5f_predicate_overhead(benchmark, results_dir):
@@ -49,6 +57,11 @@ def test_fig5f_predicate_overhead(benchmark, results_dir):
     for name in ("mTest", "mdTest", "pTest"):
         # Paper: "significance predicates have little overhead".
         assert relative[name] > 0.3, name
+    # Batching helps every predicate configuration (looser bar than
+    # 5(c): the per-tuple t-test work is not vectorized, only the
+    # learning/accuracy stages upstream of it are).
+    for name in ("no predicate", "mTest", "mdTest", "pTest"):
+        assert rates[f"{name} (batched)"] > rates[name], name
 
 
 def test_fig5f_predicates_cheaper_than_bootstrap_accuracy(benchmark):

@@ -57,16 +57,22 @@ from repro.core import (
     AccuracyInfo,
     TupleProbabilityInterval,
     bin_height_interval,
+    bin_height_intervals,
     histogram_accuracy,
     mean_interval,
+    mean_intervals,
     variance_interval,
+    variance_intervals,
     distribution_accuracy,
+    accuracy_from_moments,
     tuple_probability_interval,
+    tuple_probability_intervals,
     accuracy_from_sample,
     df_sample_size,
     df_sample_count,
     DfSized,
     bootstrap_accuracy_info,
+    bootstrap_accuracy_batch,
     classical_bootstrap_accuracy,
     FieldStats,
     TestResult,
@@ -134,10 +140,14 @@ __all__ = [
     "UniformDistribution", "ExponentialDistribution", "GammaDistribution",
     "WeibullDistribution", "MixtureDistribution",
     "ConfidenceInterval", "BinInterval", "AccuracyInfo",
-    "TupleProbabilityInterval", "bin_height_interval", "histogram_accuracy",
-    "mean_interval", "variance_interval", "distribution_accuracy",
-    "tuple_probability_interval", "accuracy_from_sample", "df_sample_size",
+    "TupleProbabilityInterval", "bin_height_interval", "bin_height_intervals",
+    "histogram_accuracy",
+    "mean_interval", "mean_intervals", "variance_interval",
+    "variance_intervals", "distribution_accuracy", "accuracy_from_moments",
+    "tuple_probability_interval", "tuple_probability_intervals",
+    "accuracy_from_sample", "df_sample_size",
     "df_sample_count", "DfSized", "bootstrap_accuracy_info",
+    "bootstrap_accuracy_batch",
     "classical_bootstrap_accuracy", "FieldStats", "TestResult", "m_test",
     "md_test", "p_test", "v_test", "MTest", "MdTest", "PTest", "VTest",
     "ThreeValued",

@@ -18,13 +18,20 @@ from repro.core.accuracy import (
 )
 from repro.core.analytic import (
     bin_height_interval,
+    bin_height_intervals,
     proportion_interval_wald,
     proportion_interval_wilson,
+    proportion_intervals_wald,
+    proportion_intervals_wilson,
     histogram_accuracy,
     mean_interval,
+    mean_intervals,
     variance_interval,
+    variance_intervals,
     distribution_accuracy,
+    accuracy_from_moments,
     tuple_probability_interval,
+    tuple_probability_intervals,
     accuracy_from_sample,
 )
 from repro.core.dfsample import (
@@ -34,7 +41,9 @@ from repro.core.dfsample import (
 )
 from repro.core.bootstrap import (
     bootstrap_accuracy_info,
+    bootstrap_accuracy_batch,
     percentile_interval,
+    percentile_intervals,
     classical_bootstrap_accuracy,
 )
 from repro.core.predicates import (
@@ -65,19 +74,28 @@ __all__ = [
     "AccuracyInfo",
     "TupleProbabilityInterval",
     "bin_height_interval",
+    "bin_height_intervals",
     "proportion_interval_wald",
     "proportion_interval_wilson",
+    "proportion_intervals_wald",
+    "proportion_intervals_wilson",
     "histogram_accuracy",
     "mean_interval",
+    "mean_intervals",
     "variance_interval",
+    "variance_intervals",
     "distribution_accuracy",
+    "accuracy_from_moments",
     "tuple_probability_interval",
+    "tuple_probability_intervals",
     "accuracy_from_sample",
     "df_sample_size",
     "df_sample_count",
     "DfSized",
     "bootstrap_accuracy_info",
+    "bootstrap_accuracy_batch",
     "percentile_interval",
+    "percentile_intervals",
     "classical_bootstrap_accuracy",
     "FieldStats",
     "TestResult",

@@ -119,6 +119,11 @@ class AccuracyInfo:
     bins: tuple[BinInterval, ...] = ()
     sample_size: int = 0
     method: str = "analytic"
+    # Bootstrap observability: how many Monte-Carlo values the chunking
+    # consumed vs. discarded (the trailing m mod n values).  Zero for the
+    # analytic method.
+    values_used: int = 0
+    values_dropped: int = 0
 
     def __post_init__(self) -> None:
         if self.sample_size < 0:
@@ -127,6 +132,11 @@ class AccuracyInfo:
             )
         if self.method not in ("analytic", "bootstrap"):
             raise AccuracyError(f"unknown accuracy method {self.method!r}")
+        if self.values_used < 0 or self.values_dropped < 0:
+            raise AccuracyError(
+                "values_used and values_dropped must be >= 0, got "
+                f"{self.values_used} and {self.values_dropped}"
+            )
 
     @property
     def has_bins(self) -> bool:

@@ -18,6 +18,7 @@ sample statistics.
 from __future__ import annotations
 
 import functools
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import special
@@ -37,12 +38,19 @@ __all__ = [
     "WALD_VALIDITY_COUNT",
     "proportion_interval_wald",
     "proportion_interval_wilson",
+    "proportion_intervals_wald",
+    "proportion_intervals_wilson",
     "bin_height_interval",
+    "bin_height_intervals",
     "histogram_accuracy",
     "mean_interval",
+    "mean_intervals",
     "variance_interval",
+    "variance_intervals",
     "distribution_accuracy",
+    "accuracy_from_moments",
     "tuple_probability_interval",
+    "tuple_probability_intervals",
     "accuracy_from_sample",
 ]
 
@@ -89,6 +97,24 @@ def _check_sample_size(n: int, minimum: int = 1) -> int:
             f"sample size must be >= {minimum}, got {n}"
         )
     return int(n)
+
+
+def _as_proportions(p_vec: "np.ndarray | Sequence[float]") -> np.ndarray:
+    p = np.asarray(p_vec, dtype=float).ravel()
+    if p.size and (np.min(p) < 0.0 or np.max(p) > 1.0):
+        raise AccuracyError("proportions must all be in [0,1]")
+    return p
+
+
+def _as_sizes(
+    n: "int | np.ndarray | Sequence[int]", minimum: int = 1
+) -> np.ndarray:
+    arr = np.asarray(n)
+    if arr.size and np.min(arr) < minimum:
+        raise AccuracyError(
+            f"sample sizes must all be >= {minimum}, got {arr.min()}"
+        )
+    return arr.astype(float)
 
 
 # ---------------------------------------------------------------------------
@@ -141,6 +167,78 @@ def bin_height_interval(
     return proportion_interval_wilson(p, n, confidence)
 
 
+# ---------------------------------------------------------------------------
+# Vectorized batch kernels (array-in / array-out)
+#
+# The scalar functions above are the Lemma 1/2 reference; these kernels
+# compute the same intervals for a whole vector of bins (or a whole batch
+# of stream tuples) in one NumPy pass.  They must stay element-wise
+# identical to the scalar path — tests/core/test_vectorized_kernels.py
+# enforces agreement to 1e-12 including the dispatch boundaries.
+# ---------------------------------------------------------------------------
+
+def proportion_intervals_wald(
+    p_vec: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray",
+    confidence: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Equation (1): Wald intervals for a vector of proportions.
+
+    Returns ``(low, high)`` arrays clamped to [0, 1]; ``n`` may be a
+    scalar or a per-element array (broadcast against ``p_vec``).
+    """
+    _check_confidence(confidence)
+    p = _as_proportions(p_vec)
+    n_arr = _as_sizes(n)
+    z = _z_upper((1.0 - confidence) / 2.0)
+    half = z * np.sqrt(p * (1.0 - p) / n_arr)
+    low = np.minimum(np.maximum(p - half, 0.0), 1.0)
+    high = np.maximum(np.minimum(p + half, 1.0), low)
+    return low, high
+
+
+def proportion_intervals_wilson(
+    p_vec: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray",
+    confidence: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Equation (2): Wilson score intervals, clamped to [0, 1]."""
+    _check_confidence(confidence)
+    p = _as_proportions(p_vec)
+    n_arr = _as_sizes(n)
+    z = _z_upper((1.0 - confidence) / 2.0)
+    z2 = z * z
+    center = p + z2 / (2.0 * n_arr)
+    half = z * np.sqrt(p * (1.0 - p) / n_arr + z2 / (4.0 * n_arr * n_arr))
+    denom = 1.0 + z2 / n_arr
+    low = np.minimum(np.maximum((center - half) / denom, 0.0), 1.0)
+    high = np.maximum(np.minimum((center + half) / denom, 1.0), low)
+    return low, high
+
+
+def bin_height_intervals(
+    p_vec: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray",
+    confidence: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Lemma 1 dispatch over a vector of bin heights.
+
+    Computes both interval families and selects per element with
+    :func:`numpy.where` using the same validity rule as the scalar
+    :func:`bin_height_interval` (``n·p >= 4 and n·(1−p) >= 4`` → Wald).
+    """
+    p = _as_proportions(p_vec)
+    n_arr = _as_sizes(n)
+    wald_lo, wald_hi = proportion_intervals_wald(p, n, confidence)
+    wils_lo, wils_hi = proportion_intervals_wilson(p, n, confidence)
+    use_wald = (n_arr * p >= WALD_VALIDITY_COUNT) & (
+        n_arr * (1.0 - p) >= WALD_VALIDITY_COUNT
+    )
+    return np.where(use_wald, wald_lo, wils_lo), np.where(
+        use_wald, wald_hi, wils_hi
+    )
+
+
 def histogram_accuracy(
     histogram: HistogramDistribution,
     n: int,
@@ -149,16 +247,20 @@ def histogram_accuracy(
     """Per-bin accuracy of a histogram learned from a sample of size n.
 
     Returns the generalised representation ``{(b_i, p_i1, p_i2, c_i)}``
-    of §II-B as a tuple of :class:`BinInterval`.
+    of §II-B as a tuple of :class:`BinInterval`.  All bins are computed
+    in one pass through :func:`bin_height_intervals`.
     """
     _check_sample_size(n)
-    bins = []
-    for i, p in enumerate(histogram.probabilities):
-        lo, hi = histogram.bucket_bounds(i)
-        bins.append(
-            BinInterval(lo, hi, bin_height_interval(float(p), n, confidence))
+    lows, highs = bin_height_intervals(histogram.probabilities, n, confidence)
+    edges = histogram.edges
+    return tuple(
+        BinInterval(
+            float(edges[i]),
+            float(edges[i + 1]),
+            ConfidenceInterval(float(lows[i]), float(highs[i]), confidence),
         )
-    return tuple(bins)
+        for i in range(lows.size)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -211,6 +313,50 @@ def variance_interval(
     return ConfidenceInterval(low, high, confidence)
 
 
+def mean_intervals(
+    sample_means: "np.ndarray | Sequence[float]",
+    sample_stds: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray | Sequence[int]",
+    confidence: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Equations (3)/(4) over a batch of sample statistics.
+
+    ``n`` may be a scalar or per-element array; each element dispatches
+    to the Student-t or z interval exactly as :func:`mean_interval`.
+    """
+    _check_confidence(confidence)
+    means = np.asarray(sample_means, dtype=float).ravel()
+    stds = np.asarray(sample_stds, dtype=float).ravel()
+    if stds.size and np.min(stds) < 0:
+        raise AccuracyError("standard deviations must all be >= 0")
+    n_arr = np.broadcast_to(_as_sizes(n, minimum=2), means.shape)
+    alpha_half = (1.0 - confidence) / 2.0
+    small = n_arr < SMALL_SAMPLE_MEAN_CUTOFF
+    quantile = np.full(means.shape, _z_upper(alpha_half))
+    if np.any(small):
+        quantile[small] = special.stdtrit(n_arr[small] - 1.0, 1.0 - alpha_half)
+    half = quantile * stds / np.sqrt(n_arr)
+    return means - half, means + half
+
+
+def variance_intervals(
+    sample_variances: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray | Sequence[int]",
+    confidence: float = 0.95,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Equation (5) over a batch of sample variances."""
+    _check_confidence(confidence)
+    variances = np.asarray(sample_variances, dtype=float).ravel()
+    if variances.size and np.min(variances) < 0:
+        raise AccuracyError("sample variances must all be >= 0")
+    n_arr = np.broadcast_to(_as_sizes(n, minimum=2), variances.shape)
+    alpha_half = (1.0 - confidence) / 2.0
+    df = n_arr - 1.0
+    chi2_upper = special.chdtri(df, alpha_half)
+    chi2_lower = special.chdtri(df, 1.0 - alpha_half)
+    return df * variances / chi2_upper, df * variances / chi2_lower
+
+
 # ---------------------------------------------------------------------------
 # Theorem 1: accuracy of query results (and of learned source data)
 # ---------------------------------------------------------------------------
@@ -261,6 +407,67 @@ def tuple_probability_interval(
     """
     interval = bin_height_interval(probability, n, confidence)
     return TupleProbabilityInterval(interval)
+
+
+def tuple_probability_intervals(
+    probabilities: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray | Sequence[int]",
+    confidence: float = 0.95,
+) -> tuple[TupleProbabilityInterval, ...]:
+    """Vectorized :func:`tuple_probability_interval` over a result batch.
+
+    ``n`` may be a scalar or a per-tuple array of d.f. sample sizes.
+    """
+    p = _as_proportions(probabilities)
+    lows, highs = bin_height_intervals(p, n, confidence)
+    return tuple(
+        TupleProbabilityInterval(
+            ConfidenceInterval(float(lows[i]), float(highs[i]), confidence)
+        )
+        for i in range(p.size)
+    )
+
+
+def accuracy_from_moments(
+    sample_means: "np.ndarray | Sequence[float]",
+    sample_variances: "np.ndarray | Sequence[float]",
+    n: "int | np.ndarray | Sequence[int]",
+    confidence: float = 0.95,
+) -> tuple[AccuracyInfo, ...]:
+    """Batched Theorem 1 for non-histogram results (the stream hot path).
+
+    Given per-tuple means, variances and (de facto) sample sizes, one
+    vectorized pass produces the mean and variance intervals of every
+    tuple; only the per-tuple :class:`AccuracyInfo` wrappers are built in
+    Python.  Element-wise identical to calling
+    :func:`distribution_accuracy` per tuple.
+    """
+    means = np.asarray(sample_means, dtype=float).ravel()
+    variances = np.asarray(sample_variances, dtype=float).ravel()
+    if means.shape != variances.shape:
+        raise AccuracyError(
+            f"means and variances must have the same length, got "
+            f"{means.size} and {variances.size}"
+        )
+    n_arr = np.broadcast_to(
+        np.asarray(n), means.shape
+    )
+    stds = np.sqrt(variances)
+    mean_lo, mean_hi = mean_intervals(means, stds, n_arr, confidence)
+    var_lo, var_hi = variance_intervals(variances, n_arr, confidence)
+    return tuple(
+        AccuracyInfo(
+            mean=ConfidenceInterval(
+                float(mean_lo[i]), float(mean_hi[i]), confidence
+            ),
+            variance=ConfidenceInterval(
+                float(var_lo[i]), float(var_hi[i]), confidence
+            ),
+            sample_size=int(n_arr[i]),
+            method="analytic",
+        )
+        for i in range(means.size)
+    )
 
 
 def accuracy_from_sample(

@@ -17,6 +17,7 @@ with-replacement bootstrap (:func:`classical_bootstrap_accuracy`).
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
@@ -25,10 +26,17 @@ from repro.core.accuracy import AccuracyInfo, BinInterval, ConfidenceInterval
 from repro.errors import AccuracyError
 
 __all__ = [
+    "TRUNCATION_WARN_FRACTION",
     "percentile_interval",
+    "percentile_intervals",
     "bootstrap_accuracy_info",
+    "bootstrap_accuracy_batch",
     "classical_bootstrap_accuracy",
 ]
+
+# bootstrap_accuracy_info warns when chunking drops more than this
+# fraction of the Monte-Carlo values (m mod n can be almost n-1 values).
+TRUNCATION_WARN_FRACTION = 0.25
 
 
 def _sorted_percentile(sorted_values: np.ndarray, q: float) -> float:
@@ -41,10 +49,10 @@ def _sorted_percentile(sorted_values: np.ndarray, q: float) -> float:
     below = int(position)
     above = min(below + 1, sorted_values.size - 1)
     fraction = position - below
-    return float(
-        sorted_values[below] * (1.0 - fraction)
-        + sorted_values[above] * fraction
-    )
+    # Lerp as base + fraction*delta: exact when both endpoints are
+    # equal, so constant sequences cannot produce inverted intervals.
+    base = float(sorted_values[below])
+    return base + fraction * (float(sorted_values[above]) - base)
 
 
 def percentile_interval(
@@ -65,7 +73,46 @@ def percentile_interval(
     arr = np.sort(arr)
     low = _sorted_percentile(arr, (1.0 - confidence) / 2.0)
     high = _sorted_percentile(arr, (1.0 + confidence) / 2.0)
-    return ConfidenceInterval(low, high, confidence)
+    # low <= high mathematically; guard the last-ulp rounding cases.
+    return ConfidenceInterval(min(low, high), high, confidence)
+
+
+def _matrix_percentile(sorted_matrix: np.ndarray, q: float) -> np.ndarray:
+    """Column-wise :func:`_sorted_percentile` of a matrix sorted on axis 0."""
+    position = q * (sorted_matrix.shape[0] - 1)
+    below = int(position)
+    above = min(below + 1, sorted_matrix.shape[0] - 1)
+    fraction = position - below
+    # Same exact-when-equal lerp form as _sorted_percentile.
+    base = sorted_matrix[below]
+    return base + fraction * (sorted_matrix[above] - base)
+
+
+def percentile_intervals(
+    statistic_matrix: np.ndarray, confidence: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized percentile intervals over a ``(r, b)`` statistic matrix.
+
+    Column ``k`` holds the ``r`` bootstrap values of statistic ``k``
+    (e.g. the heights of histogram bin ``k`` across resamples); one sort
+    along axis 0 replaces ``b`` scalar :func:`percentile_interval` calls.
+    Returns ``(low, high)`` arrays of length ``b``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise AccuracyError(
+            f"confidence level must be in (0,1), got {confidence}"
+        )
+    matrix = np.asarray(statistic_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise AccuracyError(
+            "percentile_intervals needs a non-empty 2-D (r, b) matrix, got "
+            f"shape {matrix.shape}"
+        )
+    matrix = np.sort(matrix, axis=0)
+    low = _matrix_percentile(matrix, (1.0 - confidence) / 2.0)
+    high = _matrix_percentile(matrix, (1.0 + confidence) / 2.0)
+    # low <= high mathematically; guard the last-ulp rounding cases.
+    return np.minimum(low, high), high
 
 
 def _resample_statistics(
@@ -89,12 +136,29 @@ def _resample_statistics(
         variances = np.zeros(r)
     heights = None
     if edges is not None:
-        b = len(edges) - 1
-        heights = np.empty((r, b))
-        for i in range(r):
-            counts, _ = np.histogram(chunks[i], bins=edges)
-            heights[i] = counts / n
+        heights = _chunk_bin_heights(chunks, edges)
     return means, variances, heights
+
+
+def _chunk_bin_heights(chunks: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Bin heights of every chunk row in one pass, shape ``(r, b)``.
+
+    One ``searchsorted`` + ``bincount`` over the flattened ``(r, n)``
+    matrix replaces the per-row ``np.histogram`` loop while keeping its
+    semantics: bin ``k`` covers ``[edges[k], edges[k+1])``, the last bin
+    is closed on the right, and out-of-range values are ignored.
+    """
+    r, n = chunks.shape
+    b = edges.size - 1
+    flat = chunks.ravel()
+    idx = np.searchsorted(edges, flat, side="right") - 1
+    idx[flat == edges[-1]] = b - 1
+    valid = (idx >= 0) & (idx < b)
+    rows = np.repeat(np.arange(r), n)
+    counts = np.bincount(
+        rows[valid] * b + idx[valid], minlength=r * b
+    ).reshape(r, b)
+    return counts / n
 
 
 def _basic_interval(
@@ -151,9 +215,21 @@ def bootstrap_accuracy_info(
     if r < 2:
         raise AccuracyError(
             f"need at least 2 resamples; got m={arr.size} values for n={n} "
-            f"(m must be >= 2n)"
+            f"(m must be >= 2n — callers drawing Monte-Carlo values must "
+            f"request mc_samples >= 2n; note that "
+            f"repro.distributions.arithmetic.combine defaults to 1000 "
+            f"samples, which breaks for d.f. sample sizes n > 500)"
         )
-    chunks = arr[: r * n].reshape(r, n)
+    values_used = r * n
+    values_dropped = arr.size - values_used
+    if values_dropped > TRUNCATION_WARN_FRACTION * arr.size:
+        warnings.warn(
+            f"bootstrap chunking dropped {values_dropped} of {arr.size} "
+            f"Monte-Carlo values (m mod n with n={n}); draw a multiple of "
+            f"n values to use them all",
+            stacklevel=2,
+        )
+    chunks = arr[:values_used].reshape(r, n)
     edges_arr = None if edges is None else np.asarray(edges, dtype=float)
     means, variances, heights = _resample_statistics(chunks, edges_arr)
 
@@ -170,22 +246,90 @@ def bootstrap_accuracy_info(
     bins: tuple[BinInterval, ...] = ()
     if heights is not None:
         assert edges_arr is not None
-        bin_list = []
-        for k in range(heights.shape[1]):
-            ci = percentile_interval(heights[:, k], confidence)
-            bin_list.append(
-                BinInterval(
-                    float(edges_arr[k]), float(edges_arr[k + 1]),
-                    ci.clamped(0.0, 1.0),
-                )
-            )
-        bins = tuple(bin_list)
+        bins = _height_bins(heights, edges_arr, confidence)
     return AccuracyInfo(
         mean=mean_ci,
         variance=var_ci,
         bins=bins,
         sample_size=n,
         method="bootstrap",
+        values_used=values_used,
+        values_dropped=values_dropped,
+    )
+
+
+def _height_bins(
+    heights: np.ndarray, edges: np.ndarray, confidence: float
+) -> tuple[BinInterval, ...]:
+    """Per-bin percentile intervals from an ``(r, b)`` height matrix."""
+    lows, highs = percentile_intervals(heights, confidence)
+    lows = np.minimum(np.maximum(lows, 0.0), 1.0)
+    highs = np.maximum(np.minimum(highs, 1.0), lows)
+    return tuple(
+        BinInterval(
+            float(edges[k]),
+            float(edges[k + 1]),
+            ConfidenceInterval(float(lows[k]), float(highs[k]), confidence),
+        )
+        for k in range(heights.shape[1])
+    )
+
+
+def bootstrap_accuracy_batch(
+    value_matrix: np.ndarray,
+    n: int,
+    confidence: float = 0.95,
+) -> tuple[AccuracyInfo, ...]:
+    """BOOTSTRAP-ACCURACY-INFO for a whole batch of output variables.
+
+    ``value_matrix`` has shape ``(t, m)``: row ``i`` holds the ``m``
+    Monte-Carlo values of tuple ``i``'s output variable, all sharing the
+    d.f. sample size ``n``.  The chunk statistics and percentile
+    intervals of every tuple are computed in one vectorized pass — this
+    is the stream hot path behind ``Pipeline.run_batched``.  Row ``i`` of
+    the result matches ``bootstrap_accuracy_info(value_matrix[i], n)``.
+    """
+    matrix = np.asarray(value_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise AccuracyError(
+            f"value matrix must be 2-D (tuples, values), got shape "
+            f"{matrix.shape}"
+        )
+    if n < 1:
+        raise AccuracyError(f"d.f. sample size must be >= 1, got {n}")
+    t, m = matrix.shape
+    r = m // n
+    if r < 2:
+        raise AccuracyError(
+            f"need at least 2 resamples; got m={m} values for n={n} "
+            f"(m must be >= 2n — callers drawing Monte-Carlo values must "
+            f"request mc_samples >= 2n)"
+        )
+    values_used = r * n
+    values_dropped = m - values_used
+    chunks = matrix[:, :values_used].reshape(t * r, n)
+    means, variances, _ = _resample_statistics(chunks, None)
+    # Statistic matrices with resamples on axis 0 and tuples on axis 1.
+    mean_lo, mean_hi = percentile_intervals(
+        means.reshape(t, r).T, confidence
+    )
+    var_lo, var_hi = percentile_intervals(
+        variances.reshape(t, r).T, confidence
+    )
+    return tuple(
+        AccuracyInfo(
+            mean=ConfidenceInterval(
+                float(mean_lo[i]), float(mean_hi[i]), confidence
+            ),
+            variance=ConfidenceInterval(
+                float(var_lo[i]), float(var_hi[i]), confidence
+            ),
+            sample_size=n,
+            method="bootstrap",
+            values_used=values_used,
+            values_dropped=values_dropped,
+        )
+        for i in range(t)
     )
 
 
@@ -218,18 +362,13 @@ def classical_bootstrap_accuracy(
     bins: tuple[BinInterval, ...] = ()
     if heights is not None:
         assert edges_arr is not None
-        bins = tuple(
-            BinInterval(
-                float(edges_arr[k]),
-                float(edges_arr[k + 1]),
-                percentile_interval(heights[:, k], confidence).clamped(0, 1),
-            )
-            for k in range(heights.shape[1])
-        )
+        bins = _height_bins(heights, edges_arr, confidence)
     return AccuracyInfo(
         mean=mean_ci,
         variance=var_ci,
         bins=bins,
         sample_size=n,
         method="bootstrap",
+        values_used=arr.size,
+        values_dropped=0,
     )

@@ -15,13 +15,16 @@ again a Gaussian.  We measure maximum throughput (tuples/second) for:
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.analytic import distribution_accuracy
-from repro.core.bootstrap import bootstrap_accuracy_info
+from repro.core.analytic import accuracy_from_moments, distribution_accuracy
+from repro.core.bootstrap import bootstrap_accuracy_batch, bootstrap_accuracy_info
 from repro.core.coupled import coupled_tests
+from repro.core.dfsample import DfSized
 from repro.core.predicates import FieldStats, MdTest, MTest, PTest
+from repro.distributions.gaussian import GaussianDistribution
 from repro.experiments.harness import render_table
 from repro.learning.gaussian_learner import GaussianLearner
 from repro.streams.engine import Pipeline
@@ -37,6 +40,8 @@ __all__ = ["ThroughputResult", "run_fig5c", "run_fig5f"]
 
 RAW_POINTS_PER_ITEM = 20
 WINDOW_SIZE = 1000
+# Batch size for the vectorized execution path (Pipeline.run_batched).
+BATCH_SIZE = 256
 
 
 @dataclasses.dataclass
@@ -94,6 +99,30 @@ class _LearnGaussian(Operator):
         attributes[self.output] = fitted.as_dfsized()
         self.emit(tup.with_attributes(attributes))
 
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # All per-item point vectors have the same length, so the whole
+        # batch learns from one (batch, points) matrix in two NumPy
+        # reductions instead of two per tuple.
+        points = [tup.value(self.points_attribute) for tup in tuples]
+        try:
+            matrix = np.asarray(points, dtype=float)
+        except ValueError:
+            matrix = None
+        if matrix is None or matrix.ndim != 2 or matrix.shape[1] < 2:
+            super().receive_many(tuples)
+            return
+        mus = matrix.mean(axis=1)
+        sigma2s = matrix.var(axis=1, ddof=1)
+        n = matrix.shape[1]
+        out = []
+        for i, tup in enumerate(tuples):
+            attributes = dict(tup.attributes)
+            attributes[self.output] = DfSized(
+                GaussianDistribution(float(mus[i]), float(sigma2s[i])), n
+            )
+            out.append(tup.with_attributes(attributes))
+        self.emit_many(out)
+
 
 class _AnalyticAccuracy(Operator):
     """Attaches analytic accuracy info to the window-average field."""
@@ -112,6 +141,31 @@ class _AnalyticAccuracy(Operator):
             )
             tup = tup.with_attributes(attributes)
         self.emit(tup)
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # Vectorized Lemma 2: one mean_intervals/variance_intervals pass
+        # over the whole batch instead of two interval solves per tuple.
+        fields = [tup.dfsized(self.attribute) for tup in tuples]
+        eligible = [
+            i
+            for i, f in enumerate(fields)
+            if f.sample_size is not None and f.sample_size >= 2
+        ]
+        if not eligible:
+            self.emit_many(list(tuples))
+            return
+        means = [fields[i].distribution.mean() for i in eligible]
+        variances = [fields[i].distribution.variance() for i in eligible]
+        sizes = [fields[i].sample_size for i in eligible]
+        infos = accuracy_from_moments(
+            means, variances, sizes, self.confidence
+        )
+        out = list(tuples)
+        for info, i in zip(infos, eligible):
+            attributes = dict(out[i].attributes)
+            attributes["accuracy"] = info
+            out[i] = out[i].with_attributes(attributes)
+        self.emit_many(out)
 
 
 class _BootstrapAccuracy(Operator):
@@ -143,11 +197,51 @@ class _BootstrapAccuracy(Operator):
             tup = tup.with_attributes(attributes)
         self.emit(tup)
 
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # Vectorized BOOTSTRAP-ACCURACY-INFO: sample every tuple's output
+        # variable into one (batch, m) matrix, then chunk statistics and
+        # percentile intervals for the whole batch in a single pass.
+        fields = [tup.dfsized(self.attribute) for tup in tuples]
+        out = list(tuples)
+        # Group eligible tuples by sample size so each group shares one
+        # (batch, m) kernel call (the window workload has a constant n).
+        by_n: dict[int, list[int]] = {}
+        for i, f in enumerate(fields):
+            if f.sample_size is not None and f.sample_size >= 2:
+                by_n.setdefault(f.sample_size, []).append(i)
+        for n, indices in by_n.items():
+            m = self.resamples * n
+            dists = [fields[i].distribution for i in indices]
+            if all(isinstance(d, GaussianDistribution) for d in dists):
+                mus = np.array([d.mu for d in dists])
+                stds = np.sqrt([d.sigma2 for d in dists])
+                matrix = self._rng.normal(
+                    mus[:, None], stds[:, None], (len(dists), m)
+                )
+            else:
+                matrix = np.stack(
+                    [d.sample(self._rng, m) for d in dists]
+                )
+            infos = bootstrap_accuracy_batch(matrix, n, self.confidence)
+            for info, i in zip(infos, indices):
+                attributes = dict(out[i].attributes)
+                attributes["accuracy"] = info
+                out[i] = out[i].with_attributes(attributes)
+        self.emit_many(out)
+
 
 def run_fig5c(
-    seed: int = 0, n_items: int = 4000, repeats: int = 3
+    seed: int = 0,
+    n_items: int = 4000,
+    repeats: int = 3,
+    batch_size: int = BATCH_SIZE,
 ) -> ThroughputResult:
-    """Figure 5(c): accuracy-computation overhead on stream throughput."""
+    """Figure 5(c): accuracy-computation overhead on stream throughput.
+
+    Each configuration is measured twice: on the per-tuple path
+    (``Pipeline.run``) and on the vectorized batched path
+    (``Pipeline.run_batched``, suffix "(batched)").
+    """
     tuples = _make_stream(n_items, seed)
 
     def base() -> list[Operator]:
@@ -167,12 +261,22 @@ def run_fig5c(
             base() + [_BootstrapAccuracy("avg", seed=seed), CountingSink()]
         )
 
+    batched = dict(batch_size=batch_size)
     return ThroughputResult(
         "Figure 5(c): throughput with accuracy computation",
         {
             "QP only": measure_throughput(qp_only, tuples, repeats),
             "analytic": measure_throughput(with_analytic, tuples, repeats),
             "bootstrap": measure_throughput(with_bootstrap, tuples, repeats),
+            "QP only (batched)": measure_throughput(
+                qp_only, tuples, repeats, **batched
+            ),
+            "analytic (batched)": measure_throughput(
+                with_analytic, tuples, repeats, **batched
+            ),
+            "bootstrap (batched)": measure_throughput(
+                with_bootstrap, tuples, repeats, **batched
+            ),
         },
     )
 
@@ -236,9 +340,16 @@ class _CoupledPTest(Operator):
 
 
 def run_fig5f(
-    seed: int = 0, n_items: int = 4000, repeats: int = 3
+    seed: int = 0,
+    n_items: int = 4000,
+    repeats: int = 3,
+    batch_size: int = BATCH_SIZE,
 ) -> ThroughputResult:
-    """Figure 5(f): significance-predicate overhead on stream throughput."""
+    """Figure 5(f): significance-predicate overhead on stream throughput.
+
+    As in :func:`run_fig5c`, every configuration is measured on both the
+    per-tuple and the batched execution path.
+    """
     tuples = _make_stream(n_items, seed)
 
     def base() -> list[Operator]:
@@ -261,6 +372,7 @@ def run_fig5f(
             base() + [_CoupledPTest("avg", 99.0, 0.8), CountingSink()]
         )
 
+    batched = dict(batch_size=batch_size)
     return ThroughputResult(
         "Figure 5(f): throughput with significance predicates",
         {
@@ -268,5 +380,17 @@ def run_fig5f(
             "mTest": measure_throughput(with_mtest, tuples, repeats),
             "mdTest": measure_throughput(with_mdtest, tuples, repeats),
             "pTest": measure_throughput(with_ptest, tuples, repeats),
+            "no predicate (batched)": measure_throughput(
+                no_pred, tuples, repeats, **batched
+            ),
+            "mTest (batched)": measure_throughput(
+                with_mtest, tuples, repeats, **batched
+            ),
+            "mdTest (batched)": measure_throughput(
+                with_mdtest, tuples, repeats, **batched
+            ),
+            "pTest (batched)": measure_throughput(
+                with_ptest, tuples, repeats, **batched
+            ),
         },
     )

@@ -24,7 +24,7 @@ from repro.distributions.base import Deterministic, Distribution
 from repro.distributions.convolution import convolve_histograms
 from repro.distributions.gaussian import GaussianDistribution
 from repro.distributions.histogram import HistogramDistribution
-from repro.errors import QueryError
+from repro.errors import DistributionError, QueryError
 from repro.streams.tuples import UncertainTuple
 
 __all__ = [
@@ -145,7 +145,7 @@ def _closed_form_binary(
             "/": lambda a, b: a / b if b != 0 else None,
         }
         result = ops[op](left.value, right.value)
-        if result is not None:
+        if result is not None and np.isfinite(result):
             return Deterministic(result)
     return None
 
@@ -166,7 +166,15 @@ class BinaryOp(Expression):
         lhs = self.left.evaluate(ctx)
         rhs = self.right.evaluate(ctx)
         size = DfSized.combine_sizes((lhs, rhs))
-        exact = _closed_form_binary(self.op, lhs.distribution, rhs.distribution)
+        try:
+            exact = _closed_form_binary(
+                self.op, lhs.distribution, rhs.distribution
+            )
+        except DistributionError:
+            # The exact form can overflow (e.g. a Gaussian scaled by
+            # 1/c for a denormal c makes sigma^2/c^2 infinite).  Monte
+            # Carlo nudges near-zero divisors and stays finite.
+            exact = None
         if exact is not None:
             return DfSized(exact, size)
         result = combine(

@@ -48,3 +48,36 @@ class Pipeline:
             self.head.receive(tup)
         self.head.flush()
         return self.sink
+
+    def push_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        """Feed a batch of tuples into the pipeline."""
+        if tuples:
+            self.head.receive_many(tuples)
+
+    def run_batched(
+        self,
+        source: Iterable[UncertainTuple],
+        batch_size: int = 256,
+    ) -> Operator:
+        """Like :meth:`run`, but push tuples in batches of ``batch_size``.
+
+        Batch-aware operators (``receive_many``) amortize per-tuple
+        dispatch and vectorize accuracy computation across the batch;
+        every operator falls back to per-tuple processing otherwise, so
+        the sink contents are identical to :meth:`run` for any pipeline.
+        """
+        if batch_size < 1:
+            raise StreamError(f"batch size must be >= 1, got {batch_size}")
+        head = self.head
+        batch: list[UncertainTuple] = []
+        append = batch.append
+        for tup in source:
+            append(tup)
+            if len(batch) >= batch_size:
+                head.receive_many(batch)
+                batch = []
+                append = batch.append
+        if batch:
+            head.receive_many(batch)
+        head.flush()
+        return self.sink

@@ -57,8 +57,37 @@ class Operator(abc.ABC):
         if self._downstream is not None:
             self._downstream.receive(tup)
 
+    def emit_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        """Push a whole batch downstream (batch-aware operators)."""
+        if self._downstream is not None and tuples:
+            self._downstream.receive_many(tuples)
+
     def receive(self, tup: UncertainTuple) -> None:
         self.process(tup)
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        """Handle a batch of tuples (``Pipeline.run_batched``).
+
+        The default falls back to per-tuple :meth:`process`, but collects
+        everything the operator emits and hands it downstream as one
+        batch, so batch-aware operators further down the chain still see
+        batches.  Operators are order-preserving, hence the sink contents
+        are identical to the per-tuple path.
+        """
+        downstream = self._downstream
+        if downstream is None:
+            for tup in tuples:
+                self.process(tup)
+            return
+        collector = _BatchCollector()
+        self._downstream = collector
+        try:
+            for tup in tuples:
+                self.process(tup)
+        finally:
+            self._downstream = downstream
+        if collector.batch:
+            downstream.receive_many(collector.batch)
 
     @abc.abstractmethod
     def process(self, tup: UncertainTuple) -> None:
@@ -74,6 +103,17 @@ class Operator(abc.ABC):
         """Hook for subclasses with buffered state."""
 
 
+class _BatchCollector(Operator):
+    """Internal sink that buffers emitted tuples during a batch step."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batch: list[UncertainTuple] = []
+
+    def process(self, tup: UncertainTuple) -> None:
+        self.batch.append(tup)
+
+
 class Select(Operator):
     """Keeps tuples for which ``predicate(tuple)`` is truthy."""
 
@@ -84,6 +124,10 @@ class Select(Operator):
     def process(self, tup: UncertainTuple) -> None:
         if self.predicate(tup):
             self.emit(tup)
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        predicate = self.predicate
+        self.emit_many([tup for tup in tuples if predicate(tup)])
 
 
 class Project(Operator):
@@ -217,7 +261,8 @@ class SlidingGaussianAverage(Operator):
             return min(self._size_counts)
         return None
 
-    def process(self, tup: UncertainTuple) -> None:
+    def _advance(self, tup: UncertainTuple) -> UncertainTuple | None:
+        """Slide the window by one tuple; return the output tuple, if any."""
         field = tup.dfsized(self.attribute)
         dist = field.distribution
         if not isinstance(dist, GaussianDistribution):
@@ -246,11 +291,22 @@ class SlidingGaussianAverage(Operator):
 
         k = len(self._members)
         if k < self.window_size and not self.emit_partial:
-            return
+            return None
         avg = GaussianDistribution(self._mu_sum / k, self._var_sum / (k * k))
         attributes = dict(tup.attributes)
         attributes[self.output] = DfSized(avg, self._window_sample_size())
-        self.emit(tup.with_attributes(attributes))
+        return tup.with_attributes(attributes)
+
+    def process(self, tup: UncertainTuple) -> None:
+        out = self._advance(tup)
+        if out is not None:
+            self.emit(out)
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        advance = self._advance
+        self.emit_many(
+            [out for out in map(advance, tuples) if out is not None]
+        )
 
 
 _SCALAR_AGGS = ("avg", "sum", "count", "min", "max")
@@ -286,7 +342,8 @@ class WindowAggregate(Operator):
         self.output = output if output is not None else agg
         self._members: deque[tuple[float, float, int | None]] = deque()
 
-    def process(self, tup: UncertainTuple) -> None:
+    def _advance(self, tup: UncertainTuple) -> UncertainTuple:
+        """Slide the window by one tuple and build the aggregate tuple."""
         field = tup.dfsized(self.attribute)
         dist = field.distribution
         self._members.append(
@@ -321,7 +378,13 @@ class WindowAggregate(Operator):
             )
         attributes = dict(tup.attributes)
         attributes[self.output] = value
-        self.emit(tup.with_attributes(attributes))
+        return tup.with_attributes(attributes)
+
+    def process(self, tup: UncertainTuple) -> None:
+        self.emit(self._advance(tup))
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        self.emit_many([self._advance(tup) for tup in tuples])
 
 
 class CollectSink(Operator):
@@ -333,6 +396,9 @@ class CollectSink(Operator):
 
     def process(self, tup: UncertainTuple) -> None:
         self.results.append(tup)
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        self.results.extend(tuples)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -350,6 +416,9 @@ class CountingSink(Operator):
 
     def process(self, tup: UncertainTuple) -> None:
         self.count += 1
+
+    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        self.count += len(tuples)
 
 
 class TimeWindowAggregate(Operator):

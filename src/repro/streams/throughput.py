@@ -36,7 +36,10 @@ class ThroughputMeter:
     @property
     def tuples_per_second(self) -> float:
         if self.seconds == 0.0:
-            return 0.0
+            # Traffic measured in less time than the clock can resolve is
+            # not the same thing as no traffic: report it as unboundedly
+            # fast rather than a silent zero.
+            return float("inf") if self.tuples > 0 else 0.0
         return self.tuples / self.seconds
 
 
@@ -44,11 +47,18 @@ def measure_throughput(
     pipeline_factory: Callable[[], Pipeline],
     tuples: Sequence[UncertainTuple],
     repeats: int = 3,
+    batch_size: int | None = None,
 ) -> float:
     """Best-of-``repeats`` throughput of a pipeline over the given tuples.
 
     A fresh pipeline is built per repeat so windowed state never carries
-    over between timing runs.
+    over between timing runs.  ``batch_size`` selects the batched
+    execution path (:meth:`Pipeline.run_batched`); ``None`` measures the
+    per-tuple path.
+
+    Raises :class:`StreamError` when no repeat produced a measurable
+    elapsed time (tiny tuple lists on coarse clocks) — a successful call
+    never returns ``0.0``.
     """
     if repeats < 1:
         raise StreamError(f"repeats must be >= 1, got {repeats}")
@@ -58,9 +68,18 @@ def measure_throughput(
     for _ in range(repeats):
         pipeline = pipeline_factory()
         start = time.perf_counter()
-        pipeline.run(tuples)
+        if batch_size is None:
+            pipeline.run(tuples)
+        else:
+            pipeline.run_batched(tuples, batch_size)
         elapsed = time.perf_counter() - start
         if elapsed <= 0.0:
             continue
         best = max(best, len(tuples) / elapsed)
+    if best == 0.0:
+        raise StreamError(
+            f"all {repeats} repeats over {len(tuples)} tuples finished "
+            "faster than the clock resolution; use more tuples (or more "
+            "repeats) to get a measurable elapsed time"
+        )
     return best

@@ -29,6 +29,14 @@ class TestPercentileInterval:
         ci = percentile_interval(np.array([3.0]), 0.9)
         assert ci.low == ci.high == 3.0
 
+    def test_constant_values_give_degenerate_interval(self):
+        # Interpolating between equal endpoints must be exact: 0.2 is
+        # not representable in binary and the old (1-f)*a + f*b form
+        # rounded the two percentiles one ulp apart, inverting the
+        # interval and raising.
+        ci = percentile_interval(np.full(4, 0.2), 0.9)
+        assert ci.low == ci.high == 0.2
+
     def test_rejects_empty(self):
         with pytest.raises(AccuracyError):
             percentile_interval(np.array([]), 0.9)
@@ -95,6 +103,35 @@ class TestBootstrapAccuracyInfo:
     def test_needs_at_least_two_resamples(self, rng):
         with pytest.raises(AccuracyError):
             bootstrap_accuracy_info(rng.normal(0, 1, 15), 10, 0.9)
+
+    def test_two_resample_error_hints_at_mc_samples(self, rng):
+        # The default 1000 Monte-Carlo samples silently starve the
+        # bootstrap at n > 500; the error must point the caller at the
+        # m >= 2n requirement.
+        with pytest.raises(AccuracyError, match="mc_samples >= 2n"):
+            bootstrap_accuracy_info(rng.normal(0, 1, 1000), 600, 0.9)
+
+    def test_records_values_used_and_dropped(self, rng):
+        values = rng.normal(0, 1, 205)
+        info = bootstrap_accuracy_info(values, 10, 0.9)
+        assert info.values_used == 200
+        assert info.values_dropped == 5
+        exact = bootstrap_accuracy_info(values[:200], 10, 0.9)
+        assert exact.values_used == 200
+        assert exact.values_dropped == 0
+
+    def test_warns_on_heavy_truncation(self, rng):
+        # 290 values at n=100 -> r=2, 90 of 290 values (31%) dropped.
+        values = rng.normal(0, 1, 290)
+        with pytest.warns(UserWarning, match="dropped"):
+            info = bootstrap_accuracy_info(values, 100, 0.9)
+        assert info.values_used == 200
+        assert info.values_dropped == 90
+
+    def test_no_warning_below_threshold(self, rng, recwarn):
+        values = rng.normal(0, 1, 205)  # ~2.4% dropped
+        bootstrap_accuracy_info(values, 10, 0.9)
+        assert not [w for w in recwarn if w.category is UserWarning]
 
     def test_rejects_bad_n(self, rng):
         with pytest.raises(AccuracyError):

@@ -78,7 +78,10 @@ class TestFig5Throughput:
     def test_fig5f_predicates_run(self):
         result = run_fig5f(seed=0, n_items=600, repeats=1)
         rates = result.throughputs
-        assert set(rates) == {"no predicate", "mTest", "mdTest", "pTest"}
+        per_tuple = {"no predicate", "mTest", "mdTest", "pTest"}
+        assert set(rates) == per_tuple | {
+            f"{name} (batched)" for name in per_tuple
+        }
         assert all(v > 0 for v in rates.values())
 
     def test_relative_normalises_to_baseline(self):

@@ -115,6 +115,21 @@ class TestMonteCarloFallback:
         value = BinaryOp("*", Column("e"), Literal(2.0)).evaluate(ctx)
         assert value.sample_size == 3
 
+    def test_gaussian_over_denormal_divisor_falls_back(self, ctx):
+        # sigma^2 / c^2 overflows the closed form for a denormal-scale
+        # c; the evaluator must fall back to Monte Carlo (which nudges
+        # near-zero divisors) instead of raising.
+        value = BinaryOp(
+            "/", Column("h"), Literal(2.8e-242)
+        ).evaluate(ctx)
+        assert np.isfinite(value.distribution.mean())
+
+    def test_deterministic_overflow_falls_back(self, ctx):
+        value = BinaryOp(
+            "/", Column("k"), Literal(2.8e-242)
+        ).evaluate(ctx)
+        assert np.isfinite(value.distribution.mean())
+
 
 class TestValidation:
     def test_rejects_unknown_binary_op(self):

@@ -1,0 +1,173 @@
+"""Batched execution path: ``Pipeline.run_batched`` / ``receive_many``.
+
+The contract is strict: for any pipeline — including windowed operators,
+filters, and operators that drain buffered state at flush time — the
+batched path must produce byte-identical sink contents to the per-tuple
+path, for every batch size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import StreamError
+from repro.streams.engine import Pipeline
+from repro.streams.groupby import GroupedAggregate
+from repro.streams.operators import (
+    CollectSink,
+    CountingSink,
+    Derive,
+    Operator,
+    ProbabilisticFilter,
+    Project,
+    Select,
+    SlidingGaussianAverage,
+    WindowAggregate,
+)
+from repro.streams.tuples import UncertainTuple
+
+
+def make_tuples(count: int, seed: int) -> list[UncertainTuple]:
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "g": int(rng.integers(0, 3)),
+                "x": DfSized(
+                    GaussianDistribution(
+                        float(rng.normal(0, 5)),
+                        float(rng.uniform(0.1, 2.0)),
+                    ),
+                    int(rng.integers(2, 30)),
+                ),
+            },
+            probability=float(rng.uniform(0.5, 1.0)),
+        )
+        for _ in range(count)
+    ]
+
+
+def windowed_pipeline() -> Pipeline:
+    """Windows, filters, and a flush-time drain in one chain."""
+    return Pipeline(
+        [
+            Derive("y", lambda t: t.dfsized("x").distribution.mean() * 2.0),
+            Select(lambda t: t.value("y") > -6.0),
+            SlidingGaussianAverage("x", 7),
+            WindowAggregate("avg", 5, agg="avg", output="wavg"),
+            GroupedAggregate(
+                "g", "wavg", 4, agg="sum", output="gsum", emit_every=False
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def emitting_pipeline() -> Pipeline:
+    """Per-arrival emission so the sink holds many tuples."""
+    return Pipeline(
+        [
+            ProbabilisticFilter(
+                lambda t: 0.9 if t.value("g") != 1 else 0.4, threshold=0.3
+            ),
+            SlidingGaussianAverage("x", 5),
+            Project(["g", "avg"]),
+            WindowAggregate("avg", 3, agg="max", output="peak"),
+            CollectSink(),
+        ]
+    )
+
+
+def renders(sink: CollectSink) -> list[str]:
+    return [repr(t) for t in sink.results]
+
+
+class TestRunBatchedEquivalence:
+    @given(
+        batch_size=st.integers(min_value=1, max_value=400),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_windowed_pipeline_identical(self, batch_size, seed):
+        tuples = make_tuples(120, seed)
+        reference = windowed_pipeline().run(tuples)
+        batched = windowed_pipeline().run_batched(tuples, batch_size)
+        assert renders(batched) == renders(reference)
+
+    @given(
+        batch_size=st.integers(min_value=1, max_value=400),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_emitting_pipeline_identical(self, batch_size, seed):
+        tuples = make_tuples(120, seed)
+        reference = emitting_pipeline().run(tuples)
+        batched = emitting_pipeline().run_batched(tuples, batch_size)
+        assert len(batched.results) > 0
+        assert renders(batched) == renders(reference)
+
+    def test_empty_source(self):
+        sink = windowed_pipeline().run_batched([], 16)
+        assert sink.results == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(StreamError):
+            windowed_pipeline().run_batched([], 0)
+
+    def test_counting_sink_counts_batches(self):
+        tuples = make_tuples(57, 3)
+        pipeline = Pipeline([CountingSink()])
+        pipeline.run_batched(tuples, 10)
+        assert pipeline.sink.count == 57
+
+
+class TestReceiveManyFallback:
+    def test_default_falls_back_to_process_and_rebatches(self):
+        """Operators without a batch override still see/forward batches."""
+        seen_batches = []
+
+        class Doubler(Operator):
+            def process(self, tup: UncertainTuple) -> None:
+                self.emit(tup)
+                self.emit(tup)
+
+        class RecordingSink(CollectSink):
+            def receive_many(self, tuples) -> None:
+                seen_batches.append(len(tuples))
+                super().receive_many(tuples)
+
+        pipeline = Pipeline([Doubler(), RecordingSink()])
+        tuples = [UncertainTuple({"x": float(i)}) for i in range(6)]
+        pipeline.run_batched(tuples, 3)
+        assert pipeline.sink is not None
+        assert len(pipeline.sink.results) == 12
+        # Two input batches of 3, each doubled downstream as one batch.
+        assert seen_batches == [6, 6]
+
+    def test_emit_inside_batch_restores_downstream(self):
+        class Failing(Operator):
+            def process(self, tup: UncertainTuple) -> None:
+                if tup.value("x") == 2.0:
+                    raise StreamError("boom")
+                self.emit(tup)
+
+        sink = CollectSink()
+        failing = Failing()
+        pipeline = Pipeline([failing, sink])
+        with pytest.raises(StreamError):
+            pipeline.run_batched(
+                [UncertainTuple({"x": float(i)}) for i in range(4)], 10
+            )
+        # The downstream link must survive the failure so the operator
+        # is still usable on the per-tuple path.
+        failing.receive(UncertainTuple({"x": 9.0}))
+        assert any(t.value("x") == 9.0 for t in sink.results)
+
+    def test_push_many_feeds_head(self):
+        pipeline = Pipeline([CountingSink()])
+        pipeline.push_many([UncertainTuple({"x": 1.0})] * 5)
+        pipeline.push_many([])
+        assert pipeline.sink.count == 5

@@ -50,6 +50,14 @@ class TestThroughputMeter:
     def test_zero_time_is_zero_rate(self):
         assert ThroughputMeter().tuples_per_second == 0.0
 
+    def test_tuples_without_time_is_infinite_not_zero(self):
+        # Work that finished below the clock resolution must not be
+        # reported as zero throughput — that silently inverts the
+        # meaning of a "fast" measurement.
+        meter = ThroughputMeter()
+        meter.record(100, 0.0)
+        assert meter.tuples_per_second == float("inf")
+
     def test_rejects_negative(self):
         with pytest.raises(StreamError):
             ThroughputMeter().record(-1, 1.0)
@@ -85,4 +93,29 @@ class TestMeasureThroughput:
         with pytest.raises(StreamError):
             measure_throughput(
                 lambda: Pipeline([CountingSink()]), tuples, 0
+            )
+
+    def test_batched_path_counts_all_tuples(self):
+        built = []
+
+        def factory() -> Pipeline:
+            pipe = Pipeline([CountingSink()])
+            built.append(pipe)
+            return pipe
+
+        tuples = [UncertainTuple({"x": float(i)}) for i in range(200)]
+        rate = measure_throughput(factory, tuples, repeats=2, batch_size=64)
+        assert rate > 0
+        assert all(p.sink.count == 200 for p in built)
+
+    def test_unmeasurable_elapsed_time_raises(self, monkeypatch):
+        # A clock too coarse to see any repeat must be an error, not a
+        # silent 0.0 that poisons downstream relative-throughput math.
+        monkeypatch.setattr(
+            "repro.streams.throughput.time.perf_counter", lambda: 42.0
+        )
+        tuples = [UncertainTuple({"x": 1.0})] * 10
+        with pytest.raises(StreamError, match="clock resolution"):
+            measure_throughput(
+                lambda: Pipeline([CountingSink()]), tuples, repeats=3
             )
