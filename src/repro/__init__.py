@@ -129,6 +129,14 @@ from repro.streams.groupby import GroupedAggregate
 from repro.query.executor import run_query
 from repro.db import StreamDatabase, ContinuousQuery
 from repro.persist import save_database, load_database
+from repro.obs import (
+    Counter,
+    Gauge,
+    Timer,
+    Histogram,
+    MetricsRegistry,
+    operator_rows,
+)
 
 __version__ = "1.0.0"
 
@@ -164,4 +172,6 @@ __all__ = [
     "TagSide", "WindowJoin", "GroupedAggregate",
     "StreamDatabase", "ContinuousQuery",
     "save_database", "load_database",
+    "Counter", "Gauge", "Timer", "Histogram", "MetricsRegistry",
+    "operator_rows",
 ]

@@ -41,5 +41,9 @@ class StreamError(ReproError):
     """The stream engine was misconfigured or received bad tuples."""
 
 
+class ObservabilityError(ReproError):
+    """A metric was declared or used inconsistently (name/type clash)."""
+
+
 class SchemaError(StreamError):
     """A tuple does not match the schema of the stream it is pushed into."""

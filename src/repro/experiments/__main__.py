@@ -21,10 +21,13 @@ from repro.experiments.fig5_bootstrap import run_fig5a, run_fig5b
 from repro.experiments.fig5_power import run_fig5g, run_fig5h
 from repro.experiments.fig5_predicates import run_fig5d, run_fig5e
 from repro.experiments.fig5_throughput import run_fig5c, run_fig5f
+from repro.experiments.harness import render_metrics_table
+from repro.obs.metrics import MetricsRegistry
 
 
-def _experiments(quick: bool):
+def _experiments(quick: bool, registry: MetricsRegistry | None = None):
     """(name, callable) pairs for every figure, scaled by --quick."""
+    obs = dict(registry=registry)
     if quick:
         return [
             ("fig4abc", lambda: run_fig4(
@@ -37,14 +40,18 @@ def _experiments(quick: bool):
                 truth_mc=5000,
             )),
             ("fig5b", lambda: run_fig5b(seed=11, n_queries=20, truth_mc=5000)),
-            ("fig5c", lambda: run_fig5c(seed=3, n_items=1500, repeats=2)),
+            ("fig5c", lambda: run_fig5c(
+                seed=3, n_items=1500, repeats=2, **obs
+            )),
             ("fig5d", lambda: run_fig5d(
                 seed=17, n_pairs=30, sample_sizes=(10, 40, 80)
             )),
             ("fig5e", lambda: run_fig5e(
                 seed=17, n_pairs=30, sample_sizes=(10, 40, 80)
             )),
-            ("fig5f", lambda: run_fig5f(seed=3, n_items=1500, repeats=2)),
+            ("fig5f", lambda: run_fig5f(
+                seed=3, n_items=1500, repeats=2, **obs
+            )),
             ("fig5g", lambda: run_fig5g(seed=23, trials=100)),
             ("fig5h", lambda: run_fig5h(seed=23, trials=100)),
         ]
@@ -55,10 +62,10 @@ def _experiments(quick: bool):
             seed=11, n_route_queries=30, n_random_queries=30,
         )),
         ("fig5b", lambda: run_fig5b(seed=11, n_queries=60)),
-        ("fig5c", lambda: run_fig5c(seed=3)),
+        ("fig5c", lambda: run_fig5c(seed=3, **obs)),
         ("fig5d", lambda: run_fig5d(seed=17)),
         ("fig5e", lambda: run_fig5e(seed=17)),
-        ("fig5f", lambda: run_fig5f(seed=3)),
+        ("fig5f", lambda: run_fig5f(seed=3, **obs)),
         ("fig5g", lambda: run_fig5g(seed=23)),
         ("fig5h", lambda: run_fig5h(seed=23)),
     ]
@@ -81,6 +88,11 @@ def main(argv: list[str] | None = None) -> int:
         "--only", default=None,
         help="comma-separated figure names (e.g. fig5d,fig5e)",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="collect and print a per-stage observability breakdown "
+             "for the throughput figures (fig5c, fig5f)",
+    )
     args = parser.parse_args(argv)
 
     selected = None
@@ -89,7 +101,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    for name, runner in _experiments(args.quick):
+    registry = MetricsRegistry() if args.metrics else None
+    for name, runner in _experiments(args.quick, registry):
         if selected is not None and name not in selected:
             continue
         started = time.perf_counter()
@@ -100,6 +113,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name}: {elapsed:.1f}s]\n")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(table + "\n")
+    if registry is not None and len(registry):
+        breakdown = render_metrics_table(registry)
+        print(breakdown)
+        if args.out is not None:
+            (args.out / "metrics.txt").write_text(breakdown + "\n")
+            (args.out / "metrics.json").write_text(
+                registry.to_json(indent=2) + "\n"
+            )
     return 0
 
 

@@ -15,7 +15,7 @@ again a Gaussian.  We measure maximum throughput (tuples/second) for:
 from __future__ import annotations
 
 import dataclasses
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -27,6 +27,7 @@ from repro.core.predicates import FieldStats, MdTest, MTest, PTest
 from repro.distributions.gaussian import GaussianDistribution
 from repro.experiments.harness import render_table
 from repro.learning.gaussian_learner import GaussianLearner
+from repro.obs.metrics import MetricsRegistry
 from repro.streams.engine import Pipeline
 from repro.streams.operators import (
     CountingSink,
@@ -99,7 +100,7 @@ class _LearnGaussian(Operator):
         attributes[self.output] = fitted.as_dfsized()
         self.emit(tup.with_attributes(attributes))
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         # All per-item point vectors have the same length, so the whole
         # batch learns from one (batch, points) matrix in two NumPy
         # reductions instead of two per tuple.
@@ -127,6 +128,8 @@ class _LearnGaussian(Operator):
 class _AnalyticAccuracy(Operator):
     """Attaches analytic accuracy info to the window-average field."""
 
+    accuracy_attribute = "accuracy"
+
     def __init__(self, attribute: str, confidence: float = 0.9) -> None:
         super().__init__()
         self.attribute = attribute
@@ -142,7 +145,7 @@ class _AnalyticAccuracy(Operator):
             tup = tup.with_attributes(attributes)
         self.emit(tup)
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         # Vectorized Lemma 2: one mean_intervals/variance_intervals pass
         # over the whole batch instead of two interval solves per tuple.
         fields = [tup.dfsized(self.attribute) for tup in tuples]
@@ -171,6 +174,8 @@ class _AnalyticAccuracy(Operator):
 class _BootstrapAccuracy(Operator):
     """Attaches bootstrap accuracy info to the window-average field."""
 
+    accuracy_attribute = "accuracy"
+
     def __init__(
         self,
         attribute: str,
@@ -197,7 +202,7 @@ class _BootstrapAccuracy(Operator):
             tup = tup.with_attributes(attributes)
         self.emit(tup)
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         # Vectorized BOOTSTRAP-ACCURACY-INFO: sample every tuple's output
         # variable into one (batch, m) matrix, then chunk statistics and
         # percentile intervals for the whole batch in a single pass.
@@ -230,17 +235,53 @@ class _BootstrapAccuracy(Operator):
         self.emit_many(out)
 
 
+def _slug(name: str) -> str:
+    """Configuration label -> metric-name segment."""
+    return (
+        name.replace(" (batched)", "_batched")
+        .replace(" ", "_")
+        .lower()
+    )
+
+
+def _measure_all(
+    label: str,
+    configurations: "dict[str, tuple[Callable[[], Pipeline], int | None]]",
+    tuples: Sequence[UncertainTuple],
+    repeats: int,
+    registry: MetricsRegistry | None,
+    figure: str,
+) -> ThroughputResult:
+    """Measure every configuration; with a registry, also record the
+    per-stage breakdown of each one under ``{figure}.{config slug}``."""
+    throughputs = {}
+    for name, (factory, batch_size) in configurations.items():
+        throughputs[name] = measure_throughput(
+            factory,
+            tuples,
+            repeats,
+            batch_size=batch_size,
+            registry=registry,
+            metrics_prefix=f"{figure}.{_slug(name)}",
+        )
+    return ThroughputResult(label, throughputs)
+
+
 def run_fig5c(
     seed: int = 0,
     n_items: int = 4000,
     repeats: int = 3,
     batch_size: int = BATCH_SIZE,
+    registry: MetricsRegistry | None = None,
 ) -> ThroughputResult:
     """Figure 5(c): accuracy-computation overhead on stream throughput.
 
     Each configuration is measured twice: on the per-tuple path
     (``Pipeline.run``) and on the vectorized batched path
-    (``Pipeline.run_batched``, suffix "(batched)").
+    (``Pipeline.run_batched``, suffix "(batched)").  ``registry``
+    additionally collects a per-stage breakdown (tuples in/out, wall
+    time, interval widths) from one instrumented pass per configuration,
+    under metric prefix ``fig5c.{configuration}``.
     """
     tuples = _make_stream(n_items, seed)
 
@@ -261,23 +302,21 @@ def run_fig5c(
             base() + [_BootstrapAccuracy("avg", seed=seed), CountingSink()]
         )
 
-    batched = dict(batch_size=batch_size)
-    return ThroughputResult(
+    configurations: dict[str, tuple[Callable[[], Pipeline], int | None]] = {
+        "QP only": (qp_only, None),
+        "analytic": (with_analytic, None),
+        "bootstrap": (with_bootstrap, None),
+        "QP only (batched)": (qp_only, batch_size),
+        "analytic (batched)": (with_analytic, batch_size),
+        "bootstrap (batched)": (with_bootstrap, batch_size),
+    }
+    return _measure_all(
         "Figure 5(c): throughput with accuracy computation",
-        {
-            "QP only": measure_throughput(qp_only, tuples, repeats),
-            "analytic": measure_throughput(with_analytic, tuples, repeats),
-            "bootstrap": measure_throughput(with_bootstrap, tuples, repeats),
-            "QP only (batched)": measure_throughput(
-                qp_only, tuples, repeats, **batched
-            ),
-            "analytic (batched)": measure_throughput(
-                with_analytic, tuples, repeats, **batched
-            ),
-            "bootstrap (batched)": measure_throughput(
-                with_bootstrap, tuples, repeats, **batched
-            ),
-        },
+        configurations,
+        tuples,
+        repeats,
+        registry,
+        "fig5c",
     )
 
 
@@ -344,11 +383,13 @@ def run_fig5f(
     n_items: int = 4000,
     repeats: int = 3,
     batch_size: int = BATCH_SIZE,
+    registry: MetricsRegistry | None = None,
 ) -> ThroughputResult:
     """Figure 5(f): significance-predicate overhead on stream throughput.
 
     As in :func:`run_fig5c`, every configuration is measured on both the
-    per-tuple and the batched execution path.
+    per-tuple and the batched execution path, with an optional
+    per-stage metrics breakdown under ``fig5f.{configuration}``.
     """
     tuples = _make_stream(n_items, seed)
 
@@ -372,25 +413,21 @@ def run_fig5f(
             base() + [_CoupledPTest("avg", 99.0, 0.8), CountingSink()]
         )
 
-    batched = dict(batch_size=batch_size)
-    return ThroughputResult(
+    configurations: dict[str, tuple[Callable[[], Pipeline], int | None]] = {
+        "no predicate": (no_pred, None),
+        "mTest": (with_mtest, None),
+        "mdTest": (with_mdtest, None),
+        "pTest": (with_ptest, None),
+        "no predicate (batched)": (no_pred, batch_size),
+        "mTest (batched)": (with_mtest, batch_size),
+        "mdTest (batched)": (with_mdtest, batch_size),
+        "pTest (batched)": (with_ptest, batch_size),
+    }
+    return _measure_all(
         "Figure 5(f): throughput with significance predicates",
-        {
-            "no predicate": measure_throughput(no_pred, tuples, repeats),
-            "mTest": measure_throughput(with_mtest, tuples, repeats),
-            "mdTest": measure_throughput(with_mdtest, tuples, repeats),
-            "pTest": measure_throughput(with_ptest, tuples, repeats),
-            "no predicate (batched)": measure_throughput(
-                no_pred, tuples, repeats, **batched
-            ),
-            "mTest (batched)": measure_throughput(
-                with_mtest, tuples, repeats, **batched
-            ),
-            "mdTest (batched)": measure_throughput(
-                with_mdtest, tuples, repeats, **batched
-            ),
-            "pTest (batched)": measure_throughput(
-                with_ptest, tuples, repeats, **batched
-            ),
-        },
+        configurations,
+        tuples,
+        repeats,
+        registry,
+        "fig5f",
     )

@@ -2,14 +2,19 @@
 
 The benchmark harness prints each figure's data as a fixed-width table so
 the series the paper plots can be read (and diffed) directly from test
-output.
+output.  :func:`render_metrics_table` does the same for an observability
+registry: one row per instrumented operator with tuple counts,
+selectivity, timings, and interval-width telemetry.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["render_table", "format_number"]
+from repro.obs.instrument import operator_rows
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_table", "format_number", "render_metrics_table"]
 
 
 def format_number(value: object, digits: int = 4) -> str:
@@ -48,3 +53,44 @@ def render_table(
             "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
         )
     return "\n".join(lines)
+
+
+def render_metrics_table(
+    registry: "MetricsRegistry | dict",
+    title: str | None = "Per-stage breakdown",
+) -> str:
+    """One row per instrumented operator from a metrics registry.
+
+    Columns: operator id, tuples in/out, selectivity (out/in), number of
+    ``receive``/``receive_many`` calls, self wall-time (inclusive time
+    minus the next stage's — exact for a linear push pipeline), and the
+    mean emitted confidence-interval width where recorded.
+    """
+    rows = []
+    for row in operator_rows(registry):
+        rows.append(
+            [
+                row["operator"],
+                row["tuples_in"],
+                row["tuples_out"],
+                row["selectivity"],
+                row["calls"],
+                row.get("self_seconds", row["inclusive_seconds"]),
+                row.get("interval_width_mean", "-"),
+                row.get("sample_size_min", "-"),
+            ]
+        )
+    return render_table(
+        [
+            "operator",
+            "in",
+            "out",
+            "sel",
+            "calls",
+            "self_s",
+            "ci_width",
+            "min_n",
+        ],
+        rows,
+        title=title,
+    )

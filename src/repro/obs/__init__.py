@@ -1,0 +1,53 @@
+"""Opt-in observability for the stream engine (metrics + instrumentation).
+
+Attach a :class:`MetricsRegistry` to a pipeline and every operator
+records tuples in/out, wall time, batch sizes, and — for
+accuracy-producing operators — emitted confidence-interval widths and
+de facto sample sizes::
+
+    from repro.obs import MetricsRegistry
+    from repro.streams.engine import Pipeline
+
+    registry = MetricsRegistry()
+    pipeline = Pipeline([...], registry=registry)
+    pipeline.run(source)
+    registry.snapshot()            # structured dict
+    registry.render_prometheus()   # text exposition format
+    registry.to_json(indent=2)     # strict JSON
+
+With no registry attached the hooks reduce to one attribute check per
+call and pipeline output is unchanged — see docs/OBSERVABILITY.md for
+the model and the overhead guarantee.
+"""
+
+from repro.obs.instrument import (
+    BATCH_SIZE_BUCKETS,
+    INTERVAL_WIDTH_BUCKETS,
+    SAMPLE_SIZE_BUCKETS,
+    OperatorMetrics,
+    operator_rows,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    exponential_buckets,
+    linear_buckets,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "OperatorMetrics",
+    "operator_rows",
+    "exponential_buckets",
+    "linear_buckets",
+    "BATCH_SIZE_BUCKETS",
+    "INTERVAL_WIDTH_BUCKETS",
+    "SAMPLE_SIZE_BUCKETS",
+]

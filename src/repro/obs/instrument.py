@@ -1,0 +1,210 @@
+"""Per-operator instrumentation bundles and snapshot helpers.
+
+:class:`OperatorMetrics` is the object an :class:`~repro.streams.operators.Operator`
+holds when a :class:`~repro.obs.metrics.MetricsRegistry` is attached to
+its pipeline.  It pre-registers every metric the operator hooks update,
+so the hot path does plain attribute access — no dict lookups per tuple.
+
+The metric names are hierarchical: ``{operator id}.{metric}``, where the
+operator id is ``{prefix}.{index:02d}.{ClassName}`` as assigned by
+:meth:`Pipeline.attach_metrics`.  :func:`operator_rows` groups a registry
+snapshot back into one row per operator for tabular reporting
+(:func:`repro.experiments.harness.render_metrics_table`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.accuracy import AccuracyInfo
+from repro.core.analytic import mean_interval
+from repro.core.dfsample import DfSized
+from repro.obs.metrics import (
+    MetricsRegistry,
+    exponential_buckets,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "INTERVAL_WIDTH_BUCKETS",
+    "SAMPLE_SIZE_BUCKETS",
+    "OperatorMetrics",
+    "operator_rows",
+]
+
+# Batch sizes: powers of two up to 64k (Pipeline.run_batched defaults
+# to 256; sources may feed anything).
+BATCH_SIZE_BUCKETS = exponential_buckets(1.0, 2.0, 17)
+# Interval widths span many orders of magnitude across workloads
+# (traffic delays vs normalized probabilities): geometric from 1e-4.
+INTERVAL_WIDTH_BUCKETS = exponential_buckets(1e-4, 10.0**0.5, 16)
+# De facto sample sizes: the paper's experiments use n in [10, 1000].
+SAMPLE_SIZE_BUCKETS = exponential_buckets(2.0, 2.0, 12)
+
+
+class OperatorMetrics:
+    """Everything one operator records: counts, timings, distributions.
+
+    ``accuracy_attribute`` enables the interval-width/sample-size
+    histograms: each emitted tuple's attribute of that name is inspected
+    — an :class:`AccuracyInfo` contributes its mean-interval width
+    directly, while a :class:`DfSized` distribution with a usable sample
+    size contributes its Lemma-2 mean interval at ``confidence``.
+    """
+
+    __slots__ = (
+        "name",
+        "tuples_in",
+        "tuples_out",
+        "process_seconds",
+        "batch_seconds",
+        "flush_seconds",
+        "batch_sizes",
+        "accuracy_attribute",
+        "confidence",
+        "interval_widths",
+        "sample_sizes",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        name: str,
+        accuracy_attribute: str | None = None,
+        confidence: float = 0.95,
+    ) -> None:
+        self.name = name
+        self.tuples_in = registry.counter(
+            f"{name}.tuples_in", "tuples received by the operator"
+        )
+        self.tuples_out = registry.counter(
+            f"{name}.tuples_out", "tuples emitted downstream"
+        )
+        self.process_seconds = registry.timer(
+            f"{name}.process_seconds",
+            "wall time per receive() call (inclusive of downstream work)",
+        )
+        self.batch_seconds = registry.timer(
+            f"{name}.batch_seconds",
+            "wall time per receive_many() call (inclusive of downstream)",
+        )
+        self.flush_seconds = registry.timer(
+            f"{name}.flush_seconds", "wall time spent draining on flush"
+        )
+        self.batch_sizes = registry.histogram(
+            f"{name}.batch_size",
+            BATCH_SIZE_BUCKETS,
+            "input batch size distribution",
+        )
+        self.accuracy_attribute = accuracy_attribute
+        self.confidence = confidence
+        if accuracy_attribute is not None:
+            self.interval_widths = registry.histogram(
+                f"{name}.interval_width",
+                INTERVAL_WIDTH_BUCKETS,
+                f"emitted CI width of {accuracy_attribute!r} "
+                f"(mean interval at {confidence:g} confidence)",
+            )
+            self.sample_sizes = registry.histogram(
+                f"{name}.sample_size",
+                SAMPLE_SIZE_BUCKETS,
+                f"de facto sample size of emitted {accuracy_attribute!r}",
+            )
+        else:
+            self.interval_widths = None
+            self.sample_sizes = None
+
+    def observe_accuracy(self, tup) -> None:
+        """Record interval width + sample size of one emitted tuple."""
+        value = tup.attributes.get(self.accuracy_attribute)
+        if isinstance(value, AccuracyInfo):
+            width = value.mean.length
+            size = value.sample_size
+        elif (
+            isinstance(value, DfSized)
+            and value.sample_size is not None
+            and value.sample_size >= 2
+        ):
+            dist = value.distribution
+            width = mean_interval(
+                dist.mean(), dist.std(), value.sample_size, self.confidence
+            ).length
+            size = value.sample_size
+        else:
+            return
+        if math.isfinite(width):
+            self.interval_widths.observe(width)
+        self.sample_sizes.observe(size)
+
+
+def operator_rows(
+    snapshot: "dict[str, dict[str, object]] | MetricsRegistry",
+) -> list[dict[str, object]]:
+    """Group a registry snapshot into one summary row per operator.
+
+    Recognises the ``{operator id}.{metric}`` names written by
+    :class:`OperatorMetrics` and derives selectivity (out/in) plus
+    self-time: in a linear push pipeline each operator's timers include
+    all downstream work, so ``self = inclusive - next stage's inclusive``
+    for adjacent stages of the same pipeline prefix.
+    """
+    if isinstance(snapshot, MetricsRegistry):
+        snapshot = snapshot.snapshot()
+    per_op: dict[str, dict[str, object]] = {}
+    for name, state in snapshot.items():
+        op_id, _, metric = name.rpartition(".")
+        if not op_id:
+            continue
+        bucket = per_op.setdefault(op_id, {})
+        bucket[metric] = state
+    rows: list[dict[str, object]] = []
+    for op_id, metrics in per_op.items():
+        if "tuples_in" not in metrics or "tuples_out" not in metrics:
+            continue  # not an operator bundle
+        tuples_in = metrics["tuples_in"]["value"]
+        tuples_out = metrics["tuples_out"]["value"]
+        process = metrics.get("process_seconds", {})
+        batch = metrics.get("batch_seconds", {})
+        flush = metrics.get("flush_seconds", {})
+        calls = process.get("count", 0) + batch.get("count", 0)
+        inclusive = (
+            process.get("total_seconds", 0.0)
+            + batch.get("total_seconds", 0.0)
+            + flush.get("total_seconds", 0.0)
+        )
+        row: dict[str, object] = {
+            "operator": op_id,
+            "tuples_in": tuples_in,
+            "tuples_out": tuples_out,
+            "selectivity": (
+                tuples_out / tuples_in if tuples_in else float("nan")
+            ),
+            "calls": calls,
+            "inclusive_seconds": inclusive,
+        }
+        widths = metrics.get("interval_width")
+        if widths is not None and widths.get("count"):
+            row["interval_width_mean"] = widths["mean"]
+            row["interval_width_max"] = widths["max"]
+        sizes = metrics.get("sample_size")
+        if sizes is not None and sizes.get("count"):
+            row["sample_size_min"] = sizes["min"]
+        rows.append(row)
+    rows.sort(key=lambda r: r["operator"])
+    # Self-time: subtract the next stage's inclusive time within the
+    # same pipeline prefix (operator ids sort by their 2-digit index).
+    for current, following in zip(rows, rows[1:]):
+        cur_prefix = str(current["operator"]).rpartition(".")[0]
+        next_prefix = str(following["operator"]).rpartition(".")[0]
+        cur_prefix = cur_prefix.rpartition(".")[0]
+        next_prefix = next_prefix.rpartition(".")[0]
+        current["self_seconds"] = current["inclusive_seconds"]
+        if cur_prefix == next_prefix:
+            current["self_seconds"] = max(
+                0.0,
+                current["inclusive_seconds"]
+                - following["inclusive_seconds"],
+            )
+    if rows:
+        rows[-1]["self_seconds"] = rows[-1]["inclusive_seconds"]
+    return rows

@@ -1,0 +1,385 @@
+"""Lightweight metric primitives and the registry that collects them.
+
+Four primitives cover what a stream engine needs to explain itself:
+
+* :class:`Counter` — monotone event count (tuples in/out, runs, drops).
+* :class:`Gauge` — a point-in-time value (window fill, queue depth).
+* :class:`Timer` — accumulated wall-time with count/min/max, so both
+  totals and per-call latency fall out of one metric.
+* :class:`Histogram` — fixed-bucket distribution sketch (batch sizes,
+  confidence-interval widths, de facto sample sizes).
+
+All primitives are plain Python objects with O(1) updates and no locks —
+the engine is single-process, and the hot path must stay cheap even in
+enabled mode.  A :class:`MetricsRegistry` owns metrics by name with
+get-or-create semantics and exports three views: a structured
+:meth:`~MetricsRegistry.snapshot` dict, a Prometheus-style text dump
+(:meth:`~MetricsRegistry.render_prometheus`), and JSON
+(:meth:`~MetricsRegistry.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from bisect import bisect_left
+from collections.abc import Sequence
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "linear_buckets",
+]
+
+
+def exponential_buckets(
+    start: float, factor: float, count: int
+) -> tuple[float, ...]:
+    """``count`` bucket upper bounds growing geometrically from ``start``."""
+    if start <= 0:
+        raise ObservabilityError(f"bucket start must be > 0, got {start}")
+    if factor <= 1.0:
+        raise ObservabilityError(f"bucket factor must be > 1, got {factor}")
+    if count < 1:
+        raise ObservabilityError(f"bucket count must be >= 1, got {count}")
+    return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(
+    start: float, width: float, count: int
+) -> tuple[float, ...]:
+    """``count`` bucket upper bounds spaced ``width`` apart from ``start``."""
+    if width <= 0:
+        raise ObservabilityError(f"bucket width must be > 0, got {width}")
+    if count < 1:
+        raise ObservabilityError(f"bucket count must be >= 1, got {count}")
+    return tuple(start + width * i for i in range(count))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down; records the latest observation."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Timer:
+    """Accumulated wall-clock seconds with per-call count/min/max.
+
+    ``record`` takes an elapsed duration in seconds; use it with
+    ``time.perf_counter()`` deltas.  The mean call latency is derived in
+    the snapshot, so the hot path stores only four floats.
+    """
+
+    __slots__ = ("name", "help", "count", "total", "_min", "_max")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            # Clock adjustments can produce tiny negative deltas; clamp
+            # rather than poisoning min/max with nonsense.
+            seconds = 0.0
+        self.count += 1
+        self.total += seconds
+        if seconds < self._min:
+            self._min = seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": "timer",
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "min_seconds": self._min if self.count else None,
+            "max_seconds": self._max if self.count else None,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``buckets`` are ascending upper bounds; every observation lands in
+    the first bucket whose bound is >= the value, or the implicit +Inf
+    overflow bucket.  Updates are one bisect over a small tuple — O(log
+    #buckets) with no allocation.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_counts", "count", "sum",
+                 "_min", "_max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} bucket bounds must be strictly "
+                f"ascending, got {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(
+                f"histogram {self.name!r} cannot observe NaN"
+            )
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs, Prometheus-style."""
+        pairs: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, n in zip(self.buckets, self._counts):
+            cumulative += n
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+            "buckets": [
+                {"le": bound, "count": n}
+                for bound, n in self.bucket_counts()
+            ],
+        }
+
+
+Metric = Counter | Gauge | Timer | Histogram
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = _PROM_INVALID.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_float(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics and structured exports.
+
+    Accessors (`counter`, `gauge`, `timer`, `histogram`) return the
+    existing metric when the name is already registered — so operators
+    re-attached to the same registry accumulate rather than clobber —
+    and raise :class:`ObservabilityError` on a type conflict.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, cls: type, name: str, *args, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name, *args, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore[return-value]
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get_or_create(Timer, name, help)  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, buckets, help)  # type: ignore[return-value]
+
+    def get(self, name: str) -> Metric:
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ObservabilityError(f"no metric named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric (registrations are kept)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """``{metric name: structured state}`` for every metric."""
+        return {
+            name: metric.snapshot()
+            for name, metric in self._metrics.items()
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The snapshot as strict JSON (non-finite values become null)."""
+
+        def _jsonable(value: object) -> object:
+            if isinstance(value, float) and not math.isfinite(value):
+                return None
+            if isinstance(value, dict):
+                return {k: _jsonable(v) for k, v in value.items()}
+            if isinstance(value, list):
+                return [_jsonable(v) for v in value]
+            return value
+
+        return json.dumps(
+            _jsonable(self.snapshot()), indent=indent, allow_nan=False
+        )
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition dump of every metric."""
+        lines: list[str] = []
+        for name, metric in self._metrics.items():
+            prom = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {prom} counter")
+                lines.append(f"{prom}_total {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {_prom_float(metric.value)}")
+            elif isinstance(metric, Timer):
+                base = prom if prom.endswith("_seconds") else f"{prom}_seconds"
+                lines.append(f"# TYPE {base} summary")
+                lines.append(f"{base}_sum {_prom_float(metric.total)}")
+                lines.append(f"{base}_count {metric.count}")
+            else:  # Histogram
+                lines.append(f"# TYPE {prom} histogram")
+                for bound, count in metric.bucket_counts():
+                    lines.append(
+                        f'{prom}_bucket{{le="{_prom_float(bound)}"}} {count}'
+                    )
+                lines.append(f"{prom}_sum {_prom_float(metric.sum)}")
+                lines.append(f"{prom}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")

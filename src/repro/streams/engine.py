@@ -2,13 +2,22 @@
 
 A :class:`Pipeline` chains operators into a linear push pipeline, runs a
 tuple source through it, and flushes buffered state at end-of-stream.
+
+Passing a :class:`~repro.obs.metrics.MetricsRegistry` (``registry=`` or
+:meth:`Pipeline.attach_metrics`) turns on per-operator observability:
+each operator records tuples in/out, wall time, batch sizes, and —
+for accuracy-producing operators — emitted confidence-interval widths;
+the pipeline itself records runs, tuples pushed, and end-to-end wall
+time.  With no registry the execution paths are unchanged.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 
 from repro.errors import StreamError
+from repro.obs.metrics import MetricsRegistry
 from repro.streams.operators import Operator
 from repro.streams.tuples import UncertainTuple
 
@@ -23,12 +32,49 @@ class Pipeline:
     by the final operator simply vanish if it has no terminal behaviour.
     """
 
-    def __init__(self, operators: Sequence[Operator]) -> None:
+    def __init__(
+        self,
+        operators: Sequence[Operator],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if not operators:
             raise StreamError("pipeline needs at least one operator")
         self.operators = list(operators)
         for upstream, downstream in zip(self.operators, self.operators[1:]):
             upstream.connect(downstream)
+        self.registry: MetricsRegistry | None = None
+        if registry is not None:
+            self.attach_metrics(registry)
+
+    def attach_metrics(
+        self, registry: MetricsRegistry, prefix: str = "pipeline"
+    ) -> MetricsRegistry:
+        """Record this pipeline's execution into ``registry``.
+
+        Operators get metric names ``{prefix}.{index:02d}.{ClassName}.*``
+        so a registry shared across pipelines (or across configurations
+        of the same experiment) keeps every stage distinguishable.
+        """
+        self.registry = registry
+        for index, op in enumerate(self.operators):
+            name = f"{prefix}.{index:02d}.{type(op).__name__.lstrip('_')}"
+            op.attach_metrics(registry, name)
+        self._runs = registry.counter(
+            f"{prefix}.runs", "completed run()/run_batched() calls"
+        )
+        self._tuples_pushed = registry.counter(
+            f"{prefix}.tuples", "source tuples pushed into the pipeline"
+        )
+        self._run_seconds = registry.timer(
+            f"{prefix}.run_seconds", "end-to-end wall time per run"
+        )
+        return registry
+
+    def detach_metrics(self) -> None:
+        """Stop recording metrics on this pipeline and its operators."""
+        self.registry = None
+        for op in self.operators:
+            op.detach_metrics()
 
     @property
     def head(self) -> Operator:
@@ -44,9 +90,21 @@ class Pipeline:
 
     def run(self, source: Iterable[UncertainTuple]) -> Operator:
         """Push every tuple from the source, flush, and return the sink."""
+        if self.registry is None:
+            for tup in source:
+                self.head.receive(tup)
+            self.head.flush()
+            return self.sink
+        head = self.head
+        count = 0
+        start = perf_counter()
         for tup in source:
-            self.head.receive(tup)
-        self.head.flush()
+            head.receive(tup)
+            count += 1
+        head.flush()
+        self._run_seconds.record(perf_counter() - start)
+        self._tuples_pushed.inc(count)
+        self._runs.inc()
         return self.sink
 
     def push_many(self, tuples: Sequence[UncertainTuple]) -> None:
@@ -61,23 +119,32 @@ class Pipeline:
     ) -> Operator:
         """Like :meth:`run`, but push tuples in batches of ``batch_size``.
 
-        Batch-aware operators (``receive_many``) amortize per-tuple
+        Batch-aware operators (``process_many``) amortize per-tuple
         dispatch and vectorize accuracy computation across the batch;
         every operator falls back to per-tuple processing otherwise, so
         the sink contents are identical to :meth:`run` for any pipeline.
         """
         if batch_size < 1:
             raise StreamError(f"batch size must be >= 1, got {batch_size}")
+        registry = self.registry
         head = self.head
+        count = 0
+        start = perf_counter() if registry is not None else 0.0
         batch: list[UncertainTuple] = []
         append = batch.append
         for tup in source:
             append(tup)
             if len(batch) >= batch_size:
                 head.receive_many(batch)
+                count += len(batch)
                 batch = []
                 append = batch.append
         if batch:
             head.receive_many(batch)
+            count += len(batch)
         head.flush()
+        if registry is not None:
+            self._run_seconds.record(perf_counter() - start)
+            self._tuples_pushed.inc(count)
+            self._runs.inc()
         return self.sink

@@ -19,12 +19,15 @@ from __future__ import annotations
 import abc
 from collections import Counter, deque
 from collections.abc import Callable, Iterable, Sequence
+from time import perf_counter
 
 from repro.core.coupled import ThreeValued, coupled_tests
 from repro.core.dfsample import DfSized
 from repro.core.predicates import SignificancePredicate
 from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import StreamError
+from repro.obs.instrument import OperatorMetrics
+from repro.obs.metrics import MetricsRegistry
 from repro.streams.tuples import UncertainTuple
 
 __all__ = [
@@ -43,30 +46,100 @@ __all__ = [
 
 
 class Operator(abc.ABC):
-    """Base class: process tuples, push results to the downstream operator."""
+    """Base class: process tuples, push results to the downstream operator.
+
+    Entry points (:meth:`receive`, :meth:`receive_many`, :meth:`emit`,
+    :meth:`emit_many`, :meth:`flush`) double as observability hooks: when
+    a :class:`~repro.obs.metrics.MetricsRegistry` is attached (via
+    :meth:`attach_metrics`, usually through ``Pipeline(registry=...)``)
+    they record tuples in/out, wall time per call, and batch sizes.  With
+    no registry attached each hook is a single attribute check, so the
+    uninstrumented hot path is unchanged.
+
+    Subclasses implement :meth:`process` (one tuple) and may override
+    :meth:`process_many` (one batch) — not the ``receive*`` entry points,
+    which own the instrumentation.
+    """
+
+    #: Attribute whose accuracy the operator reports on emitted tuples
+    #: (an :class:`~repro.core.accuracy.AccuracyInfo` or a
+    #: :class:`~repro.core.dfsample.DfSized`).  ``None`` disables the
+    #: interval-width/sample-size histograms.
+    accuracy_attribute: str | None = None
 
     def __init__(self) -> None:
         self._downstream: Operator | None = None
+        self._obs: OperatorMetrics | None = None
 
     def connect(self, downstream: "Operator") -> "Operator":
         """Attach (and return) the downstream operator, enabling chaining."""
         self._downstream = downstream
         return downstream
 
+    def attach_metrics(
+        self, registry: MetricsRegistry, name: str | None = None
+    ) -> OperatorMetrics:
+        """Start recording this operator's metrics into ``registry``."""
+        if name is None:
+            name = type(self).__name__.lstrip("_")
+        self._obs = OperatorMetrics(registry, name, self.accuracy_attribute)
+        return self._obs
+
+    def detach_metrics(self) -> None:
+        """Stop recording metrics (already-recorded values are kept)."""
+        self._obs = None
+
     def emit(self, tup: UncertainTuple) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.tuples_out.inc()
+            if obs.accuracy_attribute is not None:
+                obs.observe_accuracy(tup)
         if self._downstream is not None:
             self._downstream.receive(tup)
 
     def emit_many(self, tuples: Sequence[UncertainTuple]) -> None:
         """Push a whole batch downstream (batch-aware operators)."""
-        if self._downstream is not None and tuples:
+        if not tuples:
+            return
+        obs = self._obs
+        if obs is not None:
+            obs.tuples_out.inc(len(tuples))
+            if obs.accuracy_attribute is not None:
+                observe = obs.observe_accuracy
+                for tup in tuples:
+                    observe(tup)
+        if self._downstream is not None:
             self._downstream.receive_many(tuples)
 
     def receive(self, tup: UncertainTuple) -> None:
-        self.process(tup)
+        obs = self._obs
+        if obs is None:
+            self.process(tup)
+            return
+        obs.tuples_in.inc()
+        start = perf_counter()
+        try:
+            self.process(tup)
+        finally:
+            obs.process_seconds.record(perf_counter() - start)
 
     def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
-        """Handle a batch of tuples (``Pipeline.run_batched``).
+        """Handle a batch of tuples (``Pipeline.run_batched``)."""
+        obs = self._obs
+        if obs is None:
+            self.process_many(tuples)
+            return
+        obs.tuples_in.inc(len(tuples))
+        obs.batch_sizes.observe(len(tuples))
+        start = perf_counter()
+        try:
+            self.process_many(tuples)
+        finally:
+            obs.batch_seconds.record(perf_counter() - start)
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        """Batch-processing hook behind :meth:`receive_many`.
 
         The default falls back to per-tuple :meth:`process`, but collects
         everything the operator emits and hands it downstream as one
@@ -95,7 +168,15 @@ class Operator(abc.ABC):
 
     def flush(self) -> None:
         """Propagate end-of-stream; override ``on_flush`` to drain state."""
-        self.on_flush()
+        obs = self._obs
+        if obs is None:
+            self.on_flush()
+        else:
+            start = perf_counter()
+            try:
+                self.on_flush()
+            finally:
+                obs.flush_seconds.record(perf_counter() - start)
         if self._downstream is not None:
             self._downstream.flush()
 
@@ -125,7 +206,7 @@ class Select(Operator):
         if self.predicate(tup):
             self.emit(tup)
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         predicate = self.predicate
         self.emit_many([tup for tup in tuples if predicate(tup)])
 
@@ -249,6 +330,7 @@ class SlidingGaussianAverage(Operator):
         self.attribute = attribute
         self.window_size = window_size
         self.output = output
+        self.accuracy_attribute = output
         self.emit_partial = emit_partial
         self._members: deque[tuple[float, float, int | None]] = deque()
         self._mu_sum = 0.0
@@ -302,7 +384,7 @@ class SlidingGaussianAverage(Operator):
         if out is not None:
             self.emit(out)
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         advance = self._advance
         self.emit_many(
             [out for out in map(advance, tuples) if out is not None]
@@ -340,6 +422,7 @@ class WindowAggregate(Operator):
         self.window_size = window_size
         self.agg = agg
         self.output = output if output is not None else agg
+        self.accuracy_attribute = self.output
         self._members: deque[tuple[float, float, int | None]] = deque()
 
     def _advance(self, tup: UncertainTuple) -> UncertainTuple:
@@ -383,7 +466,7 @@ class WindowAggregate(Operator):
     def process(self, tup: UncertainTuple) -> None:
         self.emit(self._advance(tup))
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         self.emit_many([self._advance(tup) for tup in tuples])
 
 
@@ -397,7 +480,7 @@ class CollectSink(Operator):
     def process(self, tup: UncertainTuple) -> None:
         self.results.append(tup)
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         self.results.extend(tuples)
 
     def __len__(self) -> int:
@@ -417,7 +500,7 @@ class CountingSink(Operator):
     def process(self, tup: UncertainTuple) -> None:
         self.count += 1
 
-    def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         self.count += len(tuples)
 
 
@@ -449,6 +532,7 @@ class TimeWindowAggregate(Operator):
         self.duration = duration
         self.agg = agg
         self.output = output if output is not None else agg
+        self.accuracy_attribute = self.output
         self._members: deque[tuple[float, float, float, int | None]] = deque()
 
     def process(self, tup: UncertainTuple) -> None:

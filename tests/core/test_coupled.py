@@ -154,3 +154,49 @@ class TestCoupledPredicate:
         outcome = wrapped.evaluate()
         assert outcome.value is ThreeValued.TRUE
         assert bool(outcome)
+
+
+class TestAlphaBoundaries:
+    """alpha1/alpha2 live in the open interval (0, 1): the exact
+    endpoints are statistically meaningless and must be rejected, while
+    values arbitrarily close to them must still produce a decision."""
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.01, 1.01])
+    def test_endpoint_alpha1_rejected(self, bad):
+        predicate = MTest(_field(10.0), ">", 5.0, 0.05)
+        with pytest.raises(AccuracyError, match="alpha1"):
+            coupled_tests(predicate, alpha1=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.01, 1.01])
+    def test_endpoint_alpha2_rejected(self, bad):
+        predicate = MTest(_field(10.0), ">", 5.0, 0.05)
+        with pytest.raises(AccuracyError, match="alpha2"):
+            coupled_tests(predicate, alpha2=bad)
+
+    def test_near_zero_alphas_still_decide(self):
+        predicate = MTest(_field(10.0, std=0.1, n=50), ">", 5.0, 0.05)
+        outcome = coupled_tests(predicate, alpha1=1e-9, alpha2=1e-9)
+        # A 50-sigma effect survives even an absurdly strict test.
+        assert outcome.value is ThreeValued.TRUE
+
+    def test_near_one_alphas_still_decide(self):
+        predicate = MTest(_field(10.0), ">", 5.0, 0.05)
+        outcome = coupled_tests(
+            predicate, alpha1=1.0 - 1e-9, alpha2=1.0 - 1e-9
+        )
+        assert outcome.value in (
+            ThreeValued.TRUE, ThreeValued.FALSE, ThreeValued.UNSURE
+        )
+
+    def test_strict_alpha1_pushes_toward_unsure_or_false(self):
+        # A marginal effect: plainly significant at 0.05 but not at 1e-9.
+        predicate = MTest(_field(5.4, std=1.0, n=30), ">", 5.0, 0.05)
+        relaxed = coupled_tests(predicate, alpha1=0.3, alpha2=0.3)
+        strict = coupled_tests(predicate, alpha1=1e-9, alpha2=1e-9)
+        assert relaxed.value is ThreeValued.TRUE
+        assert strict.value is not ThreeValued.TRUE
+
+    def test_two_sided_alpha_split_near_zero(self):
+        predicate = MTest(_field(10.0, std=0.1, n=50), "<>", 5.0, 0.05)
+        outcome = coupled_tests(predicate, alpha1=1e-9, alpha2=1e-9)
+        assert outcome.value is ThreeValued.TRUE

@@ -236,3 +236,57 @@ class TestPredicateObjects:
         fs = FieldStats(100.0, 1.0, 30)
         assert m_test(fs, ">", 0.0, 0.05)
         assert not m_test(fs, "<", 0.0, 0.05)
+
+
+class TestSmallSampleBoundaries:
+    """n < 2 carries no dispersion information; every test that divides
+    by n-1 must refuse it with a clear error rather than a ZeroDivision
+    or a bogus df."""
+
+    def test_from_distribution_accepts_n_1(self):
+        fs = FieldStats.from_distribution(GaussianDistribution(5, 4), 1)
+        assert fs.n == 1 and fs.std == 2.0
+
+    def test_from_distribution_rejects_n_0(self):
+        with pytest.raises(AccuracyError, match="sample size"):
+            FieldStats.from_distribution(GaussianDistribution(5, 4), 0)
+
+    def test_mtest_rejects_n_1(self):
+        fs = FieldStats.from_distribution(GaussianDistribution(5, 4), 1)
+        with pytest.raises(AccuracyError, match="size >= 2"):
+            m_test(fs, ">", 4.0, 0.05)
+
+    def test_mtest_accepts_n_2(self):
+        fs = FieldStats.from_distribution(GaussianDistribution(5, 4), 2)
+        result = m_test(fs, ">", 4.0, 0.05)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_vtest_rejects_n_1(self):
+        from repro.core.predicates import v_test
+
+        fs = FieldStats.from_distribution(GaussianDistribution(5, 4), 1)
+        with pytest.raises(AccuracyError, match="size >= 2"):
+            v_test(fs, ">", 1.0, 0.05)
+
+    def test_mdtest_rejects_both_sides_n_1(self):
+        x = FieldStats.from_distribution(GaussianDistribution(5, 4), 1)
+        y = FieldStats.from_distribution(GaussianDistribution(3, 4), 1)
+        with pytest.raises(AccuracyError, match="size >= 2"):
+            md_test(x, y, ">", 0.0, 0.05)
+
+    def test_mdtest_accepts_one_side_n_1(self):
+        # Welch-Satterthwaite only needs one side to contribute df.
+        x = FieldStats.from_distribution(GaussianDistribution(5, 4), 1)
+        y = FieldStats.from_distribution(GaussianDistribution(3, 4), 40)
+        result = md_test(x, y, ">", 0.0, 0.05)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_ptest_accepts_n_1(self):
+        # A single Bernoulli trial is a legal (if weak) proportion sample.
+        result = p_test(1.0, 1, ">", 0.5, 0.05)
+        assert not result.reject
+
+    def test_degenerate_mtest_with_dfsized_n_1(self):
+        value = DfSized(GaussianDistribution(5, 4), 1)
+        with pytest.raises(AccuracyError, match="size >= 2"):
+            m_test(FieldStats.from_dfsized(value), ">", 4.0, 0.05)

@@ -1,0 +1,200 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    exponential_buckets,
+    linear_buckets,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ObservabilityError):
+            Counter("c").inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+    def test_snapshot(self):
+        c = Counter("c")
+        c.inc(2)
+        assert c.snapshot() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_snapshot(self):
+        g = Gauge("g")
+        g.set(-3.0)
+        assert g.snapshot() == {"type": "gauge", "value": -3.0}
+
+
+class TestTimer:
+    def test_accumulates_count_total_min_max(self):
+        t = Timer("t")
+        t.record(0.2)
+        t.record(0.1)
+        t.record(0.3)
+        assert t.count == 3
+        assert t.total == pytest.approx(0.6)
+        assert t.mean == pytest.approx(0.2)
+        snap = t.snapshot()
+        assert snap["min_seconds"] == pytest.approx(0.1)
+        assert snap["max_seconds"] == pytest.approx(0.3)
+
+    def test_clamps_negative_durations(self):
+        t = Timer("t")
+        t.record(-1e-9)
+        assert t.total == 0.0
+        assert t.count == 1
+
+    def test_empty_snapshot_has_no_min_max(self):
+        snap = Timer("t").snapshot()
+        assert snap["min_seconds"] is None
+        assert snap["max_seconds"] is None
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        h = Histogram("h", [1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        # Cumulative Prometheus-style counts; +Inf catches everything.
+        assert h.bucket_counts() == [
+            (1.0, 1),
+            (10.0, 2),
+            (100.0, 3),
+            (math.inf, 4),
+        ]
+
+    def test_boundary_lands_in_lower_bucket(self):
+        h = Histogram("h", [1.0, 2.0])
+        h.observe(1.0)
+        assert h.bucket_counts()[0] == (1.0, 1)
+
+    def test_rejects_nan_observation(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", [1.0]).observe(float("nan"))
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", [])
+        with pytest.raises(ObservabilityError):
+            Histogram("h", [2.0, 1.0])
+
+    def test_min_max_mean(self):
+        h = Histogram("h", [10.0])
+        h.observe(2.0)
+        h.observe(8.0)
+        snap = h.snapshot()
+        assert snap["min"] == 2.0
+        assert snap["max"] == 8.0
+        assert snap["mean"] == pytest.approx(5.0)
+
+
+class TestBucketHelpers:
+    def test_exponential(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_linear(self):
+        assert linear_buckets(0.0, 0.5, 3) == (0.0, 0.5, 1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ObservabilityError):
+            exponential_buckets(0.0, 2.0, 3)
+        with pytest.raises(ObservabilityError):
+            exponential_buckets(1.0, 1.0, 3)
+        with pytest.raises(ObservabilityError):
+            linear_buckets(0.0, 0.0, 3)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().get("missing")
+
+    def test_snapshot_covers_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2.0)
+        reg.timer("c").record(0.5)
+        reg.histogram("d", [1.0]).observe(0.5)
+        snap = reg.snapshot()
+        assert set(snap) == {"a", "b", "c", "d"}
+        assert snap["a"]["type"] == "counter"
+        assert snap["d"]["type"] == "histogram"
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(4)
+        reg.reset()
+        assert "a" in reg
+        assert reg.counter("a").value == 0
+
+    def test_to_json_is_strict(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", [1.0]).observe(0.5)
+        parsed = json.loads(
+            reg.to_json(),
+            parse_constant=lambda token: pytest.fail(
+                f"non-standard token {token!r}"
+            ),
+        )
+        # +Inf bucket bound serialises as null under strict JSON.
+        assert parsed["h"]["buckets"][-1]["le"] is None
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("pipeline.00.Select.tuples_in", "in").inc(3)
+        reg.timer("pipeline.00.Select.process_seconds").record(0.25)
+        reg.histogram("widths", [0.1, 1.0]).observe(0.5)
+        text = reg.render_prometheus()
+        assert "# HELP pipeline_00_Select_tuples_in in" in text
+        assert "pipeline_00_Select_tuples_in_total 3" in text
+        assert "pipeline_00_Select_process_seconds_count 1" in text
+        assert 'widths_bucket{le="+Inf"} 1' in text
+        assert "widths_count 1" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert json.loads(MetricsRegistry().to_json()) == {}

@@ -1,5 +1,8 @@
 """Tests for JSON persistence of distributions, tuples, and databases."""
 
+import json
+import math
+
 import numpy as np
 import pytest
 
@@ -152,3 +155,139 @@ class TestDatabaseRoundTrip:
         path.write_text('{"format": 99, "streams": {}}')
         with pytest.raises(ReproError):
             load_database(path)
+
+
+class TestNonFiniteRoundTrip:
+    """NaN/±Infinity must round-trip through strict (RFC 8259) JSON."""
+
+    def _db_with_nonfinite(self):
+        db = StreamDatabase()
+        db.create_stream("s")
+        db.insert(
+            "s",
+            UncertainTuple(
+                {
+                    "nan": float("nan"),
+                    "pos": float("inf"),
+                    "neg": float("-inf"),
+                    "plain": 7.5,
+                },
+                timestamp=float("inf"),
+            ),
+        )
+        return db
+
+    def test_file_is_strict_json(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(self._db_with_nonfinite(), path)
+        text = path.read_text()
+        # A strict parser must accept the file: no NaN/Infinity tokens.
+        json.loads(text, parse_constant=lambda token: pytest.fail(
+            f"non-standard JSON token {token!r} in output"
+        ))
+
+    def test_round_trip_exact(self, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(self._db_with_nonfinite(), path)
+        restored = load_database(path)
+        [tup] = restored._streams["s"].tuples
+        assert math.isnan(tup.value("nan"))
+        assert tup.value("pos") == math.inf
+        assert tup.value("neg") == -math.inf
+        assert tup.value("plain") == 7.5
+        assert tup.timestamp == math.inf
+
+    def test_number_value_sentinels(self):
+        from repro.persist import _value_from_dict, _value_to_dict
+
+        for value, sentinel in [
+            (float("nan"), "NaN"),
+            (float("inf"), "Infinity"),
+            (float("-inf"), "-Infinity"),
+        ]:
+            data = _value_to_dict(value)
+            assert data == {"kind": "number", "value": sentinel}
+            decoded = _value_from_dict(data)
+            assert math.isnan(decoded) if math.isnan(value) \
+                else decoded == value
+
+    def test_bad_sentinel_rejected(self):
+        from repro.persist import _value_from_dict
+
+        with pytest.raises(ReproError):
+            _value_from_dict({"kind": "number", "value": "Inf"})
+
+    def test_second_round_trip_is_stable(self, tmp_path):
+        """Save → load → save again produces identical bytes."""
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_database(self._db_with_nonfinite(), first)
+        save_database(load_database(first), second)
+        assert first.read_text() == second.read_text()
+
+
+class TestAtomicLoad:
+    """A failed load must never leave the target database half-populated."""
+
+    def _saved_path(self, tmp_path, n_tuples=3):
+        db = StreamDatabase()
+        db.create_stream("roads")
+        for i in range(n_tuples):
+            db.insert("roads", {"road": float(i)})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        return path
+
+    def _target(self):
+        target = StreamDatabase()
+        target.create_stream("existing")
+        target.insert("existing", {"x": 1.0})
+        return target
+
+    def test_truncated_file_leaves_db_untouched(self, tmp_path):
+        path = self._saved_path(tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        target = self._target()
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_database(path, db=target)
+        assert target.streams() == ["existing"]
+        assert target.count("existing") == 1
+
+    def test_malformed_tuple_mid_file_leaves_db_untouched(self, tmp_path):
+        path = self._saved_path(tmp_path)
+        payload = json.loads(path.read_text())
+        # Corrupt the *second* tuple: a naive loader would already have
+        # created the stream and inserted tuple #0 before noticing.
+        payload["streams"]["roads"][1] = {"attributes": {"road": {}}}
+        path.write_text(json.dumps(payload))
+        target = self._target()
+        with pytest.raises(ReproError, match="tuple #1 in stream 'roads'"):
+            load_database(path, db=target)
+        assert target.streams() == ["existing"]
+        assert target.count("existing") == 1
+
+    def test_bad_streams_container_rejected(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text('{"format": 1, "streams": [1, 2]}')
+        with pytest.raises(ReproError, match="streams"):
+            load_database(path)
+
+    def test_schema_conflict_checked_before_commit(self, tmp_path):
+        from repro.streams.tuples import Schema
+
+        path = self._saved_path(tmp_path)
+        target = StreamDatabase()
+        # The persisted tuples carry a 'road' number; this schema demands
+        # a different attribute, so every insert would fail.
+        target.create_stream("roads", schema=Schema([("speed", "number")]))
+        before = target.count("roads")
+        with pytest.raises(ReproError):
+            load_database(path, db=target)
+        assert target.count("roads") == before
+
+    def test_successful_load_into_fresh_database(self, tmp_path):
+        path = self._saved_path(tmp_path)
+        restored = load_database(path)
+        assert restored.streams() == ["roads"]
+        assert restored.count("roads") == 3
