@@ -15,10 +15,50 @@ assert it beats the per-tuple path by at least 1.5x on the
 accuracy-heavy configurations.
 """
 
+import json
+import pickle
+
 import pytest
 
 from benchmarks.conftest import save_result
-from repro.experiments.fig5_throughput import run_fig5c, run_fig5f
+from repro.experiments.fig5_throughput import (
+    N_SHARDS,
+    _BootstrapAccuracy,
+    _LearnGaussian,
+    _make_stream,
+    run_fig5c,
+    run_fig5f,
+)
+from repro.parallel import available_cpus
+from repro.streams.engine import Pipeline
+from repro.streams.operators import CollectSink, SlidingGaussianAverage
+
+SHARDED_WORKERS = 4
+
+
+def _bench_records(result, workers):
+    """ThroughputResult -> BENCH_fig5.json records.
+
+    Schema: ``{config, path, workers, tuples_per_sec}`` with
+    ``path`` in {per-tuple, batched, sharded}.
+    """
+    records = []
+    for name, tput in result.throughputs.items():
+        if "(sharded" in name:
+            config, path, w = name.split(" (sharded")[0], "sharded", workers
+        elif name.endswith(" (batched)"):
+            config, path, w = name[: -len(" (batched)")], "batched", None
+        else:
+            config, path, w = name, "per-tuple", None
+        records.append(
+            {
+                "config": config,
+                "path": path,
+                "workers": w,
+                "tuples_per_sec": tput,
+            }
+        )
+    return records
 
 
 def test_fig5c_accuracy_overhead(benchmark, results_dir):
@@ -62,6 +102,89 @@ def test_fig5f_predicate_overhead(benchmark, results_dir):
     # learning/accuracy stages upstream of it are).
     for name in ("no predicate", "mTest", "mdTest", "pTest"):
         assert rates[f"{name} (batched)"] > rates[name], name
+
+
+def test_fig5_sharded_throughput(benchmark, results_dir):
+    """The headline perf claim: sharded execution beats batched serial.
+
+    Measures Figures 5(c) and 5(f) with the 4-worker process-pool path
+    enabled, writes every (configuration, execution path) rate to
+    ``benchmarks/results/BENCH_fig5.json``, and — on machines with at
+    least 4 CPUs — asserts the sharded path clears 1.5x batched serial
+    on the accuracy-heavy configurations.
+    """
+    workers = SHARDED_WORKERS
+    fig5c, fig5f = benchmark.pedantic(
+        lambda: (
+            run_fig5c(seed=3, n_items=3000, repeats=3, workers=workers),
+            run_fig5f(seed=3, n_items=3000, repeats=3, workers=workers),
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result(results_dir, "fig5c_sharded", fig5c.render())
+    save_result(results_dir, "fig5f_sharded", fig5f.render())
+    records = _bench_records(fig5c, workers) + _bench_records(fig5f, workers)
+    (results_dir / "BENCH_fig5.json").write_text(
+        json.dumps(records, indent=2) + "\n"
+    )
+
+    suffix = f"(sharded x{workers})"
+    for result, names in (
+        (fig5c, ("QP only", "analytic", "bootstrap")),
+        (fig5f, ("no predicate", "mTest", "mdTest", "pTest")),
+    ):
+        for name in names:
+            assert result.throughputs[f"{name} {suffix}"] > 0, name
+
+    if available_cpus() < workers:
+        pytest.skip(
+            f"sharded speedup assertion needs >= {workers} CPUs "
+            f"(have {available_cpus()}); BENCH_fig5.json written"
+        )
+    for name in ("analytic", "bootstrap"):
+        assert (
+            fig5c.throughputs[f"{name} {suffix}"]
+            > 1.5 * fig5c.throughputs[f"{name} (batched)"]
+        ), name
+    for name in ("no predicate", "mTest", "mdTest", "pTest"):
+        assert (
+            fig5f.throughputs[f"{name} {suffix}"]
+            > 1.5 * fig5f.throughputs[f"{name} (batched)"]
+        ), name
+
+
+def _fig5c_bootstrap_collect_pipeline():
+    return Pipeline(
+        [
+            _LearnGaussian("points", "value"),
+            SlidingGaussianAverage("value", 200),
+            _BootstrapAccuracy("avg", seed=0),
+            CollectSink(),
+        ]
+    )
+
+
+def test_fig5c_sharded_equivalence_across_worker_counts():
+    """Fixed seed => identical sink contents at 1, 2, and 4 workers.
+
+    The bootstrap configuration is the adversarial case: its operator is
+    stateful AND stochastic, so this exercises the per-shard reseeding
+    path end to end.  Tuples are compared by per-element pickle bytes
+    (whole-list pickles differ in memoization structure across paths).
+    """
+    tuples = _make_stream(400, seed=3)
+
+    def run(workers):
+        pipeline = _fig5c_bootstrap_collect_pipeline()
+        sink = pipeline.run_sharded(
+            tuples, n_workers=workers, n_shards=N_SHARDS, seed=3
+        )
+        return [pickle.dumps(tup) for tup in sink.results]
+
+    baseline = run(1)
+    assert len(baseline) == 400
+    assert run(2) == baseline
+    assert run(4) == baseline
 
 
 def test_fig5f_predicates_cheaper_than_bootstrap_accuracy(benchmark):

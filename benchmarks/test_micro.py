@@ -104,6 +104,38 @@ def test_micro_query_executor_per_tuple(benchmark, gaussian_field):
     benchmark(executor.execute_one, tup)
 
 
+def test_micro_critical_values_memoized(benchmark):
+    """Hot-path quantile lookup: one cache entry vs three scipy solves."""
+    from repro.core.analytic import critical_values
+
+    critical_values(0.9, 19)  # prime the cache; steady state is all hits
+    benchmark(critical_values, 0.9, 19)
+
+
+def test_micro_critical_values_cold(benchmark):
+    """The uncached cost the memoization removes (for comparison)."""
+    from repro.core.analytic import critical_values
+
+    def cold() -> tuple[float, float, float]:
+        critical_values.cache_clear()
+        return critical_values(0.9, 19)
+
+    benchmark(cold)
+
+
+def test_micro_accuracy_from_moments_constant_df(benchmark, rng):
+    """Batched Theorem 1 on a constant-df batch (the stream shape).
+
+    With one distinct sample size the unique-df fast path reduces the
+    interval pass to one memoized table entry per quantile family.
+    """
+    from repro.core.analytic import accuracy_from_moments
+
+    means = rng.normal(100.0, 5.0, 256)
+    variances = rng.uniform(1.0, 9.0, 256)
+    benchmark(accuracy_from_moments, means, variances, 20, 0.9)
+
+
 def test_micro_vtest(benchmark):
     from repro.core.predicates import VTest
 

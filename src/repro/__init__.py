@@ -37,6 +37,7 @@ from repro.errors import (
     ParseError,
     StreamError,
     SchemaError,
+    ParallelError,
 )
 from repro.distributions import (
     Distribution,
@@ -137,12 +138,18 @@ from repro.obs import (
     MetricsRegistry,
     operator_rows,
 )
+from repro.parallel import (
+    ParallelConfig,
+    WorkerPool,
+    available_cpus,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ReproError", "DistributionError", "LearningError", "AccuracyError",
     "QueryError", "ParseError", "StreamError", "SchemaError",
+    "ParallelError",
     "Distribution", "Deterministic", "HistogramDistribution",
     "GaussianDistribution", "EmpiricalDistribution", "DiscreteDistribution",
     "UniformDistribution", "ExponentialDistribution", "GammaDistribution",
@@ -174,4 +181,5 @@ __all__ = [
     "save_database", "load_database",
     "Counter", "Gauge", "Timer", "Histogram", "MetricsRegistry",
     "operator_rows",
+    "ParallelConfig", "WorkerPool", "available_cpus",
 ]

@@ -36,6 +36,7 @@ from repro.errors import AccuracyError
 __all__ = [
     "SMALL_SAMPLE_MEAN_CUTOFF",
     "WALD_VALIDITY_COUNT",
+    "critical_values",
     "proportion_interval_wald",
     "proportion_interval_wilson",
     "proportion_intervals_wald",
@@ -81,6 +82,42 @@ def _t_upper(alpha_half: float, df: int) -> float:
 def _chi2_upper(tail: float, df: int) -> float:
     """Chi-square value with right-tail area ``tail`` at ``df`` dof."""
     return float(special.chdtri(df, tail))
+
+
+@functools.lru_cache(maxsize=4096)
+def critical_values(
+    confidence: float, df: int
+) -> tuple[float, float, float]:
+    """All Lemma-2 critical values for one ``(confidence, df)`` pair.
+
+    Returns ``(mean_quantile, chi2_upper, chi2_lower)``: the t (or z, at
+    and above the small-sample cutoff) quantile for the mean interval and
+    the two chi-square critical values for the variance interval.  The
+    stream hot path evaluates these per tuple with a handful of distinct
+    ``(confidence, df)`` pairs — a constant window size yields exactly
+    one — so one cache entry replaces three transcendental solves per
+    tuple.
+    """
+    _check_confidence(confidence)
+    if df < 1:
+        raise AccuracyError(f"degrees of freedom must be >= 1, got {df}")
+    alpha_half = (1.0 - confidence) / 2.0
+    n = df + 1
+    if n < SMALL_SAMPLE_MEAN_CUTOFF:
+        mean_quantile = _t_upper(alpha_half, df)
+    else:
+        mean_quantile = _z_upper(alpha_half)
+    return (
+        mean_quantile,
+        _chi2_upper(alpha_half, df),
+        _chi2_upper(1.0 - alpha_half, df),
+    )
+
+
+#: Batches whose sample sizes take at most this many distinct values use
+#: the memoized scalar quantiles instead of array ``scipy.special`` calls
+#: (stream batches typically share one window size, i.e. one df).
+_UNIQUE_DF_FAST_PATH = 16
 
 
 def _check_confidence(confidence: float) -> float:
@@ -334,7 +371,20 @@ def mean_intervals(
     small = n_arr < SMALL_SAMPLE_MEAN_CUTOFF
     quantile = np.full(means.shape, _z_upper(alpha_half))
     if np.any(small):
-        quantile[small] = special.stdtrit(n_arr[small] - 1.0, 1.0 - alpha_half)
+        small_ns = n_arr[small]
+        unique_ns, inverse = np.unique(small_ns, return_inverse=True)
+        if unique_ns.size <= _UNIQUE_DF_FAST_PATH:
+            # Memoized per-df t quantiles: stream batches share one or
+            # two window sizes, so this replaces a vector solve with a
+            # table lookup (identical values — same scipy routine).
+            table = np.array(
+                [_t_upper(alpha_half, int(v) - 1) for v in unique_ns]
+            )
+            quantile[small] = table[inverse]
+        else:
+            quantile[small] = special.stdtrit(
+                small_ns - 1.0, 1.0 - alpha_half
+            )
     half = quantile * stds / np.sqrt(n_arr)
     return means - half, means + half
 
@@ -352,8 +402,20 @@ def variance_intervals(
     n_arr = np.broadcast_to(_as_sizes(n, minimum=2), variances.shape)
     alpha_half = (1.0 - confidence) / 2.0
     df = n_arr - 1.0
-    chi2_upper = special.chdtri(df, alpha_half)
-    chi2_lower = special.chdtri(df, 1.0 - alpha_half)
+    unique_ns, inverse = np.unique(n_arr, return_inverse=True)
+    if unique_ns.size <= _UNIQUE_DF_FAST_PATH:
+        # Memoized per-df chi-square critical values (see mean_intervals).
+        upper_table = np.array(
+            [_chi2_upper(alpha_half, int(v) - 1) for v in unique_ns]
+        )
+        lower_table = np.array(
+            [_chi2_upper(1.0 - alpha_half, int(v) - 1) for v in unique_ns]
+        )
+        chi2_upper = upper_table[inverse]
+        chi2_lower = lower_table[inverse]
+    else:
+        chi2_upper = special.chdtri(df, alpha_half)
+        chi2_lower = special.chdtri(df, 1.0 - alpha_half)
     return df * variances / chi2_upper, df * variances / chi2_lower
 
 

@@ -30,7 +30,7 @@ from typing import NamedTuple
 import numpy as np
 from scipy import special
 
-from repro.core.analytic import SMALL_SAMPLE_MEAN_CUTOFF
+from repro.core.analytic import SMALL_SAMPLE_MEAN_CUTOFF, _chi2_upper
 from repro.core.dfsample import DfSized
 from repro.distributions.base import Distribution
 from repro.errors import AccuracyError, QueryError
@@ -378,7 +378,10 @@ def v_test(
     statistic = df * field.std**2 / c
 
     def chi2_upper(tail: float) -> float:
-        return float(special.chdtri(df, tail))
+        # Memoized in repro.core.analytic: the stream path runs this
+        # test per tuple with a constant (alpha, df), so the critical
+        # values are cache hits, not chi-square solves.
+        return _chi2_upper(tail, df)
 
     sf = float(special.chdtrc(df, statistic))  # P[chi2 > statistic]
     if op == ">":

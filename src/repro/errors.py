@@ -45,5 +45,9 @@ class ObservabilityError(ReproError):
     """A metric was declared or used inconsistently (name/type clash)."""
 
 
+class ParallelError(ReproError):
+    """The parallel execution subsystem was misconfigured or failed."""
+
+
 class SchemaError(StreamError):
     """A tuple does not match the schema of the stream it is pushed into."""

@@ -25,9 +25,13 @@ from repro.experiments.harness import render_metrics_table
 from repro.obs.metrics import MetricsRegistry
 
 
-def _experiments(quick: bool, registry: MetricsRegistry | None = None):
+def _experiments(
+    quick: bool,
+    registry: MetricsRegistry | None = None,
+    workers: int | None = None,
+):
     """(name, callable) pairs for every figure, scaled by --quick."""
-    obs = dict(registry=registry)
+    obs = dict(registry=registry, workers=workers)
     if quick:
         return [
             ("fig4abc", lambda: run_fig4(
@@ -93,7 +97,19 @@ def main(argv: list[str] | None = None) -> int:
         help="collect and print a per-stage observability breakdown "
              "for the throughput figures (fig5c, fig5f)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="additionally measure the throughput figures (fig5c, fig5f) "
+             "on the sharded process-pool path with N worker processes "
+             "(0 = one per CPU; also settable via REPRO_WORKERS)",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 0:
+        parser.error(f"--workers must be >= 0, got {args.workers}")
+    if args.workers == 0:
+        from repro.parallel.config import available_cpus
+
+        args.workers = available_cpus()
 
     selected = None
     if args.only:
@@ -102,7 +118,7 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     registry = MetricsRegistry() if args.metrics else None
-    for name, runner in _experiments(args.quick, registry):
+    for name, runner in _experiments(args.quick, registry, args.workers):
         if selected is not None and name not in selected:
             continue
         started = time.perf_counter()

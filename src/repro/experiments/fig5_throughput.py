@@ -43,6 +43,11 @@ RAW_POINTS_PER_ITEM = 20
 WINDOW_SIZE = 1000
 # Batch size for the vectorized execution path (Pipeline.run_batched).
 BATCH_SIZE = 256
+# Shard count for the process-pool path (Pipeline.run_sharded).  Pinned
+# independently of the worker count so sharded results are identical
+# whether 1, 2, or 4 workers execute the shards (the determinism
+# contract of repro.parallel); 4 matches the headline 4-worker setup.
+N_SHARDS = 4
 
 
 @dataclasses.dataclass
@@ -189,6 +194,9 @@ class _BootstrapAccuracy(Operator):
         self.resamples = resamples
         self._rng = np.random.default_rng(seed)
 
+    def reseed(self, seed: object) -> None:
+        self._rng = np.random.default_rng(seed)
+
     def process(self, tup: UncertainTuple) -> None:
         field = tup.dfsized(self.attribute)
         if field.sample_size is not None and field.sample_size >= 2:
@@ -238,24 +246,34 @@ class _BootstrapAccuracy(Operator):
 def _slug(name: str) -> str:
     """Configuration label -> metric-name segment."""
     return (
-        name.replace(" (batched)", "_batched")
+        name.lower()
+        .replace("(", "")
+        .replace(")", "")
         .replace(" ", "_")
-        .lower()
     )
 
 
 def _measure_all(
     label: str,
-    configurations: "dict[str, tuple[Callable[[], Pipeline], int | None]]",
+    configurations: "dict[str, tuple]",
     tuples: Sequence[UncertainTuple],
     repeats: int,
     registry: MetricsRegistry | None,
     figure: str,
+    shard_seed: int = 0,
 ) -> ThroughputResult:
     """Measure every configuration; with a registry, also record the
-    per-stage breakdown of each one under ``{figure}.{config slug}``."""
+    per-stage breakdown of each one under ``{figure}.{config slug}``.
+
+    A configuration value is ``(factory, batch_size)`` for the serial
+    paths or ``(factory, batch_size, n_workers)`` for the sharded
+    process-pool path (always ``N_SHARDS`` shards, seeded with
+    ``shard_seed`` so the sharded runs are reproducible).
+    """
     throughputs = {}
-    for name, (factory, batch_size) in configurations.items():
+    for name, spec in configurations.items():
+        factory, batch_size = spec[0], spec[1]
+        workers = spec[2] if len(spec) > 2 else None
         throughputs[name] = measure_throughput(
             factory,
             tuples,
@@ -263,6 +281,9 @@ def _measure_all(
             batch_size=batch_size,
             registry=registry,
             metrics_prefix=f"{figure}.{_slug(name)}",
+            n_workers=workers,
+            n_shards=N_SHARDS if workers is not None else None,
+            shard_seed=shard_seed if workers is not None else None,
         )
     return ThroughputResult(label, throughputs)
 
@@ -273,15 +294,19 @@ def run_fig5c(
     repeats: int = 3,
     batch_size: int = BATCH_SIZE,
     registry: MetricsRegistry | None = None,
+    workers: int | None = None,
 ) -> ThroughputResult:
     """Figure 5(c): accuracy-computation overhead on stream throughput.
 
     Each configuration is measured twice: on the per-tuple path
     (``Pipeline.run``) and on the vectorized batched path
-    (``Pipeline.run_batched``, suffix "(batched)").  ``registry``
-    additionally collects a per-stage breakdown (tuples in/out, wall
-    time, interval widths) from one instrumented pass per configuration,
-    under metric prefix ``fig5c.{configuration}``.
+    (``Pipeline.run_batched``, suffix "(batched)").  ``workers`` adds a
+    third round on the sharded process-pool path
+    (``Pipeline.run_sharded`` with ``N_SHARDS`` shards, suffix
+    "(sharded xW)").  ``registry`` additionally collects a per-stage
+    breakdown (tuples in/out, wall time, interval widths) from one
+    instrumented pass per configuration, under metric prefix
+    ``fig5c.{configuration}``.
     """
     tuples = _make_stream(n_items, seed)
 
@@ -302,7 +327,7 @@ def run_fig5c(
             base() + [_BootstrapAccuracy("avg", seed=seed), CountingSink()]
         )
 
-    configurations: dict[str, tuple[Callable[[], Pipeline], int | None]] = {
+    configurations: dict[str, tuple] = {
         "QP only": (qp_only, None),
         "analytic": (with_analytic, None),
         "bootstrap": (with_bootstrap, None),
@@ -310,6 +335,15 @@ def run_fig5c(
         "analytic (batched)": (with_analytic, batch_size),
         "bootstrap (batched)": (with_bootstrap, batch_size),
     }
+    if workers is not None:
+        suffix = f"(sharded x{workers})"
+        configurations[f"QP only {suffix}"] = (qp_only, batch_size, workers)
+        configurations[f"analytic {suffix}"] = (
+            with_analytic, batch_size, workers,
+        )
+        configurations[f"bootstrap {suffix}"] = (
+            with_bootstrap, batch_size, workers,
+        )
     return _measure_all(
         "Figure 5(c): throughput with accuracy computation",
         configurations,
@@ -317,6 +351,7 @@ def run_fig5c(
         repeats,
         registry,
         "fig5c",
+        shard_seed=seed,
     )
 
 
@@ -384,11 +419,13 @@ def run_fig5f(
     repeats: int = 3,
     batch_size: int = BATCH_SIZE,
     registry: MetricsRegistry | None = None,
+    workers: int | None = None,
 ) -> ThroughputResult:
     """Figure 5(f): significance-predicate overhead on stream throughput.
 
     As in :func:`run_fig5c`, every configuration is measured on both the
-    per-tuple and the batched execution path, with an optional
+    per-tuple and the batched execution path — plus the sharded
+    process-pool path when ``workers`` is given — with an optional
     per-stage metrics breakdown under ``fig5f.{configuration}``.
     """
     tuples = _make_stream(n_items, seed)
@@ -413,7 +450,7 @@ def run_fig5f(
             base() + [_CoupledPTest("avg", 99.0, 0.8), CountingSink()]
         )
 
-    configurations: dict[str, tuple[Callable[[], Pipeline], int | None]] = {
+    configurations: dict[str, tuple] = {
         "no predicate": (no_pred, None),
         "mTest": (with_mtest, None),
         "mdTest": (with_mdtest, None),
@@ -423,6 +460,14 @@ def run_fig5f(
         "mdTest (batched)": (with_mdtest, batch_size),
         "pTest (batched)": (with_ptest, batch_size),
     }
+    if workers is not None:
+        suffix = f"(sharded x{workers})"
+        configurations[f"no predicate {suffix}"] = (
+            no_pred, batch_size, workers,
+        )
+        configurations[f"mTest {suffix}"] = (with_mtest, batch_size, workers)
+        configurations[f"mdTest {suffix}"] = (with_mdtest, batch_size, workers)
+        configurations[f"pTest {suffix}"] = (with_ptest, batch_size, workers)
     return _measure_all(
         "Figure 5(f): throughput with significance predicates",
         configurations,
@@ -430,4 +475,5 @@ def run_fig5f(
         repeats,
         registry,
         "fig5f",
+        shard_seed=seed,
     )

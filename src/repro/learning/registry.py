@@ -15,6 +15,7 @@ from repro.learning.empirical_learner import EmpiricalLearner
 from repro.learning.gaussian_learner import GaussianLearner
 from repro.learning.histogram_learner import HistogramLearner
 from repro.learning.kde_learner import KdeLearner
+from repro.learning.weighted import WeightedLearner
 
 __all__ = ["LEARNERS", "make_learner", "register_learner"]
 
@@ -23,6 +24,7 @@ LEARNERS: dict[str, Callable[..., Learner]] = {
     "gaussian": GaussianLearner,
     "empirical": EmpiricalLearner,
     "kde": KdeLearner,
+    "weighted": WeightedLearner,
 }
 
 

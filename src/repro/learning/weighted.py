@@ -4,6 +4,13 @@ Recent observations may deserve more weight than stale ones.  The
 :class:`WeightedLearner` takes observation ages, computes exponential-decay
 weights, fits a weighted Gaussian, and exposes accuracy info through the
 Kish effective sample size so intervals widen as the sample decays.
+
+It is a full :class:`~repro.learning.base.Learner`: without ages every
+observation gets unit weight (an ordinary Gaussian fit), so the learner
+drops into any ingestion path that chooses learners by name
+(``make_learner("weighted", half_life=...)``), and its product is a
+:class:`~repro.learning.base.LearnedDistribution` that additionally
+carries the weights.
 """
 
 from __future__ import annotations
@@ -21,52 +28,66 @@ from repro.core.effective import (
 )
 from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import LearningError
+from repro.learning.base import LearnedDistribution, Learner
 
 __all__ = ["WeightedLearnedDistribution", "WeightedLearner"]
 
 
 @dataclasses.dataclass(frozen=True)
-class WeightedLearnedDistribution:
+class WeightedLearnedDistribution(LearnedDistribution):
     """A weighted fit: distribution + sample + weights + effective n."""
 
-    distribution: GaussianDistribution
-    sample: np.ndarray
-    weights: np.ndarray
+    weights: np.ndarray = dataclasses.field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.weights is None:
+            raise LearningError("weighted fit needs observation weights")
+        arr = np.asarray(self.weights, dtype=float).ravel()
+        if arr.size != self.sample.size:
+            raise LearningError(
+                f"{self.sample.size} observations but {arr.size} weights"
+            )
+        object.__setattr__(self, "weights", arr)
 
     @property
     def effective_size(self) -> float:
         return effective_sample_size(self.weights)
 
     def accuracy(self, confidence: float = 0.95) -> AccuracyInfo:
+        """Accuracy via the Kish effective sample size (not the raw n)."""
         return weighted_accuracy(self.sample, self.weights, confidence)
 
 
-class WeightedLearner:
+class WeightedLearner(Learner):
     """Learns from (value, age) observations with exponential decay.
 
     ``half_life`` is in the same unit as the ages; an observation one
-    half-life old counts half as much as a fresh one.
+    half-life old counts half as much as a fresh one.  With no ages
+    every observation weighs 1 and the fit equals the plain weighted-
+    stats Gaussian over the sample.
     """
 
-    def __init__(self, half_life: float) -> None:
+    def __init__(self, half_life: float = 1.0) -> None:
         if half_life <= 0:
             raise LearningError(f"half-life must be > 0, got {half_life}")
         self.half_life = half_life
 
     def learn(
         self,
-        values: "np.ndarray | list[float]",
-        ages: "np.ndarray | list[float]",
+        sample: "np.ndarray | list[float]",
+        ages: "np.ndarray | list[float] | None" = None,
     ) -> WeightedLearnedDistribution:
-        vals = np.asarray(values, dtype=float).ravel()
-        age_arr = np.asarray(ages, dtype=float).ravel()
-        if vals.size != age_arr.size:
-            raise LearningError(
-                f"{vals.size} values but {age_arr.size} ages"
-            )
-        if vals.size < 2:
-            raise LearningError("need at least 2 observations")
-        weights = exponential_weights(age_arr, self.half_life)
+        vals = self._validated(sample, minimum=2)
+        if ages is None:
+            weights = np.ones_like(vals)
+        else:
+            age_arr = np.asarray(ages, dtype=float).ravel()
+            if vals.size != age_arr.size:
+                raise LearningError(
+                    f"{vals.size} values but {age_arr.size} ages"
+                )
+            weights = exponential_weights(age_arr, self.half_life)
         ws = weighted_stats(vals, weights)
         return WeightedLearnedDistribution(
             GaussianDistribution(ws.mean, ws.variance), vals, weights

@@ -340,6 +340,72 @@ class MetricsRegistry:
             for name, metric in self._metrics.items()
         }
 
+    def merge_snapshot(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how per-worker metrics come home from sharded pipeline
+        execution: each worker records into a private registry, ships
+        the snapshot back (plain dicts pickle cheaply), and the parent
+        merges them in shard order.  Counters, timers, and histograms
+        accumulate; gauges take the incoming value (last write wins).
+        Missing metrics are created; a name already registered as a
+        different type raises :class:`ObservabilityError`.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(state["value"]))  # type: ignore[arg-type]
+            elif kind == "gauge":
+                self.gauge(name).set(float(state["value"]))  # type: ignore[arg-type]
+            elif kind == "timer":
+                timer = self.timer(name)
+                count = int(state["count"])  # type: ignore[arg-type]
+                if count:
+                    timer.count += count
+                    timer.total += float(state["total_seconds"])  # type: ignore[arg-type]
+                    low = state.get("min_seconds")
+                    high = state.get("max_seconds")
+                    if low is not None and float(low) < timer._min:  # type: ignore[arg-type]
+                        timer._min = float(low)  # type: ignore[arg-type]
+                    if high is not None and float(high) > timer._max:  # type: ignore[arg-type]
+                        timer._max = float(high)  # type: ignore[arg-type]
+            elif kind == "histogram":
+                self._merge_histogram(name, state)
+            else:
+                raise ObservabilityError(
+                    f"cannot merge metric {name!r} of unknown type {kind!r}"
+                )
+
+    def _merge_histogram(self, name: str, state: dict[str, object]) -> None:
+        buckets: list[dict[str, object]] = state["buckets"]  # type: ignore[assignment]
+        bounds = tuple(
+            float(b["le"]) for b in buckets  # type: ignore[arg-type]
+            if math.isfinite(float(b["le"]))  # type: ignore[arg-type]
+        )
+        histogram = self.histogram(name, bounds)
+        if histogram.buckets != bounds:
+            raise ObservabilityError(
+                f"histogram {name!r} bucket bounds differ: "
+                f"{histogram.buckets} vs incoming {bounds}"
+            )
+        # Snapshot buckets are cumulative (Prometheus-style); de-cumulate
+        # into per-slot increments, the +Inf overflow slot included.
+        previous = 0
+        for slot, bucket in enumerate(buckets):
+            cumulative = int(bucket["count"])  # type: ignore[arg-type]
+            histogram._counts[slot] += cumulative - previous
+            previous = cumulative
+        count = int(state["count"])  # type: ignore[arg-type]
+        histogram.count += count
+        histogram.sum += float(state["sum"])  # type: ignore[arg-type]
+        if count:
+            low = state.get("min")
+            high = state.get("max")
+            if low is not None and float(low) < histogram._min:  # type: ignore[arg-type]
+                histogram._min = float(low)  # type: ignore[arg-type]
+            if high is not None and float(high) > histogram._max:  # type: ignore[arg-type]
+                histogram._max = float(high)  # type: ignore[arg-type]
+
     def to_json(self, indent: int | None = None) -> str:
         """The snapshot as strict JSON (non-finite values become null)."""
 

@@ -1,0 +1,339 @@
+"""Parallel Monte-Carlo sampling and bootstrap drivers.
+
+Monte-Carlo query processing (§III) and BOOTSTRAP-ACCURACY-INFO both
+reduce to the same shape of work: draw ``m`` iid values of an output
+random variable, then run a vectorised statistics pass over them.  The
+drivers here parallelise the *drawing* — the embarrassingly parallel
+part — and feed the untouched serial kernels
+(:func:`~repro.core.bootstrap.bootstrap_accuracy_info`,
+:func:`~repro.core.bootstrap.bootstrap_accuracy_batch`) with the result.
+
+Determinism contract
+--------------------
+Work is split into **fixed-size chunks** whose boundaries depend only on
+``chunk_size`` and the total sample count — never on the worker count —
+and chunk ``i`` draws from generator ``default_rng(SeedSequence(seed)
+.spawn(n_chunks)[i])``.  A fixed seed therefore yields bit-identical
+values at any worker count, including the in-process serial path used
+when ``n_workers <= 1`` or the pool cannot start.
+
+Shared memory
+-------------
+Sample blocks move through POSIX shared memory where available: the
+chunk drivers let every worker write its slice into one shared output
+array, and the batch bootstrap publishes its ``(t, m)`` value matrix
+once instead of pickling a row slab into every task.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.accuracy import AccuracyInfo
+from repro.core.bootstrap import (
+    bootstrap_accuracy_batch,
+    bootstrap_accuracy_info,
+)
+from repro.errors import ParallelError
+from repro.parallel.config import ParallelConfig
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import SharedSpec, attach_array, share_array
+
+__all__ = [
+    "chunk_spans",
+    "draw_mc_values",
+    "draw_mc_matrix",
+    "parallel_bootstrap_accuracy_info",
+    "parallel_bootstrap_accuracy_batch",
+]
+
+
+def chunk_spans(total: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Fixed ``[start, stop)`` spans covering ``range(total)``.
+
+    The spans are a pure function of ``(total, chunk_size)`` so the
+    chunk layout — and therefore every chunk's seed — cannot depend on
+    how many workers happen to be available.
+    """
+    if total < 0:
+        raise ParallelError(f"total must be >= 0, got {total}")
+    return [
+        (start, min(start + chunk_size, total))
+        for start in range(0, total, chunk_size)
+    ]
+
+
+def _draw_chunk(
+    distribution: object,
+    seed: np.random.SeedSequence,
+    length: int,
+    out_spec: SharedSpec | None,
+    start: int,
+) -> np.ndarray | None:
+    """Pool task: draw one chunk; write in place when shared memory is up."""
+    rng = np.random.default_rng(seed)
+    values = distribution.sample(rng, length)  # type: ignore[attr-defined]
+    if out_spec is None:
+        return np.asarray(values, dtype=float)
+    out, segment = attach_array(out_spec)
+    try:
+        out[start : start + length] = values
+    finally:
+        del out
+        segment.close()
+    return None
+
+
+def draw_mc_values(
+    distribution: object,
+    m: int,
+    seed: int | np.random.SeedSequence,
+    config: ParallelConfig | None = None,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """``m`` Monte-Carlo values of ``distribution``, drawn in parallel.
+
+    ``distribution`` is anything with the library's ``sample(rng, size)``
+    method.  The result is identical at any worker count for a fixed
+    seed (see the module docstring for the chunk-seeding scheme).
+    """
+    if m < 0:
+        raise ParallelError(f"sample count must be >= 0, got {m}")
+    config = config if config is not None else ParallelConfig()
+    spans = chunk_spans(m, config.chunk_size)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    seeds = root.spawn(len(spans)) if spans else []
+
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(config)
+    try:
+        if pool.serial or len(spans) == 1:
+            out = np.empty(m, dtype=float)
+            for (start, stop), chunk_seed in zip(spans, seeds):
+                rng = np.random.default_rng(chunk_seed)
+                out[start:stop] = distribution.sample(  # type: ignore[attr-defined]
+                    rng, stop - start
+                )
+            return out
+
+        shared = share_array(np.empty(m)) if config.use_shared_memory else None
+        if shared is not None:
+            with shared:
+                pool.map_indexed(
+                    _draw_chunk,
+                    [
+                        (distribution, chunk_seed, stop - start,
+                         shared.spec, start)
+                        for (start, stop), chunk_seed in zip(spans, seeds)
+                    ],
+                )
+                return np.array(shared.array, dtype=float)
+        chunks = pool.map_indexed(
+            _draw_chunk,
+            [
+                (distribution, chunk_seed, stop - start, None, start)
+                for (start, stop), chunk_seed in zip(spans, seeds)
+            ],
+        )
+        return np.concatenate(chunks) if chunks else np.empty(0)
+    finally:
+        if own_pool:
+            pool.close()
+
+
+def _draw_rows(
+    distributions: Sequence[object],
+    seeds: Sequence[np.random.SeedSequence],
+    m: int,
+    out_spec: SharedSpec | None,
+    row_start: int,
+) -> np.ndarray | None:
+    """Pool task: draw ``m`` values for a block of output variables."""
+    block = np.empty((len(distributions), m), dtype=float)
+    for i, (dist, seed) in enumerate(zip(distributions, seeds)):
+        rng = np.random.default_rng(seed)
+        block[i] = dist.sample(rng, m)  # type: ignore[attr-defined]
+    if out_spec is None:
+        return block
+    out, segment = attach_array(out_spec)
+    try:
+        out[row_start : row_start + block.shape[0]] = block
+    finally:
+        del out
+        segment.close()
+    return None
+
+
+def draw_mc_matrix(
+    distributions: Sequence[object],
+    m: int,
+    seed: int | np.random.SeedSequence,
+    config: ParallelConfig | None = None,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """A ``(len(distributions), m)`` Monte-Carlo matrix, row-parallel.
+
+    Row ``i`` is seeded by spawn child ``i`` of the root seed, so the
+    matrix is invariant to both the worker count and how rows are
+    grouped into tasks.
+    """
+    config = config if config is not None else ParallelConfig()
+    t = len(distributions)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    seeds = root.spawn(t) if t else []
+    rows_per_task = max(1, config.chunk_size // max(m, 1))
+    spans = chunk_spans(t, rows_per_task)
+
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(config)
+    try:
+        if pool.serial or len(spans) == 1:
+            out = np.empty((t, m), dtype=float)
+            for i, dist in enumerate(distributions):
+                rng = np.random.default_rng(seeds[i])
+                out[i] = dist.sample(rng, m)  # type: ignore[attr-defined]
+            return out
+
+        shared = (
+            share_array(np.empty((t, m))) if config.use_shared_memory else None
+        )
+        if shared is not None:
+            with shared:
+                pool.map_indexed(
+                    _draw_rows,
+                    [
+                        (list(distributions[a:b]), seeds[a:b], m,
+                         shared.spec, a)
+                        for a, b in spans
+                    ],
+                )
+                return np.array(shared.array, dtype=float)
+        blocks = pool.map_indexed(
+            _draw_rows,
+            [
+                (list(distributions[a:b]), seeds[a:b], m, None, a)
+                for a, b in spans
+            ],
+        )
+        return (
+            np.concatenate(blocks, axis=0)
+            if blocks
+            else np.empty((0, m))
+        )
+    finally:
+        if own_pool:
+            pool.close()
+
+
+def parallel_bootstrap_accuracy_info(
+    distribution: object,
+    n: int,
+    resamples: int = 20,
+    confidence: float = 0.95,
+    seed: int | np.random.SeedSequence = 0,
+    edges: Sequence[float] | None = None,
+    interval: str = "percentile",
+    config: ParallelConfig | None = None,
+    pool: WorkerPool | None = None,
+) -> AccuracyInfo:
+    """BOOTSTRAP-ACCURACY-INFO with the Monte-Carlo draw parallelised.
+
+    Draws ``m = resamples * n`` values of the output variable across the
+    pool (deterministically chunk-seeded) and feeds them to the serial
+    :func:`bootstrap_accuracy_info` kernel.
+    """
+    values = draw_mc_values(distribution, resamples * n, seed, config, pool)
+    return bootstrap_accuracy_info(values, n, confidence, edges, interval)
+
+
+def _bootstrap_slab(
+    spec_or_matrix: SharedSpec | np.ndarray,
+    row_start: int,
+    row_stop: int,
+    n: int,
+    confidence: float,
+) -> tuple[AccuracyInfo, ...]:
+    """Pool task: the batch kernel over a slab of value-matrix rows."""
+    if isinstance(spec_or_matrix, SharedSpec):
+        matrix, segment = attach_array(spec_or_matrix)
+        try:
+            slab = np.array(matrix[row_start:row_stop], dtype=float)
+        finally:
+            del matrix
+            segment.close()
+    else:
+        slab = spec_or_matrix
+    return bootstrap_accuracy_batch(slab, n, confidence)
+
+
+def parallel_bootstrap_accuracy_batch(
+    value_matrix: np.ndarray,
+    n: int,
+    confidence: float = 0.95,
+    config: ParallelConfig | None = None,
+    pool: WorkerPool | None = None,
+) -> tuple[AccuracyInfo, ...]:
+    """Row-parallel :func:`bootstrap_accuracy_batch`.
+
+    The ``(t, m)`` matrix is published once through shared memory and
+    each task bootstraps a fixed slab of rows; slabs are concatenated in
+    row order.  The slab layout depends only on ``(t, m, chunk_size)``
+    and the in-process serial path runs the *same* slabs, so the result
+    is bit-identical at any worker count.  It matches the one-shot
+    serial kernel to the last ulp (NumPy's reduction blocking can
+    differ with the row count of the matrix it reduces, so exact bit
+    equality across *different slab layouts* is not guaranteed).
+    """
+    config = config if config is not None else ParallelConfig()
+    matrix = np.asarray(value_matrix, dtype=float)
+    if matrix.ndim != 2:
+        # Delegate shape validation (and its message) to the kernel.
+        return bootstrap_accuracy_batch(matrix, n, confidence)
+    t, m = matrix.shape
+    rows_per_task = max(1, config.chunk_size // max(m, 1))
+    spans = chunk_spans(t, rows_per_task)
+
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(config)
+    try:
+        if len(spans) <= 1:
+            return bootstrap_accuracy_batch(matrix, n, confidence)
+        if pool.serial:
+            # Same slab decomposition as the pooled path (each slab is a
+            # fresh copy, exactly like a worker's view) so the result is
+            # bit-identical whatever the worker count.
+            merged_serial: list[AccuracyInfo] = []
+            for a, b in spans:
+                merged_serial.extend(
+                    _bootstrap_slab(np.array(matrix[a:b]), a, b, n, confidence)
+                )
+            return tuple(merged_serial)
+        shared = share_array(matrix) if config.use_shared_memory else None
+        if shared is not None:
+            with shared:
+                slabs = pool.map_indexed(
+                    _bootstrap_slab,
+                    [(shared.spec, a, b, n, confidence) for a, b in spans],
+                )
+        else:
+            slabs = pool.map_indexed(
+                _bootstrap_slab,
+                [(matrix[a:b], a, b, n, confidence) for a, b in spans],
+            )
+        merged: list[AccuracyInfo] = []
+        for slab in slabs:
+            merged.extend(slab)
+        return tuple(merged)
+    finally:
+        if own_pool:
+            pool.close()

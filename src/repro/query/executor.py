@@ -42,6 +42,7 @@ from repro.distributions.empirical import EmpiricalDistribution
 from repro.distributions.gaussian import GaussianDistribution
 from repro.distributions.histogram import HistogramDistribution
 from repro.errors import QueryError
+from repro.parallel.config import ParallelConfig
 from repro.query.expressions import EvalContext
 from repro.query.parser import (
     AndCondition,
@@ -77,6 +78,12 @@ class ExecutorConfig:
     bootstrap_resamples: int = 20
     keep_unsure: bool = False
     seed: int | None = None
+    #: Opt-in process-pool execution for bootstrap Monte-Carlo draws
+    #: (:mod:`repro.parallel`).  ``None`` keeps the sequential-generator
+    #: sampling path; a config switches to deterministic per-field
+    #: ``SeedSequence`` spawning, whose values are invariant to the
+    #: worker count (but differ from the sequential path's stream).
+    parallel: "ParallelConfig | None" = None
 
     def __post_init__(self) -> None:
         if self.accuracy_method not in _ACCURACY_METHODS:
@@ -155,6 +162,31 @@ class QueryExecutor:
         self.query = query
         self.config = config if config is not None else ExecutorConfig()
         self._rng = np.random.default_rng(self.config.seed)
+        # Deterministic per-draw seeding for the parallel bootstrap path:
+        # spawn child i of the root seed for the i-th parallel draw, so
+        # the same query over the same stream reproduces exactly at any
+        # worker count.
+        self._seed_root = np.random.SeedSequence(self.config.seed)
+        self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool, if the parallel path ever started one."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _parallel_pool(self):
+        from repro.parallel.pool import WorkerPool
+
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.parallel)
+        return self._pool
 
     # -- condition evaluation -------------------------------------------------
 
@@ -248,6 +280,17 @@ class QueryExecutor:
 
     # -- accuracy ----------------------------------------------------------------
 
+    def _draw(self, dist: object, m: int) -> np.ndarray:
+        """``m`` values of ``dist`` — sequential, or pooled when enabled."""
+        if self.config.parallel is None:
+            return dist.sample(self._rng, m)  # type: ignore[attr-defined]
+        from repro.parallel.montecarlo import draw_mc_values
+
+        (seed,) = self._seed_root.spawn(1)
+        return draw_mc_values(
+            dist, m, seed, self.config.parallel, self._parallel_pool()
+        )
+
     def _field_accuracy(self, field: DfSized) -> AccuracyInfo | None:
         method = self.config.accuracy_method
         if method == "none" or field.sample_size is None:
@@ -266,10 +309,10 @@ class QueryExecutor:
         if isinstance(dist, EmpiricalDistribution) and dist.size >= 2 * n:
             values = dist.values
             if values.size < m:
-                extra = dist.sample(self._rng, m - values.size)
+                extra = self._draw(dist, m - values.size)
                 values = np.concatenate([values, extra])
         else:
-            values = dist.sample(self._rng, m)
+            values = self._draw(dist, m)
         edges = (
             dist.edges if isinstance(dist, HistogramDistribution) else None
         )

@@ -19,7 +19,11 @@ import dataclasses
 import numpy as np
 
 from repro.core.dfsample import DfSized
-from repro.distributions.arithmetic import apply_unary, combine
+from repro.distributions.arithmetic import (
+    _DIV_EPSILON as _DET_DIV_EPSILON,
+    apply_unary,
+    combine,
+)
 from repro.distributions.base import Deterministic, Distribution
 from repro.distributions.convolution import convolve_histograms
 from repro.distributions.gaussian import GaussianDistribution
@@ -100,6 +104,19 @@ class Literal(Expression):
         return repr(self.value)
 
 
+def _deterministic_divide(a: float, b: float) -> float | None:
+    """Exact division with the same near-zero-denominator nudge as
+    :func:`repro.distributions.arithmetic.safe_divide`, so the
+    deterministic fast path cannot produce magnitudes the Monte-Carlo
+    path never would (a denormal divisor once drove a downstream
+    SQUARE to infinity)."""
+    if b == 0.0:
+        return None
+    if abs(b) < _DET_DIV_EPSILON:
+        b = np.copysign(_DET_DIV_EPSILON, b)
+    return a / b
+
+
 def _closed_form_binary(
     op: str, left: Distribution, right: Distribution
 ) -> Distribution | None:
@@ -142,7 +159,7 @@ def _closed_form_binary(
             "+": lambda a, b: a + b,
             "-": lambda a, b: a - b,
             "*": lambda a, b: a * b,
-            "/": lambda a, b: a / b if b != 0 else None,
+            "/": _deterministic_divide,
         }
         result = ops[op](left.value, right.value)
         if result is not None and np.isfinite(result):
@@ -211,9 +228,12 @@ class UnaryOp(Expression):
                 "neg": lambda x: -x,
                 "abs": abs,
             }
-            return DfSized(
-                Deterministic(fns[self.op](dist.value)), value.sample_size
-            )
+            out = fns[self.op](dist.value)
+            if not np.isfinite(out):
+                raise QueryError(
+                    f"{self.op}({dist.value!r}) overflows to {out!r}"
+                )
+            return DfSized(Deterministic(out), value.sample_size)
         if self.op == "neg" and isinstance(dist, GaussianDistribution):
             return DfSized(dist.scaled(-1.0), value.sample_size)
         result = apply_unary(self.op, dist, ctx.rng, ctx.mc_samples)

@@ -13,13 +13,21 @@ time.  With no registry the execution paths are unchanged.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import copy
+from collections.abc import Callable, Iterable, Sequence
 from time import perf_counter
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
-from repro.streams.operators import Operator
+from repro.streams.operators import CollectSink, CountingSink, Operator
 from repro.streams.tuples import UncertainTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.config import ParallelConfig
+    from repro.parallel.pool import WorkerPool
 
 __all__ = ["Pipeline"]
 
@@ -43,6 +51,7 @@ class Pipeline:
         for upstream, downstream in zip(self.operators, self.operators[1:]):
             upstream.connect(downstream)
         self.registry: MetricsRegistry | None = None
+        self._metrics_prefix = "pipeline"
         if registry is not None:
             self.attach_metrics(registry)
 
@@ -56,6 +65,7 @@ class Pipeline:
         of the same experiment) keeps every stage distinguishable.
         """
         self.registry = registry
+        self._metrics_prefix = prefix
         for index, op in enumerate(self.operators):
             name = f"{prefix}.{index:02d}.{type(op).__name__.lstrip('_')}"
             op.attach_metrics(registry, name)
@@ -75,6 +85,49 @@ class Pipeline:
         self.registry = None
         for op in self.operators:
             op.detach_metrics()
+        for attribute in ("_runs", "_tuples_pushed", "_run_seconds"):
+            if hasattr(self, attribute):
+                delattr(self, attribute)
+
+    @property
+    def metrics_prefix(self) -> str:
+        """Metric-name prefix from the last :meth:`attach_metrics` call."""
+        return self._metrics_prefix
+
+    def pristine(self) -> "Pipeline":
+        """A deep, metrics-detached copy of this pipeline.
+
+        Sharded execution clones the pipeline once per shard; the clone
+        carries whatever operator state this pipeline currently holds
+        (call :meth:`run_sharded` on a freshly built pipeline so shards
+        start from empty windows), but never shares metrics objects or
+        the registry with the original.
+        """
+        registry, prefix = self.registry, self._metrics_prefix
+        if registry is not None:
+            self.detach_metrics()
+        try:
+            clone = copy.deepcopy(self)
+        finally:
+            if registry is not None:
+                self.attach_metrics(registry, prefix)
+        clone._metrics_prefix = prefix
+        return clone
+
+    def reseed(self, seed: int | np.random.SeedSequence) -> None:
+        """Re-seed every operator's internal randomness deterministically.
+
+        Operator ``i`` receives spawn child ``i`` of the root
+        :class:`~numpy.random.SeedSequence`; stateless operators ignore
+        it (the default :meth:`Operator.reseed` is a no-op).
+        """
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        for op, child in zip(self.operators, root.spawn(len(self.operators))):
+            op.reseed(child)
 
     @property
     def head(self) -> Operator:
@@ -148,3 +201,65 @@ class Pipeline:
             self._tuples_pushed.inc(count)
             self._runs.inc()
         return self.sink
+
+    def run_sharded(
+        self,
+        source: Iterable[UncertainTuple],
+        n_workers: int | None = None,
+        partition_by: str | Callable[[UncertainTuple], object] | None = None,
+        n_shards: int | None = None,
+        batch_size: int = 256,
+        seed: int | np.random.SeedSequence | None = None,
+        merge: str = "auto",
+        config: "ParallelConfig | None" = None,
+        pool: "WorkerPool | None" = None,
+    ) -> Operator:
+        """Partition the source, run shards in worker processes, merge.
+
+        The input is hash-partitioned into ``n_shards`` sub-streams
+        (``partition_by`` names an attribute or is a key callable;
+        ``None`` partitions round-robin), each shard runs through a
+        pristine clone of this pipeline via :meth:`run_batched` in a
+        worker process, and the per-shard sinks — plus per-worker
+        metrics snapshots, when a registry is attached — are merged
+        back into *this* pipeline's sink and registry deterministically.
+
+        ``n_shards`` defaults to the resolved worker count; pin it
+        explicitly to make results invariant while the worker count
+        varies.  With ``n_workers <= 1`` (or when the pool cannot
+        start) the identical shard decomposition runs in-process, so a
+        fixed ``seed`` produces identical sink contents at any worker
+        count.  See ``docs/PARALLELISM.md`` for the full contract and
+        the sink merge semantics (``merge`` in ``{"auto",
+        "interleave", "concat"}``).
+
+        Only :class:`CollectSink` / :class:`CountingSink` terminals can
+        be merged; other sinks raise :class:`StreamError`.
+        """
+        from repro.parallel.sharded import run_sharded as _run_sharded
+
+        sink = self.sink
+        if not isinstance(sink, (CollectSink, CountingSink)):
+            raise StreamError(
+                f"run_sharded needs a CollectSink or CountingSink "
+                f"terminal operator; got {type(sink).__name__}"
+            )
+        result = _run_sharded(
+            self,
+            source,
+            n_workers=n_workers,
+            partition_by=partition_by,
+            n_shards=n_shards,
+            batch_size=batch_size,
+            seed=seed,
+            merge=merge,
+            config=config,
+            pool=pool,
+        )
+        if isinstance(sink, CountingSink):
+            sink.count += result.merged_count()
+        else:
+            sink.results.extend(result.merged_results())
+        if self.registry is not None:
+            result.merge_metrics(self.registry)
+        return sink

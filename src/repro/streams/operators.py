@@ -89,6 +89,16 @@ class Operator(abc.ABC):
         """Stop recording metrics (already-recorded values are kept)."""
         self._obs = None
 
+    def reseed(self, seed: object) -> None:
+        """Replace internal randomness from a ``numpy`` seed sequence.
+
+        Sharded execution calls this with a distinct
+        ``np.random.SeedSequence`` per operator per shard
+        (:meth:`Pipeline.reseed`).  Operators holding a generator should
+        override it with ``self._rng = np.random.default_rng(seed)``;
+        the default is a no-op because most operators are deterministic.
+        """
+
     def emit(self, tup: UncertainTuple) -> None:
         obs = self._obs
         if obs is not None:

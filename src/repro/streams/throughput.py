@@ -51,13 +51,22 @@ def measure_throughput(
     batch_size: int | None = None,
     registry: MetricsRegistry | None = None,
     metrics_prefix: str = "pipeline",
+    n_workers: int | None = None,
+    n_shards: int | None = None,
+    partition_by: object = None,
+    shard_seed: int | None = None,
 ) -> float:
     """Best-of-``repeats`` throughput of a pipeline over the given tuples.
 
     A fresh pipeline is built per repeat so windowed state never carries
     over between timing runs.  ``batch_size`` selects the batched
     execution path (:meth:`Pipeline.run_batched`); ``None`` measures the
-    per-tuple path.
+    per-tuple path.  ``n_workers`` selects the sharded process-pool path
+    (:meth:`Pipeline.run_sharded`, with ``n_shards`` / ``partition_by``
+    / ``shard_seed`` passed through); one worker pool is created before
+    timing and reused across repeats, and an untimed warm-up run absorbs
+    process start-up and imports, so the measurement reflects
+    steady-state throughput rather than ``spawn`` cost.
 
     ``registry`` requests a per-operator breakdown: after the timed
     repeats, one extra *instrumented* pass runs a fresh pipeline with the
@@ -72,29 +81,52 @@ def measure_throughput(
         raise StreamError(f"repeats must be >= 1, got {repeats}")
     if not tuples:
         raise StreamError("cannot measure throughput over zero tuples")
-    best = 0.0
-    for _ in range(repeats):
-        pipeline = pipeline_factory()
-        start = time.perf_counter()
-        if batch_size is None:
+
+    pool = None
+    if n_workers is not None:
+        from repro.parallel.config import ParallelConfig
+        from repro.parallel.pool import WorkerPool
+
+        pool = WorkerPool(ParallelConfig(n_workers=n_workers))
+
+    def _run_once(pipeline: Pipeline) -> None:
+        if pool is not None:
+            pipeline.run_sharded(
+                tuples,
+                n_shards=n_shards,
+                partition_by=partition_by,
+                batch_size=batch_size if batch_size is not None else 256,
+                seed=shard_seed,
+                pool=pool,
+            )
+        elif batch_size is None:
             pipeline.run(tuples)
         else:
             pipeline.run_batched(tuples, batch_size)
-        elapsed = time.perf_counter() - start
-        if elapsed <= 0.0:
-            continue
-        best = max(best, len(tuples) / elapsed)
-    if best == 0.0:
-        raise StreamError(
-            f"all {repeats} repeats over {len(tuples)} tuples finished "
-            "faster than the clock resolution; use more tuples (or more "
-            "repeats) to get a measurable elapsed time"
-        )
-    if registry is not None:
-        pipeline = pipeline_factory()
-        pipeline.attach_metrics(registry, prefix=metrics_prefix)
-        if batch_size is None:
-            pipeline.run(tuples)
-        else:
-            pipeline.run_batched(tuples, batch_size)
-    return best
+
+    try:
+        if pool is not None:
+            _run_once(pipeline_factory())  # untimed pool warm-up
+        best = 0.0
+        for _ in range(repeats):
+            pipeline = pipeline_factory()
+            start = time.perf_counter()
+            _run_once(pipeline)
+            elapsed = time.perf_counter() - start
+            if elapsed <= 0.0:
+                continue
+            best = max(best, len(tuples) / elapsed)
+        if best == 0.0:
+            raise StreamError(
+                f"all {repeats} repeats over {len(tuples)} tuples finished "
+                "faster than the clock resolution; use more tuples (or more "
+                "repeats) to get a measurable elapsed time"
+            )
+        if registry is not None:
+            pipeline = pipeline_factory()
+            pipeline.attach_metrics(registry, prefix=metrics_prefix)
+            _run_once(pipeline)
+        return best
+    finally:
+        if pool is not None:
+            pool.close()

@@ -1,0 +1,92 @@
+"""Memoized critical-value computations (the interval hot path)."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.core.analytic import (
+    SMALL_SAMPLE_MEAN_CUTOFF,
+    critical_values,
+    mean_interval,
+    mean_intervals,
+    variance_interval,
+    variance_intervals,
+)
+from repro.errors import AccuracyError
+
+
+class TestCriticalValues:
+    def test_matches_scipy_small_sample(self):
+        mean_q, chi2_hi, chi2_lo = critical_values(0.9, 19)
+        assert mean_q == pytest.approx(float(special.stdtrit(19, 0.95)))
+        assert chi2_hi == pytest.approx(float(special.chdtri(19, 0.05)))
+        assert chi2_lo == pytest.approx(float(special.chdtri(19, 0.95)))
+
+    def test_large_sample_uses_z(self):
+        df = SMALL_SAMPLE_MEAN_CUTOFF  # n = df + 1 >= cutoff
+        mean_q, _, _ = critical_values(0.95, df)
+        assert mean_q == pytest.approx(float(special.ndtri(0.975)))
+
+    def test_cache_hit(self):
+        critical_values.cache_clear()
+        first = critical_values(0.9, 19)
+        hits_before = critical_values.cache_info().hits
+        assert critical_values(0.9, 19) == first
+        assert critical_values.cache_info().hits == hits_before + 1
+
+    def test_bad_df(self):
+        with pytest.raises(AccuracyError, match="degrees of freedom"):
+            critical_values(0.9, 0)
+
+    def test_bad_confidence(self):
+        with pytest.raises(AccuracyError, match="confidence"):
+            critical_values(1.0, 10)
+
+    def test_consistent_with_scalar_intervals(self):
+        mean_q, chi2_hi, chi2_lo = critical_values(0.9, 19)
+        mi = mean_interval(10.0, 2.0, 20, 0.9)
+        assert mi.high - mi.low == pytest.approx(
+            2.0 * mean_q * 2.0 / np.sqrt(20)
+        )
+        vi = variance_interval(4.0, 20, 0.9)
+        assert vi.low == pytest.approx(19 * 4.0 / chi2_hi)
+        assert vi.high == pytest.approx(19 * 4.0 / chi2_lo)
+
+
+class TestUniqueDfFastPath:
+    """The memoized table path must equal the array scipy path exactly."""
+
+    def test_mean_intervals_few_vs_many_unique_dfs(self):
+        rng = np.random.default_rng(1)
+        means = rng.normal(0.0, 1.0, 40)
+        stds = rng.uniform(0.5, 2.0, 40)
+        # > 16 unique small-sample sizes forces the array path ...
+        many = np.arange(2, 2 + 20)
+        ns_many = np.resize(many, 40)
+        lo_a, hi_a = mean_intervals(means, stds, ns_many, 0.9)
+        # ... which must agree element-wise with the per-df scalar path.
+        for i in range(40):
+            scalar = mean_interval(means[i], stds[i], int(ns_many[i]), 0.9)
+            assert lo_a[i] == pytest.approx(scalar.low, abs=1e-12)
+            assert hi_a[i] == pytest.approx(scalar.high, abs=1e-12)
+
+    def test_variance_intervals_few_vs_many_unique_dfs(self):
+        rng = np.random.default_rng(2)
+        variances = rng.uniform(1.0, 9.0, 40)
+        ns_many = np.resize(np.arange(5, 5 + 20), 40)
+        lo_a, hi_a = variance_intervals(variances, ns_many, 0.95)
+        for i in range(40):
+            scalar = variance_interval(variances[i], int(ns_many[i]), 0.95)
+            assert lo_a[i] == pytest.approx(scalar.low, rel=1e-12)
+            assert hi_a[i] == pytest.approx(scalar.high, rel=1e-12)
+
+    def test_constant_df_batch_uses_one_table_entry(self):
+        # The stream case: one window size, one df, 256 tuples.
+        means = np.linspace(-1.0, 1.0, 256)
+        stds = np.full(256, 1.5)
+        lo, hi = mean_intervals(means, stds, 20, 0.9)
+        scalar = mean_interval(0.0, 1.5, 20, 0.9)
+        mid = 128  # means[128] is not exactly 0; use widths instead
+        assert hi[mid] - lo[mid] == pytest.approx(
+            scalar.high - scalar.low, rel=1e-12
+        )

@@ -1,0 +1,64 @@
+"""Regression: WeightedLearner is a full Learner (ABC + registry).
+
+It used to be a standalone class that only *looked* like a learner;
+these tests pin the contract that lets it drop into any ingestion path
+that picks learners by name.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.base import LearnedDistribution, Learner
+from repro.learning.registry import LEARNERS, make_learner
+from repro.learning.weighted import (
+    WeightedLearnedDistribution,
+    WeightedLearner,
+)
+
+
+class TestLearnerConformance:
+    def test_is_a_learner(self):
+        assert issubclass(WeightedLearner, Learner)
+        assert isinstance(WeightedLearner(), Learner)
+
+    def test_registered(self):
+        assert LEARNERS["weighted"] is WeightedLearner
+
+    def test_make_learner(self):
+        learner = make_learner("weighted", half_life=2.0)
+        assert isinstance(learner, WeightedLearner)
+        assert learner.half_life == 2.0
+
+    def test_learn_without_ages(self, rng):
+        sample = rng.normal(10.0, 2.0, 30)
+        fitted = WeightedLearner().learn(sample)
+        assert isinstance(fitted, WeightedLearnedDistribution)
+        assert isinstance(fitted, LearnedDistribution)
+        # Unit weights: the fit is the plain weighted-stats Gaussian.
+        assert np.array_equal(fitted.weights, np.ones(30))
+        assert fitted.effective_size == pytest.approx(30.0)
+        assert fitted.distribution.mean() == pytest.approx(sample.mean())
+
+    def test_learned_distribution_api(self, rng):
+        fitted = WeightedLearner(half_life=5.0).learn(
+            rng.normal(0.0, 1.0, 25), ages=np.arange(25.0)
+        )
+        assert fitted.sample_size == 25
+        assert fitted.as_dfsized().sample_size == 25
+        info = fitted.accuracy(0.9)
+        assert info.mean.low < info.mean.high
+        # Decayed weights shrink the effective sample size.
+        assert fitted.effective_size < 25.0
+
+    def test_input_validation_via_abc_helper(self):
+        with pytest.raises(LearningError):
+            WeightedLearner().learn([1.0])  # minimum 2 observations
+
+    def test_mismatched_ages(self):
+        with pytest.raises(LearningError, match="ages"):
+            WeightedLearner().learn([1.0, 2.0, 3.0], ages=[0.0, 1.0])
+
+    def test_bad_half_life(self):
+        with pytest.raises(LearningError, match="half-life"):
+            WeightedLearner(half_life=0.0)

@@ -1,0 +1,187 @@
+"""Worker-count invariance of the parallel Monte-Carlo drivers.
+
+The determinism contract says a fixed seed produces bit-identical
+sample arrays at any worker count.  These tests pin that down by
+drawing the same work serially (``n_workers=1``) and through a real
+2-worker spawn pool, with chunk sizes small enough to force multiple
+pool tasks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    bootstrap_accuracy_batch,
+    bootstrap_accuracy_info,
+)
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import ParallelError
+from repro.parallel import (
+    ParallelConfig,
+    WorkerPool,
+    draw_mc_matrix,
+    draw_mc_values,
+    parallel_bootstrap_accuracy_batch,
+    parallel_bootstrap_accuracy_info,
+)
+from repro.parallel.shm import SharedArray, attach_array, share_array
+
+DIST = GaussianDistribution(100.0, 25.0)
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    """One real 2-worker spawn pool shared by the module (startup is slow)."""
+    with WorkerPool(ParallelConfig(n_workers=2)) as pool:
+        yield pool
+
+
+def _config(workers, **kwargs):
+    kwargs.setdefault("chunk_size", 64)
+    return ParallelConfig(n_workers=workers, **kwargs)
+
+
+class TestDrawMcValues:
+    def test_pool_matches_serial_bitwise(self, pool2):
+        serial = draw_mc_values(DIST, 300, seed=42, config=_config(1))
+        pooled = draw_mc_values(
+            DIST, 300, seed=42, config=_config(2), pool=pool2
+        )
+        assert not pool2.serial
+        assert np.array_equal(serial, pooled)
+
+    def test_shared_memory_off_same_values(self, pool2):
+        with_shm = draw_mc_values(DIST, 300, seed=7, config=_config(2),
+                                  pool=pool2)
+        without = draw_mc_values(
+            DIST, 300, seed=7,
+            config=_config(2, use_shared_memory=False), pool=pool2,
+        )
+        assert np.array_equal(with_shm, without)
+
+    def test_chunk_size_changes_values_but_not_validity(self):
+        # Chunk layout is part of the seeding scheme: different layout,
+        # different (still deterministic) stream.
+        a = draw_mc_values(DIST, 300, seed=1, config=_config(1, chunk_size=64))
+        b = draw_mc_values(DIST, 300, seed=1, config=_config(1, chunk_size=50))
+        assert a.shape == b.shape == (300,)
+        assert not np.array_equal(a, b)
+
+    def test_empty_draw(self):
+        assert draw_mc_values(DIST, 0, seed=3, config=_config(1)).size == 0
+
+    def test_negative_m_raises(self):
+        with pytest.raises(ParallelError, match="sample count"):
+            draw_mc_values(DIST, -1, seed=3, config=_config(1))
+
+
+class TestDrawMcMatrix:
+    def test_pool_matches_serial_bitwise(self, pool2):
+        dists = [GaussianDistribution(float(i), 1.0 + i) for i in range(5)]
+        serial = draw_mc_matrix(dists, 64, seed=9, config=_config(1))
+        pooled = draw_mc_matrix(
+            dists, 64, seed=9, config=_config(2), pool=pool2
+        )
+        assert serial.shape == (5, 64)
+        assert np.array_equal(serial, pooled)
+
+    def test_row_grouping_invariance(self, pool2):
+        # chunk_size controls how many rows ride in one task; the values
+        # must not depend on that grouping (each row has its own seed).
+        dists = [GaussianDistribution(float(i), 2.0) for i in range(6)]
+        one_per_task = draw_mc_matrix(
+            dists, 32, seed=5, config=_config(2, chunk_size=32), pool=pool2
+        )
+        three_per_task = draw_mc_matrix(
+            dists, 32, seed=5, config=_config(2, chunk_size=96), pool=pool2
+        )
+        assert np.array_equal(one_per_task, three_per_task)
+
+    def test_empty(self):
+        assert draw_mc_matrix([], 16, seed=2, config=_config(1)).shape \
+            == (0, 16)
+
+
+class TestParallelBootstrap:
+    def test_info_matches_serial_kernel(self, pool2):
+        n, resamples = 30, 10
+        values = draw_mc_values(
+            DIST, resamples * n, seed=17, config=_config(2)
+        )
+        expected = bootstrap_accuracy_info(values, n, 0.95)
+        got = parallel_bootstrap_accuracy_info(
+            DIST, n, resamples, 0.95, seed=17, config=_config(2), pool=pool2
+        )
+        assert got == expected
+
+    def test_batch_pool_matches_serial_path_bitwise(self, pool2):
+        # Same slab decomposition serial and pooled => exact equality.
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(50.0, 5.0, size=(6, 200))
+        serial = parallel_bootstrap_accuracy_batch(
+            matrix, 20, 0.9, config=_config(1, chunk_size=400)
+        )
+        pooled = parallel_bootstrap_accuracy_batch(
+            matrix, 20, 0.9, config=_config(2, chunk_size=400), pool=pool2
+        )
+        assert pooled == serial
+
+    def test_batch_matches_serial_kernel(self, pool2):
+        # Against the one-shot kernel: equal to the last ulp (NumPy
+        # reduction blocking varies with the reduced row count).
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(50.0, 5.0, size=(6, 200))
+        expected = bootstrap_accuracy_batch(matrix, 20, 0.9)
+        got = parallel_bootstrap_accuracy_batch(
+            matrix, 20, 0.9, config=_config(2, chunk_size=400), pool=pool2
+        )
+        assert len(got) == len(expected)
+        for a, b in zip(got, expected):
+            assert a.mean.low == pytest.approx(b.mean.low, rel=1e-12)
+            assert a.mean.high == pytest.approx(b.mean.high, rel=1e-12)
+            assert a.variance.low == pytest.approx(b.variance.low, rel=1e-12)
+            assert a.variance.high == pytest.approx(
+                b.variance.high, rel=1e-12
+            )
+            assert a.sample_size == b.sample_size
+            assert a.values_used == b.values_used
+
+    def test_batch_shared_memory_off(self, pool2):
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(0.0, 1.0, size=(4, 100))
+        serial = parallel_bootstrap_accuracy_batch(
+            matrix, 10, 0.95,
+            config=_config(1, chunk_size=100, use_shared_memory=False),
+        )
+        got = parallel_bootstrap_accuracy_batch(
+            matrix, 10, 0.95,
+            config=_config(2, chunk_size=100, use_shared_memory=False),
+            pool=pool2,
+        )
+        assert got == serial
+
+
+class TestSharedMemory:
+    def test_roundtrip(self):
+        data = np.arange(12, dtype=float).reshape(3, 4)
+        shared = share_array(data)
+        if shared is None:
+            pytest.skip("no usable shared memory on this platform")
+        with shared:
+            view, segment = attach_array(shared.spec)
+            try:
+                assert np.array_equal(view, data)
+                view[0, 0] = -1.0
+                assert shared.array[0, 0] == -1.0
+            finally:
+                del view
+                segment.close()
+
+    def test_allocate_and_release(self):
+        try:
+            shared = SharedArray.allocate((5,), np.dtype(float))
+        except Exception:
+            pytest.skip("no usable shared memory on this platform")
+        shared.array[:] = 2.5
+        assert shared.spec.shape == (5,)
+        shared.release()

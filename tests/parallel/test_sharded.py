@@ -1,0 +1,307 @@
+"""Seed-fixed equivalence of sharded vs. batched pipeline execution.
+
+The ISSUE-level guarantee: for a fixed seed and pinned ``n_shards``,
+``Pipeline.run_sharded`` produces sink contents identical to the serial
+run at ANY worker count — 1 (in-process), 2, and 4 real spawn workers.
+
+Tuples are compared by per-element ``pickle.dumps`` bytes.  Whole-list
+pickles are NOT comparable across paths (pickle's memo shares objects
+differently depending on how the list was assembled), but per-element
+bytes are exact.
+"""
+
+import pickle
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import ParallelError, StreamError
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    ParallelConfig,
+    WorkerPool,
+    partition_indices,
+    run_sharded,
+    stable_key_hash,
+)
+from repro.streams.engine import Pipeline
+from repro.streams.groupby import GroupedAggregate
+from repro.streams.operators import (
+    CollectSink,
+    CountingSink,
+    Derive,
+    Select,
+    SlidingGaussianAverage,
+)
+from repro.streams.tuples import UncertainTuple
+
+N_SHARDS = 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _tuples(n=120, n_sensors=6, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        out.append(
+            UncertainTuple(
+                {
+                    "sensor": int(rng.integers(n_sensors)),
+                    "reading": DfSized(
+                        GaussianDistribution(
+                            float(rng.normal(50.0, 10.0)),
+                            float(rng.uniform(1.0, 9.0)),
+                        ),
+                        int(rng.integers(10, 40)),
+                    ),
+                    "seq": i,
+                }
+            )
+        )
+    return out
+
+
+# Module-level so the pipelines pickle into spawn workers.
+def _double_seq(tup):
+    return tup.value("seq") * 2
+
+
+def _keep_even(tup):
+    return tup.value("seq") % 2 == 0
+
+
+def _stateless_pipeline():
+    return Pipeline([Derive("twice", _double_seq), CollectSink()])
+
+
+def _grouped_pipeline():
+    return Pipeline(
+        [
+            GroupedAggregate(
+                key="sensor", attribute="reading", window_size=8, agg="avg"
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def _element_bytes(results):
+    return [pickle.dumps(tup) for tup in results]
+
+
+class TestStableKeyHash:
+    def test_int_passthrough(self):
+        assert stable_key_hash(17) == 17
+        assert stable_key_hash(0) == 0
+
+    def test_int_nonnegative(self):
+        assert stable_key_hash(-5) >= 0
+
+    def test_bool_as_int(self):
+        assert stable_key_hash(True) == 1
+
+    def test_str_is_crc32(self):
+        assert stable_key_hash("abc") == zlib.crc32(b"'abc'")
+
+    def test_stable_across_calls(self):
+        assert stable_key_hash(("a", 3)) == stable_key_hash(("a", 3))
+
+
+class TestPartitionIndices:
+    def test_round_robin(self):
+        tuples = _tuples(7)
+        shards = partition_indices(tuples, 3, None)
+        assert shards == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_attribute_key_groups_together(self):
+        tuples = _tuples(60)
+        shards = partition_indices(tuples, N_SHARDS, "sensor")
+        assert sorted(i for shard in shards for i in shard) == list(range(60))
+        for shard in shards:
+            # Every index of a given sensor lands in exactly one shard.
+            sensors = {tuples[i].value("sensor") for i in shard}
+            for other in shards:
+                if other is shard:
+                    continue
+                assert sensors.isdisjoint(
+                    {tuples[i].value("sensor") for i in other}
+                )
+
+    def test_callable_key(self):
+        tuples = _tuples(10)
+        shards = partition_indices(
+            tuples, 2, lambda tup: tup.value("seq") // 5
+        )
+        assert shards == [[0, 1, 2, 3, 4], [5, 6, 7, 8, 9]]
+
+    def test_bad_shard_count(self):
+        with pytest.raises(ParallelError, match="n_shards"):
+            partition_indices([], 0, None)
+
+
+class TestWorkerCountEquivalence:
+    """The satellite (d) contract: 1 == 2 == 4 workers == serial run."""
+
+    def test_stateless_pipeline_matches_run_batched(self):
+        tuples = _tuples()
+        expected = _element_bytes(
+            _stateless_pipeline().run_batched(tuples, 32).results
+        )
+        for workers in WORKER_COUNTS:
+            pipeline = _stateless_pipeline()
+            sink = pipeline.run_sharded(
+                tuples, n_workers=workers, n_shards=N_SHARDS, seed=123
+            )
+            assert _element_bytes(sink.results) == expected, (
+                f"stateless sink diverged at n_workers={workers}"
+            )
+
+    def test_grouped_partition_by_matches_run_batched(self):
+        # GroupedAggregate keyed by the partition attribute: shard-local
+        # group state equals global group state, and emit-per-input lets
+        # the interleave merge reconstruct the exact serial emit order.
+        tuples = _tuples()
+        expected = _element_bytes(
+            _grouped_pipeline().run_batched(tuples, 32).results
+        )
+        assert len(expected) == len(tuples)
+        for workers in WORKER_COUNTS:
+            pipeline = _grouped_pipeline()
+            sink = pipeline.run_sharded(
+                tuples,
+                n_workers=workers,
+                partition_by="sensor",
+                n_shards=N_SHARDS,
+                seed=123,
+            )
+            assert _element_bytes(sink.results) == expected, (
+                f"grouped sink diverged at n_workers={workers}"
+            )
+
+    def test_windowed_pipeline_worker_count_invariant(self):
+        # An unkeyed window reshards semantically (one window per shard)
+        # so it cannot equal the serial run — but it must still be
+        # invariant across worker counts for a fixed decomposition.
+        tuples = _tuples()
+
+        def run(workers):
+            pipeline = Pipeline(
+                [
+                    SlidingGaussianAverage("reading", window_size=10),
+                    CollectSink(),
+                ]
+            )
+            sink = pipeline.run_sharded(
+                tuples, n_workers=workers, n_shards=N_SHARDS, seed=9
+            )
+            return _element_bytes(sink.results)
+
+        baseline = run(1)
+        assert run(2) == baseline
+        assert run(4) == baseline
+
+
+class TestSinkAndMetricsMerge:
+    @pytest.fixture(scope="class")
+    def pool2(self):
+        with WorkerPool(ParallelConfig(n_workers=2)) as pool:
+            yield pool
+
+    def test_counting_sink_sums(self, pool2):
+        tuples = _tuples(50)
+        pipeline = Pipeline([Select(_keep_even), CountingSink()])
+        sink = pipeline.run_sharded(
+            tuples, n_workers=2, n_shards=N_SHARDS, pool=pool2
+        )
+        assert sink.count == 25
+
+    def test_merged_metrics_counters(self, pool2):
+        tuples = _tuples(80)
+        registry = MetricsRegistry()
+        pipeline = _stateless_pipeline()
+        pipeline.attach_metrics(registry, prefix="eq")
+        pipeline.run_sharded(
+            tuples, n_workers=2, n_shards=N_SHARDS, pool=pool2
+        )
+        snapshot = registry.snapshot()
+        # Every source tuple was pushed exactly once, across all shards.
+        assert snapshot["eq.tuples"]["value"] == 80
+        # One run_batched per shard.
+        assert snapshot["eq.runs"]["value"] == N_SHARDS
+        assert snapshot["eq.run_seconds"]["count"] == N_SHARDS
+
+    def test_interleave_requires_one_to_one(self):
+        tuples = _tuples(20)
+        pipeline = Pipeline([Select(_keep_even), CollectSink()])
+        with pytest.raises(ParallelError, match="interleave"):
+            pipeline.run_sharded(
+                tuples, n_workers=1, n_shards=2, merge="interleave"
+            )
+
+    def test_auto_falls_back_to_concat_for_filters(self):
+        tuples = _tuples(20)
+        pipeline = Pipeline([Select(_keep_even), CollectSink()])
+        sink = pipeline.run_sharded(tuples, n_workers=1, n_shards=2)
+        assert sorted(t.value("seq") for t in sink.results) == list(
+            range(0, 20, 2)
+        )
+
+    def test_bad_merge_mode(self):
+        with pytest.raises(ParallelError, match="merge"):
+            _stateless_pipeline().run_sharded(
+                _tuples(4), n_workers=1, merge="zip"
+            )
+
+    def test_unmergeable_sink_rejected(self):
+        pipeline = Pipeline([SlidingGaussianAverage("reading", 4)])
+        with pytest.raises(StreamError, match="CollectSink or CountingSink"):
+            pipeline.run_sharded(_tuples(4), n_workers=1)
+
+    def test_default_shards_follow_workers(self):
+        tuples = _tuples(12)
+        result = run_sharded(
+            _stateless_pipeline(), tuples, n_workers=1
+        )
+        assert len(result.shards) == 1
+
+
+class TestUnpicklableFallback:
+    def test_parallel_degrades_with_warning(self):
+        tuples = _tuples(24)
+        expected = _element_bytes(
+            _stateless_pipeline().run_batched(tuples, 32).results
+        )
+        # A lambda-bearing operator cannot pickle into spawn workers.
+        pipeline = Pipeline(
+            [Derive("twice", lambda t: t.value("seq") * 2), CollectSink()]
+        )
+        with pytest.warns(UserWarning, match="not picklable"):
+            sink = pipeline.run_sharded(
+                tuples, n_workers=2, n_shards=N_SHARDS, seed=123
+            )
+        assert _element_bytes(sink.results) == expected
+
+    def test_no_fallback_raises(self):
+        pipeline = Pipeline(
+            [Derive("twice", lambda t: t.value("seq") * 2), CollectSink()]
+        )
+        with pytest.raises(ParallelError, match="not picklable"):
+            pipeline.run_sharded(
+                _tuples(8),
+                n_workers=2,
+                config=ParallelConfig(n_workers=2, fallback_serial=False),
+            )
+
+    def test_serial_fallback_does_not_warn(self):
+        pipeline = Pipeline(
+            [Derive("twice", lambda t: t.value("seq") * 2), CollectSink()]
+        )
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sink = pipeline.run_sharded(_tuples(8), n_workers=1, n_shards=2)
+        assert len(sink.results) == 8

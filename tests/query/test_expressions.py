@@ -130,6 +130,20 @@ class TestMonteCarloFallback:
         ).evaluate(ctx)
         assert np.isfinite(value.distribution.mean())
 
+    def test_deterministic_divide_matches_safe_divide_nudge(self, ctx):
+        # Fuzz-found: SQUARE(k / denormal) overflowed because the
+        # deterministic fast path divided exactly while the Monte-Carlo
+        # path nudges |b| < 1e-9 to +-1e-9.  Both paths must agree.
+        expr = UnaryOp(
+            "square", BinaryOp("/", Column("k"), Literal(3.4e-168))
+        )
+        value = expr.evaluate(ctx)
+        assert value.distribution == Deterministic((7.0 / 1e-9) ** 2)
+
+    def test_unary_overflow_raises_query_error(self, ctx):
+        with pytest.raises(QueryError, match="overflows"):
+            UnaryOp("square", Literal(1e200)).evaluate(ctx)
+
 
 class TestValidation:
     def test_rejects_unknown_binary_op(self):
