@@ -69,6 +69,7 @@ from repro.core import (
     tuple_probability_interval,
     tuple_probability_intervals,
     accuracy_from_sample,
+    accuracy_from_stats,
     df_sample_size,
     df_sample_count,
     DfSized,
@@ -114,6 +115,8 @@ from repro.streams import (
     SignificanceFilter,
     SlidingGaussianAverage,
     WindowAggregate,
+    RollingLearnOperator,
+    RollingWindowStats,
     CollectSink,
     CountingSink,
     measure_throughput,
@@ -160,7 +163,7 @@ __all__ = [
     "mean_interval", "mean_intervals", "variance_interval",
     "variance_intervals", "distribution_accuracy", "accuracy_from_moments",
     "tuple_probability_interval", "tuple_probability_intervals",
-    "accuracy_from_sample", "df_sample_size",
+    "accuracy_from_sample", "accuracy_from_stats", "df_sample_size",
     "df_sample_count", "DfSized", "bootstrap_accuracy_info",
     "bootstrap_accuracy_batch",
     "classical_bootstrap_accuracy", "FieldStats", "TestResult", "m_test",
@@ -173,6 +176,7 @@ __all__ = [
     "AttributeSpec", "Schema", "UncertainTuple", "Pipeline", "CountWindow",
     "Select", "Project", "Derive", "ProbabilisticFilter",
     "SignificanceFilter", "SlidingGaussianAverage", "WindowAggregate",
+    "RollingLearnOperator", "RollingWindowStats",
     "CollectSink", "CountingSink", "measure_throughput",
     "parse_query", "compile_query", "QueryExecutor", "ExecutorConfig",
     "ResultTuple", "run_query",

@@ -33,6 +33,7 @@ from repro.core.analytic import (
     tuple_probability_interval,
     tuple_probability_intervals,
     accuracy_from_sample,
+    accuracy_from_stats,
 )
 from repro.core.dfsample import (
     df_sample_size,
@@ -89,6 +90,7 @@ __all__ = [
     "tuple_probability_interval",
     "tuple_probability_intervals",
     "accuracy_from_sample",
+    "accuracy_from_stats",
     "df_sample_size",
     "df_sample_count",
     "DfSized",

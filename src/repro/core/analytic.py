@@ -53,6 +53,7 @@ __all__ = [
     "tuple_probability_interval",
     "tuple_probability_intervals",
     "accuracy_from_sample",
+    "accuracy_from_stats",
 ]
 
 # Lemma 2 switches from the Student-t to the z interval at this n.
@@ -321,7 +322,11 @@ def mean_interval(
     else:
         quantile = _z_upper(alpha_half)
     half = quantile * sample_std / np.sqrt(n)
-    return ConfidenceInterval(sample_mean - half, sample_mean + half, confidence)
+    # float() is bit-preserving; plain Python floats keep the scalar and
+    # vectorized (accuracy_from_moments) paths byte-identical on the wire.
+    return ConfidenceInterval(
+        float(sample_mean - half), float(sample_mean + half), confidence
+    )
 
 
 def variance_interval(
@@ -347,7 +352,7 @@ def variance_interval(
     chi2_lower = _chi2_upper(1.0 - alpha_half, df)  # area a/2 to the left
     low = df * sample_variance / chi2_upper
     high = df * sample_variance / chi2_lower
-    return ConfidenceInterval(low, high, confidence)
+    return ConfidenceInterval(float(low), float(high), confidence)
 
 
 def mean_intervals(
@@ -529,6 +534,42 @@ def accuracy_from_moments(
             method="analytic",
         )
         for i in range(means.size)
+    )
+
+
+def accuracy_from_stats(
+    sample_mean: float,
+    sample_variance: float,
+    n: int,
+    confidence: float = 0.95,
+    histogram: HistogramDistribution | None = None,
+) -> AccuracyInfo:
+    """Accuracy info from pre-computed sufficient statistics.
+
+    The rolling-learner path (``partial_add``/``partial_evict``) keeps
+    the sample mean and unbiased variance incrementally and never
+    materialises the observation array, so it builds accuracy from the
+    statistics directly.  Given the statistics of the same sample this
+    is identical to :func:`accuracy_from_sample` — both reuse the
+    memoized Lemma 1/2 interval kernels above.
+    """
+    n = _check_sample_size(n, minimum=2)
+    if sample_variance < 0:
+        raise AccuracyError(
+            f"sample variance must be >= 0, got {sample_variance}"
+        )
+    s = float(np.sqrt(sample_variance))
+    info_mean = mean_interval(sample_mean, s, n, confidence)
+    info_var = variance_interval(sample_variance, n, confidence)
+    bins: tuple[BinInterval, ...] = ()
+    if histogram is not None:
+        bins = histogram_accuracy(histogram, n, confidence)
+    return AccuracyInfo(
+        mean=info_mean,
+        variance=info_var,
+        bins=bins,
+        sample_size=n,
+        method="analytic",
     )
 
 

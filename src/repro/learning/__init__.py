@@ -7,6 +7,7 @@ around — the sample size is exactly what the accuracy machinery needs.
 """
 
 from repro.learning.base import Learner, LearnedDistribution
+from repro.learning.partial import DEFAULT_RESUM_INTERVAL, PartialFitState
 from repro.learning.histogram_learner import (
     HistogramLearner,
     equi_width_edges,
@@ -16,11 +17,18 @@ from repro.learning.gaussian_learner import GaussianLearner
 from repro.learning.empirical_learner import EmpiricalLearner
 from repro.learning.kde_learner import KdeLearner
 from repro.learning.weighted import WeightedLearner, WeightedLearnedDistribution
-from repro.learning.registry import LEARNERS, make_learner, register_learner
+from repro.learning.registry import (
+    LEARNERS,
+    make_learner,
+    make_rolling_learner,
+    register_learner,
+)
 
 __all__ = [
     "Learner",
     "LearnedDistribution",
+    "PartialFitState",
+    "DEFAULT_RESUM_INTERVAL",
     "HistogramLearner",
     "equi_width_edges",
     "equi_depth_edges",
@@ -31,5 +39,6 @@ __all__ = [
     "WeightedLearnedDistribution",
     "LEARNERS",
     "make_learner",
+    "make_rolling_learner",
     "register_learner",
 ]

@@ -76,11 +76,85 @@ class LearnedDistribution:
 
 
 class Learner(abc.ABC):
-    """Learns a distribution from an iid sample of observations."""
+    """Learns a distribution from an iid sample of observations.
+
+    Besides the batch :meth:`learn`, a learner may support *incremental*
+    fitting over a sliding window of observations through the
+    ``partial_*`` hooks: :meth:`partial_begin` creates a rolling state
+    (a :class:`~repro.learning.partial.PartialFitState`),
+    :meth:`partial_add` / :meth:`partial_evict` maintain it in O(1)
+    amortized per slide, and :meth:`partial_distribution` /
+    :meth:`partial_accuracy` read the current fit and its Lemma 1/2
+    confidence intervals without refitting from scratch.  Learners that
+    support this set :attr:`supports_partial`; the default hooks raise
+    :class:`LearningError`.  See ``docs/ROLLING.md``.
+    """
+
+    #: Whether the ``partial_*`` incremental hooks are available.  May be
+    #: a per-instance property (``HistogramLearner`` supports them only
+    #: with fixed bucket edges).
+    supports_partial: bool = False
+
+    #: Whether ``partial_moments`` feeds the vectorized Lemma-2 batch
+    #: kernel (:func:`repro.core.analytic.accuracy_from_moments`); bin-
+    #: carrying learners compute per-slide accuracy instead.
+    partial_vectorizable: bool = False
 
     @abc.abstractmethod
     def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
         """Fit a distribution to the sample; raises LearningError if unfit."""
+
+    # -- incremental (sliding-window) hooks ---------------------------------
+
+    def partial_begin(self, resum_interval: int | None = None) -> object:
+        """Create an empty rolling-fit state for a sliding window."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    def partial_add(self, state: object, x: float) -> None:
+        """Fold one new observation into the rolling state (O(1))."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    def partial_evict(self, state: object, x: float) -> None:
+        """Remove one previously added observation (O(1) amortized)."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    def partial_distribution(self, state: object) -> "object":
+        """The distribution currently fit to the window."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    def partial_accuracy(
+        self, state: object, confidence: float = 0.95
+    ) -> AccuracyInfo:
+        """Lemma 1/2 accuracy of the current fit (analytic intervals)."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    def partial_moments(self, state: object) -> tuple[float, float, int]:
+        """``(sample mean, unbiased variance, n)`` of the current window."""
+        raise LearningError(
+            f"{type(self).__name__} does not support incremental learning"
+        )
+
+    @staticmethod
+    def _validated_observation(x: object) -> float:
+        """Check one incremental observation the way ``learn`` checks many."""
+        if isinstance(x, bool) or not isinstance(x, (int, float)):
+            raise LearningError(
+                f"observations must be real numbers, got {type(x).__name__}"
+            )
+        value = float(x)
+        if not np.isfinite(value):
+            raise LearningError("observations must be finite")
+        return value
 
     @staticmethod
     def _validated(sample: "np.ndarray | list[float]", minimum: int = 1

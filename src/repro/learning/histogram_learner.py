@@ -9,15 +9,50 @@ sample) and the learned one (from the small sample) share buckets.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.accuracy import AccuracyInfo
+from repro.core.analytic import accuracy_from_stats
 from repro.distributions.histogram import HistogramDistribution
 from repro.errors import LearningError
 from repro.learning.base import Learner, LearnedDistribution
+from repro.learning.partial import DEFAULT_RESUM_INTERVAL, PartialFitState
 
 __all__ = ["equi_width_edges", "equi_depth_edges", "HistogramLearner"]
+
+
+class _HistogramPartial(PartialFitState):
+    """Rolling histogram state: bin counts + Welford sample moments.
+
+    Bin counts are integers, so increment/decrement are exact; the
+    inherited Welford moments (for the Lemma-2 mean/variance intervals)
+    carry the drift guard.
+    """
+
+    __slots__ = ("edges", "_edge_list", "counts")
+
+    def __init__(self, edges: np.ndarray, resum_interval: int) -> None:
+        super().__init__(resum_interval)
+        self.edges = edges
+        self._edge_list = [float(e) for e in edges]
+        self.counts = [0] * (len(edges) - 1)
+
+    def bin_index(self, x: float) -> int:
+        """Bucket of ``x`` under ``np.histogram`` semantics, after clamping.
+
+        Bins are half-open ``[e_i, e_{i+1})`` with the last bin closed;
+        out-of-range observations clamp into the first/last bin (same as
+        :meth:`HistogramLearner.learn` with explicit edges).
+        """
+        edge_list = self._edge_list
+        index = bisect_right(edge_list, x) - 1
+        if index < 0:
+            return 0
+        last = len(edge_list) - 2
+        return last if index > last else index
 
 
 def equi_width_edges(
@@ -106,3 +141,73 @@ class HistogramLearner(Learner):
             raise LearningError("no observations fell into any bucket")
         histogram = HistogramDistribution.from_counts(edges, counts)
         return LearnedDistribution(histogram, arr)
+
+    # -- incremental hooks ---------------------------------------------------
+
+    def fixed_edges(self) -> np.ndarray | None:
+        """The bucket edges when they are knowable without a sample.
+
+        Explicit ``edges`` win; equi-width bucketing with a pinned
+        ``value_range`` is also fixed.  Data-dependent bucketisations
+        (range-free equi-width, equi-depth) return ``None`` — they
+        cannot be maintained incrementally.
+        """
+        if self.edges is not None:
+            return self.edges
+        if self.strategy == "equi_width" and self.value_range is not None:
+            return equi_width_edges(
+                np.empty(0), self.bucket_count, self.value_range
+            )
+        return None
+
+    @property
+    def supports_partial(self) -> bool:  # type: ignore[override]
+        """Incremental maintenance needs fixed bucket edges."""
+        return self.fixed_edges() is not None
+
+    def partial_begin(
+        self, resum_interval: int | None = None
+    ) -> _HistogramPartial:
+        edges = self.fixed_edges()
+        if edges is None:
+            raise LearningError(
+                "incremental histogram learning needs fixed bucket edges: "
+                "pass edges=... or strategy='equi_width' with value_range=..."
+            )
+        if resum_interval is None:
+            resum_interval = DEFAULT_RESUM_INTERVAL
+        return _HistogramPartial(edges, resum_interval)
+
+    def partial_add(self, state: _HistogramPartial, x: float) -> None:
+        value = self._validated_observation(x)
+        state.add(value)
+        state.counts[state.bin_index(value)] += 1
+
+    def partial_evict(self, state: _HistogramPartial, x: float) -> None:
+        value = self._validated_observation(x)
+        state.evict(value)  # raises if the value is not in the window
+        index = state.bin_index(value)
+        state.counts[index] -= 1
+
+    def partial_distribution(
+        self, state: _HistogramPartial
+    ) -> HistogramDistribution:
+        if state.count < 1:
+            raise LearningError("need at least 1 observation, got 0")
+        return HistogramDistribution.from_counts(state.edges, state.counts)
+
+    def partial_accuracy(
+        self, state: _HistogramPartial, confidence: float = 0.95
+    ) -> AccuracyInfo:
+        return accuracy_from_stats(
+            state.mean,
+            state.variance,
+            state.count,
+            confidence,
+            histogram=self.partial_distribution(state),
+        )
+
+    def partial_moments(
+        self, state: _HistogramPartial
+    ) -> tuple[float, float, int]:
+        return state.mean, state.variance, state.count

@@ -1,0 +1,174 @@
+"""Rolling learner state: Welford moments with remove + drift guard.
+
+The incremental-learning hooks (:meth:`~repro.learning.base.Learner.partial_add`
+/ :meth:`~repro.learning.base.Learner.partial_evict`) operate on a state
+object created by ``partial_begin``.  :class:`PartialFitState` is the
+shared substance of those states:
+
+* Welford's online mean/M2 with the standard *removal* update, so a
+  sliding window of observations is maintained in O(1) per slide
+  instead of refitting from scratch (O(window));
+* a multiset mirror of the window contents, so evictions may happen in
+  any order (not just FIFO) and the drift guard can recompute the
+  moments exactly;
+* the drift guard itself: Welford removal is numerically stable but not
+  exact, so every ``resum_interval`` evictions (default
+  :data:`DEFAULT_RESUM_INTERVAL`) the mean and M2 are recomputed from
+  the mirror with :func:`math.fsum`.  Immediately after a re-sum the
+  moments equal the exactly rounded two-pass reference.
+
+This module is deliberately free of :mod:`repro.streams` imports (the
+stream operators import the learning registry, so the dependency must
+point this way); the window-side kernels live in
+:mod:`repro.streams.rolling` and share the same drift-guard design.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import LearningError
+
+__all__ = ["DEFAULT_RESUM_INTERVAL", "PartialFitState"]
+
+#: Evictions between exact re-computations of the Welford moments.
+#: Mirrors ``repro.streams.rolling.DEFAULT_RESUM_INTERVAL``.
+DEFAULT_RESUM_INTERVAL = 4096
+
+
+class PartialFitState:
+    """Sufficient statistics of a sliding observation window.
+
+    Subclassed per learner (Gaussian adds nothing; the histogram state
+    adds bin counts).  The owning operator binds
+    :attr:`resums_counter` / :attr:`drift_histogram` when observability
+    is attached; they must be unbound (``set_metrics(None, None)``)
+    before the state is pickled or deep-copied.
+    """
+
+    __slots__ = (
+        "count",
+        "_mean",
+        "_m2",
+        "_mirror",
+        "resum_interval",
+        "_evictions_since_resum",
+        "resums",
+        "last_drift",
+        "resums_counter",
+        "drift_histogram",
+    )
+
+    def __init__(self, resum_interval: int = DEFAULT_RESUM_INTERVAL) -> None:
+        if resum_interval < 1:
+            raise LearningError(
+                f"resum interval must be >= 1, got {resum_interval}"
+            )
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._mirror: dict[float, int] = {}
+        self.resum_interval = int(resum_interval)
+        self._evictions_since_resum = 0
+        #: Exact re-computations performed so far.
+        self.resums = 0
+        #: Drift magnitude observed at the latest re-computation.
+        self.last_drift = 0.0
+        self.resums_counter = None
+        self.drift_histogram = None
+
+    # -- incremental maintenance -------------------------------------------
+
+    def add(self, x: float) -> None:
+        """Welford add: O(1)."""
+        mirror = self._mirror
+        mirror[x] = mirror.get(x, 0) + 1
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    def evict(self, x: float) -> None:
+        """Welford remove of a window member: O(1) amortized.
+
+        ``x`` must be a value previously added and not yet evicted
+        (checked against the multiset mirror); members may leave in any
+        order.
+        """
+        mirror = self._mirror
+        remaining = mirror.get(x, 0) - 1
+        if remaining < 0:
+            raise LearningError(
+                f"evicted observation {x!r} is not in the window"
+            )
+        if remaining:
+            mirror[x] = remaining
+        else:
+            del mirror[x]
+        self.count -= 1
+        if self.count == 0:
+            self._mean = 0.0
+            self._m2 = 0.0
+        else:
+            delta = x - self._mean
+            self._mean -= delta / self.count
+            self._m2 -= delta * (x - self._mean)
+            if self._m2 < 0.0:  # removal residue; M2 is a sum of squares
+                self._m2 = 0.0
+        self._evictions_since_resum += 1
+        if self._evictions_since_resum >= self.resum_interval:
+            self._resum()
+
+    # -- drift guard --------------------------------------------------------
+
+    def _resum(self) -> None:
+        """Exact two-pass recomputation of mean/M2 from the mirror."""
+        self._evictions_since_resum = 0
+        n = self.count
+        if n == 0:
+            drift = max(abs(self._mean), abs(self._m2))
+            self._mean = 0.0
+            self._m2 = 0.0
+        else:
+            items = self._mirror.items()
+            mean = math.fsum(v * c for v, c in items) / n
+            m2 = math.fsum(c * (v - mean) * (v - mean) for v, c in items)
+            drift = max(abs(self._mean - mean), abs(self._m2 - m2))
+            self._mean = mean
+            self._m2 = m2
+        self.resums += 1
+        self.last_drift = drift
+        if self.resums_counter is not None:
+            self.resums_counter.inc()
+        if self.drift_histogram is not None:
+            self.drift_histogram.observe(drift)
+
+    def set_metrics(self, resums_counter, drift_histogram) -> None:
+        """Bind (or, with Nones, unbind) the drift-guard metrics."""
+        self.resums_counter = resums_counter
+        self.drift_histogram = drift_histogram
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Sample mean of the current window."""
+        if self.count < 1:
+            raise LearningError("mean of an empty observation window")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance s^2 (requires >= 2 observations)."""
+        if self.count < 2:
+            raise LearningError(
+                f"sample variance needs >= 2 observations, got {self.count}"
+            )
+        return max(self._m2 / (self.count - 1), 0.0)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __len__(self) -> int:
+        return self.count

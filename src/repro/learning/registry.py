@@ -17,7 +17,12 @@ from repro.learning.histogram_learner import HistogramLearner
 from repro.learning.kde_learner import KdeLearner
 from repro.learning.weighted import WeightedLearner
 
-__all__ = ["LEARNERS", "make_learner", "register_learner"]
+__all__ = [
+    "LEARNERS",
+    "make_learner",
+    "make_rolling_learner",
+    "register_learner",
+]
 
 LEARNERS: dict[str, Callable[..., Learner]] = {
     "histogram": HistogramLearner,
@@ -37,6 +42,25 @@ def make_learner(name: str, **kwargs: object) -> Learner:
             f"unknown learner {name!r}; registered: {sorted(LEARNERS)}"
         ) from None
     return factory(**kwargs)
+
+
+def make_rolling_learner(name: str, **kwargs: object) -> Learner:
+    """Instantiate a registered learner and require incremental support.
+
+    The rolling stream operators
+    (:class:`~repro.streams.operators.RollingLearnOperator`) maintain a
+    fit per slide through the ``partial_*`` hooks; a learner without
+    them would silently degrade to O(window) relearning, so this raises
+    :class:`LearningError` up front instead.
+    """
+    learner = make_learner(name, **kwargs)
+    if not learner.supports_partial:
+        raise LearningError(
+            f"learner {name!r} does not support incremental "
+            f"(partial_add/partial_evict) maintenance; incremental "
+            f"histogram learning additionally needs fixed bucket edges"
+        )
+    return learner
 
 
 def register_learner(

@@ -28,6 +28,7 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "INTERVAL_WIDTH_BUCKETS",
     "SAMPLE_SIZE_BUCKETS",
+    "ROLLING_DRIFT_BUCKETS",
     "OperatorMetrics",
     "operator_rows",
 ]
@@ -40,6 +41,10 @@ BATCH_SIZE_BUCKETS = exponential_buckets(1.0, 2.0, 17)
 INTERVAL_WIDTH_BUCKETS = exponential_buckets(1e-4, 10.0**0.5, 16)
 # De facto sample sizes: the paper's experiments use n in [10, 1000].
 SAMPLE_SIZE_BUCKETS = exponential_buckets(2.0, 2.0, 12)
+# Drift observed at each rolling-sum re-sum (see repro.streams.rolling):
+# compensated sums typically drift < 1e-12 absolute, so the buckets
+# reach down to 1e-18 — a drift in the upper decades flags a kernel bug.
+ROLLING_DRIFT_BUCKETS = exponential_buckets(1e-18, 10.0, 20)
 
 
 class OperatorMetrics:
@@ -64,6 +69,8 @@ class OperatorMetrics:
         "confidence",
         "interval_widths",
         "sample_sizes",
+        "rolling_resums",
+        "rolling_drift",
     )
 
     def __init__(
@@ -72,6 +79,7 @@ class OperatorMetrics:
         name: str,
         accuracy_attribute: str | None = None,
         confidence: float = 0.95,
+        rolling: bool = False,
     ) -> None:
         self.name = name
         self.tuples_in = registry.counter(
@@ -113,6 +121,19 @@ class OperatorMetrics:
         else:
             self.interval_widths = None
             self.sample_sizes = None
+        if rolling:
+            self.rolling_resums = registry.counter(
+                f"{name}.rolling.resums",
+                "drift-guard exact re-sums of the rolling window sums",
+            )
+            self.rolling_drift = registry.histogram(
+                f"{name}.rolling.drift",
+                ROLLING_DRIFT_BUCKETS,
+                "absolute drift of the compensated sums at each re-sum",
+            )
+        else:
+            self.rolling_resums = None
+            self.rolling_drift = None
 
     def observe_accuracy(self, tup) -> None:
         """Record interval width + sample size of one emitted tuple."""

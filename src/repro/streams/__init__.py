@@ -8,6 +8,13 @@ distribution-valued attributes (attribute uncertainty), per §II-A.
 from repro.streams.tuples import AttributeSpec, Schema, UncertainTuple
 from repro.streams.stream import iter_source, replay_source
 from repro.streams.windows import CountWindow, TimeWindow, TumblingWindow
+from repro.streams.rolling import (
+    DEFAULT_RESUM_INTERVAL,
+    CompensatedSum,
+    MinSizeTracker,
+    RollingWindowStats,
+    SlidingExtremum,
+)
 from repro.streams.operators import (
     Operator,
     Select,
@@ -18,6 +25,7 @@ from repro.streams.operators import (
     SlidingGaussianAverage,
     WindowAggregate,
     TimeWindowAggregate,
+    RollingLearnOperator,
     CollectSink,
     CountingSink,
 )
@@ -35,6 +43,11 @@ __all__ = [
     "CountWindow",
     "TimeWindow",
     "TumblingWindow",
+    "DEFAULT_RESUM_INTERVAL",
+    "CompensatedSum",
+    "MinSizeTracker",
+    "RollingWindowStats",
+    "SlidingExtremum",
     "Operator",
     "Select",
     "Project",
@@ -44,6 +57,7 @@ __all__ = [
     "SlidingGaussianAverage",
     "WindowAggregate",
     "TimeWindowAggregate",
+    "RollingLearnOperator",
     "CollectSink",
     "CountingSink",
     "TagSide",

@@ -7,16 +7,15 @@ moment algebra as :class:`~repro.streams.operators.WindowAggregate`
 (sum/avg propagate mean and variance under independence; the output
 carries the group's minimum input sample size per Lemma 3), so accuracy
 information can be attached downstream exactly as for any other field.
+Each group's window rides the rolling kernels of
+:mod:`repro.streams.rolling`, so every slide is O(1) amortized.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
-from repro.core.dfsample import DfSized
-from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import StreamError
-from repro.streams.operators import Operator
+from repro.streams.operators import Operator, _aggregate_value
+from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
 from repro.streams.tuples import UncertainTuple
 
 __all__ = ["GroupedAggregate"]
@@ -43,7 +42,12 @@ class GroupedAggregate(Operator):
         When True (default) an updated aggregate tuple is emitted per
         arrival; when False only :meth:`flush` emits one tuple per group
         (a "final answer per group" mode for bounded replays).
+    resum_interval:
+        Evictions between drift-guard re-sums of each group's running
+        sums (see :class:`~repro.streams.rolling.RollingWindowStats`).
     """
+
+    rolling_metrics = True
 
     def __init__(
         self,
@@ -53,6 +57,7 @@ class GroupedAggregate(Operator):
         agg: str = "avg",
         output: str | None = None,
         emit_every: bool = True,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
     ) -> None:
         super().__init__()
         if agg not in _AGGS:
@@ -65,43 +70,43 @@ class GroupedAggregate(Operator):
         self.agg = agg
         self.output = output if output is not None else agg
         self.emit_every = emit_every
-        self._groups: dict[object, deque[tuple[float, float, int | None]]]
-        self._groups = {}
+        self.resum_interval = resum_interval
+        self._groups: dict[object, RollingWindowStats] = {}
+
+    def _sync_rolling_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            for stats in self._groups.values():
+                stats.set_metrics(None, None)
+        else:
+            for stats in self._groups.values():
+                stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
+
+    def _group_stats(self, group_key: object) -> RollingWindowStats:
+        stats = self._groups.get(group_key)
+        if stats is None:
+            stats = RollingWindowStats(
+                self.resum_interval,
+                track_extrema=self.agg in ("min", "max"),
+            )
+            obs = self._obs
+            if obs is not None:
+                stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
+            self._groups[group_key] = stats
+        return stats
 
     def _aggregate(self, group_key: object) -> UncertainTuple:
-        members = self._groups[group_key]
-        means = [m for m, _, _ in members]
-        variances = [v for _, v, _ in members]
-        sizes = [n for _, _, n in members if n is not None]
-        df_size = min(sizes) if sizes else None
-        k = len(members)
-
-        value: object
-        if self.agg == "count":
-            value = float(k)
-        elif self.agg == "min":
-            value = min(means)
-        elif self.agg == "max":
-            value = max(means)
-        elif self.agg == "sum":
-            value = DfSized(
-                GaussianDistribution(sum(means), sum(variances)), df_size
-            )
-        else:  # avg
-            value = DfSized(
-                GaussianDistribution(sum(means) / k, sum(variances) / (k * k)),
-                df_size,
-            )
+        value = _aggregate_value(self._groups[group_key], self.agg)
         return UncertainTuple({self.key: group_key, self.output: value})
 
     def process(self, tup: UncertainTuple) -> None:
         group_key = tup.value(self.key)
         field = tup.dfsized(self.attribute)
         dist = field.distribution
-        members = self._groups.setdefault(group_key, deque())
-        members.append((dist.mean(), dist.variance(), field.sample_size))
-        if len(members) > self.window_size:
-            members.popleft()
+        stats = self._group_stats(group_key)
+        stats.push(dist.mean(), dist.variance(), field.sample_size)
+        if stats.count > self.window_size:
+            stats.evict_oldest()
         if self.emit_every:
             self.emit(self._aggregate(group_key))
 

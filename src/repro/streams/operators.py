@@ -17,10 +17,11 @@ The two filters embody the paper's two predicate styles:
 from __future__ import annotations
 
 import abc
-from collections import Counter, deque
+from collections import Counter
 from collections.abc import Callable, Iterable, Sequence
 from time import perf_counter
 
+from repro.core.analytic import accuracy_from_moments
 from repro.core.coupled import ThreeValued, coupled_tests
 from repro.core.dfsample import DfSized
 from repro.core.predicates import SignificancePredicate
@@ -28,7 +29,9 @@ from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import StreamError
 from repro.obs.instrument import OperatorMetrics
 from repro.obs.metrics import MetricsRegistry
+from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
 from repro.streams.tuples import UncertainTuple
+from repro.streams.windows import CountWindow
 
 __all__ = [
     "Operator",
@@ -40,6 +43,7 @@ __all__ = [
     "SlidingGaussianAverage",
     "WindowAggregate",
     "TimeWindowAggregate",
+    "RollingLearnOperator",
     "CollectSink",
     "CountingSink",
 ]
@@ -67,6 +71,12 @@ class Operator(abc.ABC):
     #: interval-width/sample-size histograms.
     accuracy_attribute: str | None = None
 
+    #: Set by operators holding drift-guarded rolling state
+    #: (:mod:`repro.streams.rolling`): registers the per-operator
+    #: ``rolling.resums`` counter and ``rolling.drift`` histogram and
+    #: triggers :meth:`_sync_rolling_metrics` on attach/detach.
+    rolling_metrics: bool = False
+
     def __init__(self) -> None:
         self._downstream: Operator | None = None
         self._obs: OperatorMetrics | None = None
@@ -82,12 +92,30 @@ class Operator(abc.ABC):
         """Start recording this operator's metrics into ``registry``."""
         if name is None:
             name = type(self).__name__.lstrip("_")
-        self._obs = OperatorMetrics(registry, name, self.accuracy_attribute)
+        self._obs = OperatorMetrics(
+            registry,
+            name,
+            self.accuracy_attribute,
+            rolling=self.rolling_metrics,
+        )
+        self._sync_rolling_metrics()
         return self._obs
 
     def detach_metrics(self) -> None:
         """Stop recording metrics (already-recorded values are kept)."""
         self._obs = None
+        self._sync_rolling_metrics()
+
+    def _sync_rolling_metrics(self) -> None:
+        """Hook: bind/unbind drift-guard metrics on rolling kernels.
+
+        Operators with ``rolling_metrics = True`` override this to call
+        ``set_metrics`` on each rolling state they hold — binding when
+        ``self._obs`` is set, unbinding otherwise.  Unbinding matters:
+        ``Pipeline.pristine`` deep-copies operators after detaching
+        metrics, and kernel state must never drag registry objects into
+        worker processes.
+        """
 
     def reseed(self, seed: object) -> None:
         """Replace internal randomness from a ``numpy`` seed sequence.
@@ -321,11 +349,15 @@ class SignificanceFilter(Operator):
 class SlidingGaussianAverage(Operator):
     """Count-based sliding-window AVG over a Gaussian attribute (§V-C).
 
-    Maintains running sums of the window members' means and variances, so
-    each arrival costs O(1); the result attribute is the exact Gaussian of
-    the average of independent Gaussians, tagged with the window's minimum
-    input sample size (Lemma 3: the d.f. sample size of the AVG).
+    Maintains compensated running sums of the window members' means and
+    variances (:class:`~repro.streams.rolling.RollingWindowStats`), so
+    each arrival costs O(1) with drift-guarded accuracy; the result
+    attribute is the exact Gaussian of the average of independent
+    Gaussians, tagged with the window's minimum input sample size
+    (Lemma 3: the d.f. sample size of the AVG).
     """
+
+    rolling_metrics = True
 
     def __init__(
         self,
@@ -333,6 +365,7 @@ class SlidingGaussianAverage(Operator):
         window_size: int,
         output: str = "avg",
         emit_partial: bool = True,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
     ) -> None:
         super().__init__()
         if window_size < 1:
@@ -342,16 +375,14 @@ class SlidingGaussianAverage(Operator):
         self.output = output
         self.accuracy_attribute = output
         self.emit_partial = emit_partial
-        self._members: deque[tuple[float, float, int | None]] = deque()
-        self._mu_sum = 0.0
-        self._var_sum = 0.0
-        self._size_counts: Counter[int] = Counter()
-        self._exact_count = 0
+        self._stats = RollingWindowStats(resum_interval)
 
-    def _window_sample_size(self) -> int | None:
-        if self._size_counts:
-            return min(self._size_counts)
-        return None
+    def _sync_rolling_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            self._stats.set_metrics(None, None)
+        else:
+            self._stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
 
     def _advance(self, tup: UncertainTuple) -> UncertainTuple | None:
         """Slide the window by one tuple; return the output tuple, if any."""
@@ -362,31 +393,19 @@ class SlidingGaussianAverage(Operator):
                 f"SlidingGaussianAverage needs Gaussian attributes, got "
                 f"{type(dist).__name__}"
             )
-        self._members.append((dist.mu, dist.sigma2, field.sample_size))
-        self._mu_sum += dist.mu
-        self._var_sum += dist.sigma2
-        if field.sample_size is None:
-            self._exact_count += 1
-        else:
-            self._size_counts[field.sample_size] += 1
+        stats = self._stats
+        stats.push(dist.mu, dist.sigma2, field.sample_size)
+        if stats.count > self.window_size:
+            stats.evict_oldest()
 
-        if len(self._members) > self.window_size:
-            old_mu, old_var, old_n = self._members.popleft()
-            self._mu_sum -= old_mu
-            self._var_sum -= old_var
-            if old_n is None:
-                self._exact_count -= 1
-            else:
-                self._size_counts[old_n] -= 1
-                if self._size_counts[old_n] == 0:
-                    del self._size_counts[old_n]
-
-        k = len(self._members)
+        k = stats.count
         if k < self.window_size and not self.emit_partial:
             return None
-        avg = GaussianDistribution(self._mu_sum / k, self._var_sum / (k * k))
+        avg = GaussianDistribution(
+            stats.mean_sum / k, stats.var_sum / (k * k)
+        )
         attributes = dict(tup.attributes)
-        attributes[self.output] = DfSized(avg, self._window_sample_size())
+        attributes[self.output] = DfSized(avg, stats.df_size)
         return tup.with_attributes(attributes)
 
     def process(self, tup: UncertainTuple) -> None:
@@ -404,6 +423,33 @@ class SlidingGaussianAverage(Operator):
 _SCALAR_AGGS = ("avg", "sum", "count", "min", "max")
 
 
+def _aggregate_value(stats: RollingWindowStats, agg: str) -> object:
+    """Aggregate value of one window from its rolling statistics.
+
+    Shared by :class:`WindowAggregate`, :class:`TimeWindowAggregate`,
+    and :class:`~repro.streams.groupby.GroupedAggregate` — the moment
+    algebra (sum/avg propagate mean and variance under independence,
+    with the window's Lemma-3 minimum sample size) is identical across
+    the three, only the eviction policy differs.
+    """
+    k = stats.count
+    if agg == "count":
+        return float(k)
+    if agg == "min":
+        return stats.min_mean
+    if agg == "max":
+        return stats.max_mean
+    df_size = stats.df_size
+    if agg == "sum":
+        return DfSized(
+            GaussianDistribution(stats.mean_sum, stats.var_sum), df_size
+        )
+    return DfSized(
+        GaussianDistribution(stats.mean_sum / k, stats.var_sum / (k * k)),
+        df_size,
+    )
+
+
 class WindowAggregate(Operator):
     """Generic count-based sliding aggregate over attribute means.
 
@@ -412,7 +458,14 @@ class WindowAggregate(Operator):
     variance (independence assumption), emitting a Gaussian approximation
     justified by the CLT for wide windows; ``min``/``max``/``count`` emit
     deterministic values.
+
+    Every slide is O(1) amortized: sums are compensated running sums
+    with a drift guard, ``min``/``max`` use monotonic deques, and the
+    Lemma-3 minimum sample size is tracked by counter
+    (:mod:`repro.streams.rolling`) — no per-tuple list rebuilds.
     """
+
+    rolling_metrics = True
 
     def __init__(
         self,
@@ -420,6 +473,7 @@ class WindowAggregate(Operator):
         window_size: int,
         agg: str = "avg",
         output: str | None = None,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
     ) -> None:
         super().__init__()
         if agg not in _SCALAR_AGGS:
@@ -433,44 +487,27 @@ class WindowAggregate(Operator):
         self.agg = agg
         self.output = output if output is not None else agg
         self.accuracy_attribute = self.output
-        self._members: deque[tuple[float, float, int | None]] = deque()
+        self._stats = RollingWindowStats(
+            resum_interval, track_extrema=agg in ("min", "max")
+        )
+
+    def _sync_rolling_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            self._stats.set_metrics(None, None)
+        else:
+            self._stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
 
     def _advance(self, tup: UncertainTuple) -> UncertainTuple:
         """Slide the window by one tuple and build the aggregate tuple."""
         field = tup.dfsized(self.attribute)
         dist = field.distribution
-        self._members.append(
-            (dist.mean(), dist.variance(), field.sample_size)
-        )
-        if len(self._members) > self.window_size:
-            self._members.popleft()
-
-        means = [m for m, _, _ in self._members]
-        variances = [v for _, v, _ in self._members]
-        sizes = [n for _, _, n in self._members if n is not None]
-        df_size = min(sizes) if sizes else None
-        k = len(self._members)
-
-        value: object
-        if self.agg == "count":
-            value = float(k)
-        elif self.agg == "min":
-            value = min(means)
-        elif self.agg == "max":
-            value = max(means)
-        elif self.agg == "sum":
-            value = DfSized(
-                GaussianDistribution(sum(means), sum(variances)), df_size
-            )
-        else:  # avg
-            value = DfSized(
-                GaussianDistribution(
-                    sum(means) / k, sum(variances) / (k * k)
-                ),
-                df_size,
-            )
+        stats = self._stats
+        stats.push(dist.mean(), dist.variance(), field.sample_size)
+        if stats.count > self.window_size:
+            stats.evict_oldest()
         attributes = dict(tup.attributes)
-        attributes[self.output] = value
+        attributes[self.output] = _aggregate_value(stats, self.agg)
         return tup.with_attributes(attributes)
 
     def process(self, tup: UncertainTuple) -> None:
@@ -521,8 +558,12 @@ class TimeWindowAggregate(Operator):
     newest arrival and emits the updated aggregate per arrival.  Tuples
     must carry non-decreasing timestamps.  Moment propagation matches
     :class:`WindowAggregate` (sum/avg emit Gaussian approximations with
-    the window's minimum sample size; count/min/max are deterministic).
+    the window's minimum sample size; count/min/max are deterministic),
+    as does the cost model: O(1) amortized per slide on the rolling
+    kernels of :mod:`repro.streams.rolling`.
     """
+
+    rolling_metrics = True
 
     def __init__(
         self,
@@ -530,6 +571,7 @@ class TimeWindowAggregate(Operator):
         duration: float,
         agg: str = "avg",
         output: str | None = None,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
     ) -> None:
         super().__init__()
         if agg not in _SCALAR_AGGS:
@@ -543,51 +585,194 @@ class TimeWindowAggregate(Operator):
         self.agg = agg
         self.output = output if output is not None else agg
         self.accuracy_attribute = self.output
-        self._members: deque[tuple[float, float, float, int | None]] = deque()
+        self._stats = RollingWindowStats(
+            resum_interval, track_extrema=agg in ("min", "max")
+        )
+
+    def _sync_rolling_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            self._stats.set_metrics(None, None)
+        else:
+            self._stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
 
     def process(self, tup: UncertainTuple) -> None:
         if tup.timestamp is None:
             raise StreamError(
                 "TimeWindowAggregate needs timestamped tuples"
             )
-        if self._members and tup.timestamp < self._members[-1][0]:
+        stats = self._stats
+        newest = stats.newest_timestamp
+        if newest is not None and tup.timestamp < newest:
             raise StreamError(
                 "timestamps must be non-decreasing: "
-                f"{tup.timestamp} after {self._members[-1][0]}"
+                f"{tup.timestamp} after {newest}"
             )
         field = tup.dfsized(self.attribute)
         dist = field.distribution
-        self._members.append(
-            (tup.timestamp, dist.mean(), dist.variance(), field.sample_size)
+        stats.push(
+            dist.mean(),
+            dist.variance(),
+            field.sample_size,
+            timestamp=tup.timestamp,
         )
-        cutoff = tup.timestamp - self.duration
-        while self._members and self._members[0][0] <= cutoff:
-            self._members.popleft()
-
-        means = [m for _, m, _, _ in self._members]
-        variances = [v for _, _, v, _ in self._members]
-        sizes = [n for _, _, _, n in self._members if n is not None]
-        df_size = min(sizes) if sizes else None
-        k = len(self._members)
-
-        value: object
-        if self.agg == "count":
-            value = float(k)
-        elif self.agg == "min":
-            value = min(means)
-        elif self.agg == "max":
-            value = max(means)
-        elif self.agg == "sum":
-            value = DfSized(
-                GaussianDistribution(sum(means), sum(variances)), df_size
-            )
-        else:  # avg
-            value = DfSized(
-                GaussianDistribution(
-                    sum(means) / k, sum(variances) / (k * k)
-                ),
-                df_size,
-            )
+        stats.evict_expired(tup.timestamp - self.duration)
         attributes = dict(tup.attributes)
-        attributes[self.output] = value
+        attributes[self.output] = _aggregate_value(stats, self.agg)
         self.emit(tup.with_attributes(attributes))
+
+
+class RollingLearnOperator(Operator):
+    """Sliding-window distribution learning in O(1) amortized per slide.
+
+    Consumes raw numeric observations and maintains a learner fit over
+    the most recent ``window_size`` of them through the incremental
+    hooks (:meth:`~repro.learning.base.Learner.partial_add` /
+    :meth:`~repro.learning.base.Learner.partial_evict`): each slide
+    updates sufficient statistics instead of refitting from scratch.
+    Per emitted tuple the ``output`` attribute carries the learned
+    distribution (a :class:`~repro.core.dfsample.DfSized` whose sample
+    size is the window fill ``k``) and ``accuracy_output`` carries the
+    Lemma 1/2 accuracy (:class:`~repro.core.accuracy.AccuracyInfo`) of
+    that fit at ``confidence``.
+
+    ``learner`` is a registry name (resolved through
+    :func:`~repro.learning.registry.make_rolling_learner`, which rejects
+    learners without incremental support) or a learner instance with
+    ``supports_partial``.  When the learner is ``partial_vectorizable``,
+    batches take the vectorized Theorem-1 path
+    (:func:`~repro.core.analytic.accuracy_from_moments`) — element-wise
+    identical to the per-tuple path.
+    """
+
+    rolling_metrics = True
+
+    def __init__(
+        self,
+        attribute: str,
+        window_size: int,
+        learner: object = "gaussian",
+        output: str = "learned",
+        accuracy_output: str | None = "accuracy",
+        confidence: float = 0.95,
+        emit_partial: bool = True,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
+        **learner_kwargs: object,
+    ) -> None:
+        super().__init__()
+        if window_size < 2:
+            raise StreamError(
+                f"rolling learning needs window size >= 2, got {window_size}"
+            )
+        if not 0.0 < confidence < 1.0:
+            raise StreamError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if isinstance(learner, str):
+            from repro.learning.registry import make_rolling_learner
+
+            learner = make_rolling_learner(learner, **learner_kwargs)
+        else:
+            if learner_kwargs:
+                raise StreamError(
+                    "learner keyword arguments need a learner name, "
+                    "not an instance"
+                )
+            if not getattr(learner, "supports_partial", False):
+                raise StreamError(
+                    f"{type(learner).__name__} does not support "
+                    f"incremental (partial_add/partial_evict) learning"
+                )
+        self.attribute = attribute
+        self.window_size = window_size
+        self.learner = learner
+        self.output = output
+        self.accuracy_output = accuracy_output
+        self.accuracy_attribute = (
+            accuracy_output if accuracy_output is not None else output
+        )
+        self.confidence = confidence
+        self.emit_partial = emit_partial
+        self._window: CountWindow[float] = CountWindow(window_size)
+        self._state = learner.partial_begin(resum_interval)
+
+    def _sync_rolling_metrics(self) -> None:
+        obs = self._obs
+        if obs is None:
+            self._state.set_metrics(None, None)
+        else:
+            self._state.set_metrics(obs.rolling_resums, obs.rolling_drift)
+
+    def _slide(self, tup: UncertainTuple) -> int | None:
+        """Add the observation, evict the expired one; emit fill or None."""
+        value = tup.value(self.attribute)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise StreamError(
+                f"RollingLearnOperator needs raw numeric observations, "
+                f"attribute {self.attribute!r} is {type(value).__name__}"
+            )
+        value = float(value)
+        self.learner.partial_add(self._state, value)
+        evicted = self._window.add(value)
+        if evicted is not None:
+            self.learner.partial_evict(self._state, evicted)
+        k = len(self._window)
+        if k < 2:
+            return None
+        if not self.emit_partial and not self._window.is_full:
+            return None
+        return k
+
+    def _advance(self, tup: UncertainTuple) -> UncertainTuple | None:
+        k = self._slide(tup)
+        if k is None:
+            return None
+        attributes = dict(tup.attributes)
+        attributes[self.output] = DfSized(
+            self.learner.partial_distribution(self._state), k
+        )
+        if self.accuracy_output is not None:
+            attributes[self.accuracy_output] = self.learner.partial_accuracy(
+                self._state, self.confidence
+            )
+        return tup.with_attributes(attributes)
+
+    def process(self, tup: UncertainTuple) -> None:
+        out = self._advance(tup)
+        if out is not None:
+            self.emit(out)
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        if self.accuracy_output is None or not self.learner.partial_vectorizable:
+            advance = self._advance
+            self.emit_many(
+                [out for out in map(advance, tuples) if out is not None]
+            )
+            return
+        # Vectorized path: collect the per-slide moments, then build all
+        # accuracy infos in one Theorem-1 pass (element-wise identical
+        # to the scalar path — same memoized quantiles, same FP order).
+        staged: list[tuple[UncertainTuple, dict[str, object]]] = []
+        moments: list[tuple[float, float, int]] = []
+        for tup in tuples:
+            k = self._slide(tup)
+            if k is None:
+                continue
+            attributes = dict(tup.attributes)
+            attributes[self.output] = DfSized(
+                self.learner.partial_distribution(self._state), k
+            )
+            staged.append((tup, attributes))
+            moments.append(self.learner.partial_moments(self._state))
+        if not staged:
+            self.emit_many([])
+            return
+        means, variances, sizes = zip(*moments)
+        infos = accuracy_from_moments(
+            means, variances, sizes, self.confidence
+        )
+        outs = []
+        for (tup, attributes), info in zip(staged, infos):
+            attributes[self.accuracy_output] = info
+            outs.append(tup.with_attributes(attributes))
+        self.emit_many(outs)

@@ -1,0 +1,372 @@
+"""Rolling-statistics kernels for O(1)-per-slide window maintenance.
+
+Sliding-window operators used to rebuild full ``means``/``variances``
+lists and re-scan ``min(sizes)`` on every slide — O(window) per tuple.
+This module provides the incremental kernels they now share:
+
+* :class:`CompensatedSum` — a Kahan–Neumaier compensated accumulator
+  with subtract-on-evict, so running sums stay accurate under the
+  add/remove churn of a sliding window.
+* :class:`SlidingExtremum` — a monotonic-deque sliding min/max for FIFO
+  windows (amortized O(1) per slide, O(1) queries).
+* :class:`MinSizeTracker` — a counter-based multiset minimum over the
+  window members' sample sizes, i.e. the de facto sample size of the
+  window aggregate (Definition 2 / Lemma 3) without the per-slide
+  ``min(sizes)`` scan.
+* :class:`RollingWindowStats` — the bundle the windowed operators hold:
+  count, compensated mean/variance sums, optional extrema of the means,
+  and the Lemma-3 minimum sample size, under FIFO append/evict (count-
+  or time-based eviction).
+
+Compensated subtraction is very accurate but not exact, so every
+``resum_interval`` evictions (default :data:`DEFAULT_RESUM_INTERVAL`)
+the sums are recomputed exactly from the buffered members with
+:func:`math.fsum` — the *drift guard*.  Immediately after a re-sum the
+running sums equal the exactly rounded from-scratch reference; between
+re-sums they stay within ~1e-12 relative error (tests enforce 1e-9).
+The observed drift magnitude and re-sum count feed the observability
+layer when metrics are attached (see ``docs/ROLLING.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterator
+
+from repro.errors import StreamError
+
+__all__ = [
+    "DEFAULT_RESUM_INTERVAL",
+    "CompensatedSum",
+    "SlidingExtremum",
+    "MinSizeTracker",
+    "RollingWindowStats",
+]
+
+#: Evictions between exact re-sums of the compensated running sums.
+DEFAULT_RESUM_INTERVAL = 4096
+
+
+def check_resum_interval(resum_interval: int) -> int:
+    """Validate a drift-guard period (shared by operators and learners)."""
+    if resum_interval < 1:
+        raise StreamError(
+            f"resum interval must be >= 1, got {resum_interval}"
+        )
+    return int(resum_interval)
+
+
+class CompensatedSum:
+    """Kahan–Neumaier compensated running sum with subtract-on-evict.
+
+    ``add``/``subtract`` cost O(1); :attr:`value` returns the compensated
+    total.  ``reset(total)`` replaces the accumulator with an exactly
+    known total (the drift guard calls it with an ``fsum`` result).
+    """
+
+    __slots__ = ("_sum", "_comp")
+
+    def __init__(self, total: float = 0.0) -> None:
+        self._sum = float(total)
+        self._comp = 0.0
+
+    def _accumulate(self, x: float) -> None:
+        s = self._sum + x
+        if abs(self._sum) >= abs(x):
+            self._comp += (self._sum - s) + x
+        else:
+            self._comp += (x - s) + self._sum
+        self._sum = s
+
+    def add(self, x: float) -> None:
+        self._accumulate(x)
+
+    def subtract(self, x: float) -> None:
+        self._accumulate(-x)
+
+    @property
+    def value(self) -> float:
+        return self._sum + self._comp
+
+    def reset(self, total: float = 0.0) -> None:
+        self._sum = float(total)
+        self._comp = 0.0
+
+    def __repr__(self) -> str:
+        return f"CompensatedSum({self.value!r})"
+
+
+class SlidingExtremum:
+    """Sliding minimum or maximum of a FIFO window (monotonic deque).
+
+    The classic ascending/descending-deque algorithm: :meth:`push` drops
+    dominated candidates from the back, :meth:`evict` retires the front
+    candidate when the window's oldest element leaves.  Pushes and
+    evictions must mirror the window's own FIFO order; both are
+    amortized O(1) and :attr:`value` is O(1).
+    """
+
+    __slots__ = ("_candidates", "_is_min", "_pushed", "_evicted")
+
+    def __init__(self, mode: str) -> None:
+        if mode not in ("min", "max"):
+            raise StreamError(f"extremum mode must be min or max, got {mode!r}")
+        self._candidates: deque[tuple[int, float]] = deque()
+        self._is_min = mode == "min"
+        self._pushed = 0
+        self._evicted = 0
+
+    def push(self, x: float) -> None:
+        candidates = self._candidates
+        if self._is_min:
+            while candidates and candidates[-1][1] >= x:
+                candidates.pop()
+        else:
+            while candidates and candidates[-1][1] <= x:
+                candidates.pop()
+        candidates.append((self._pushed, x))
+        self._pushed += 1
+
+    def evict(self) -> None:
+        """Note that the window's oldest element (push order) left."""
+        if self._evicted >= self._pushed:
+            raise StreamError("sliding extremum evicted more than was pushed")
+        if self._candidates and self._candidates[0][0] == self._evicted:
+            self._candidates.popleft()
+        self._evicted += 1
+
+    @property
+    def value(self) -> float:
+        if not self._candidates:
+            raise StreamError("sliding extremum of an empty window")
+        return self._candidates[0][1]
+
+    def __len__(self) -> int:
+        return self._pushed - self._evicted
+
+
+class MinSizeTracker:
+    """Multiset minimum over the window's sample sizes (Lemma 3).
+
+    ``None`` sizes mark exact inputs (infinite samples) and never
+    constrain the minimum; :attr:`minimum` is ``None`` when every member
+    is exact.  ``add``/``discard`` are O(1) except when the current
+    minimum's last copy leaves, which recomputes over the *distinct*
+    sizes — O(distinct), not O(window), and only on that slide.
+    """
+
+    __slots__ = ("_counts", "_min")
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._min: int | None = None
+
+    def add(self, size: int | None) -> None:
+        if size is None:
+            return
+        counts = self._counts
+        counts[size] = counts.get(size, 0) + 1
+        if self._min is None or size < self._min:
+            self._min = size
+
+    def discard(self, size: int | None) -> None:
+        if size is None:
+            return
+        counts = self._counts
+        remaining = counts.get(size, 0) - 1
+        if remaining < 0:
+            raise StreamError(f"sample size {size} evicted more than added")
+        if remaining:
+            counts[size] = remaining
+        else:
+            del counts[size]
+            if size == self._min:
+                self._min = min(counts) if counts else None
+
+    @property
+    def minimum(self) -> int | None:
+        return self._min
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+
+class RollingWindowStats:
+    """Incremental sufficient statistics of one sliding window.
+
+    Each member is a ``(mean, variance, sample_size)`` triple (the
+    moments of a distribution-valued attribute plus its Lemma-3 sample
+    size), optionally timestamped for time-based eviction.  Maintained
+    per slide in O(1) amortized:
+
+    * ``count``, compensated ``mean_sum`` / ``var_sum`` (drift-guarded),
+    * ``min_mean`` / ``max_mean`` via monotonic deques (opt-in),
+    * ``df_size`` — the window's minimum sample size.
+
+    Set :attr:`resums_counter` / :attr:`drift_histogram` (done by the
+    operators' ``attach_metrics``) to surface drift-guard activity to
+    the observability layer; they must be detached before pickling or
+    deep-copying the owning operator (``Operator.detach_metrics`` does).
+    """
+
+    __slots__ = (
+        "_entries",
+        "_timestamps",
+        "_mean_sum",
+        "_var_sum",
+        "_min",
+        "_max",
+        "_sizes",
+        "resum_interval",
+        "_evictions_since_resum",
+        "resums",
+        "last_drift",
+        "resums_counter",
+        "drift_histogram",
+    )
+
+    def __init__(
+        self,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
+        track_extrema: bool = False,
+    ) -> None:
+        self.resum_interval = check_resum_interval(resum_interval)
+        self._entries: deque[tuple[float, float, int | None]] = deque()
+        self._timestamps: deque[float] = deque()
+        self._mean_sum = CompensatedSum()
+        self._var_sum = CompensatedSum()
+        self._min = SlidingExtremum("min") if track_extrema else None
+        self._max = SlidingExtremum("max") if track_extrema else None
+        self._sizes = MinSizeTracker()
+        self._evictions_since_resum = 0
+        #: Exact re-sums performed so far (drift-guard activity).
+        self.resums = 0
+        #: Drift magnitude observed at the latest re-sum.
+        self.last_drift = 0.0
+        self.resums_counter = None
+        self.drift_histogram = None
+
+    # -- window maintenance -------------------------------------------------
+
+    def push(
+        self,
+        mean: float,
+        variance: float,
+        size: int | None = None,
+        timestamp: float | None = None,
+    ) -> None:
+        """Append the newest window member (O(1))."""
+        self._entries.append((mean, variance, size))
+        if timestamp is not None:
+            self._timestamps.append(timestamp)
+        self._mean_sum.add(mean)
+        self._var_sum.add(variance)
+        if self._min is not None:
+            self._min.push(mean)
+            self._max.push(mean)
+        self._sizes.add(size)
+
+    def evict_oldest(self) -> tuple[float, float, int | None]:
+        """Remove and return the oldest member (amortized O(1))."""
+        if not self._entries:
+            raise StreamError("evict from an empty window")
+        mean, variance, size = self._entries.popleft()
+        if self._timestamps:
+            self._timestamps.popleft()
+        self._mean_sum.subtract(mean)
+        self._var_sum.subtract(variance)
+        if self._min is not None:
+            self._min.evict()
+            self._max.evict()
+        self._sizes.discard(size)
+        self._evictions_since_resum += 1
+        if self._evictions_since_resum >= self.resum_interval:
+            self._resum()
+        return mean, variance, size
+
+    def evict_expired(self, cutoff: float) -> int:
+        """Evict every member with ``timestamp <= cutoff``; returns count.
+
+        Only valid when members were pushed with timestamps (time-based
+        windows).  Timestamps must have been non-decreasing.
+        """
+        evicted = 0
+        timestamps = self._timestamps
+        while timestamps and timestamps[0] <= cutoff:
+            self.evict_oldest()
+            evicted += 1
+        return evicted
+
+    # -- drift guard --------------------------------------------------------
+
+    def _resum(self) -> None:
+        """Recompute the running sums exactly from the buffered members."""
+        exact_mean = math.fsum(m for m, _, _ in self._entries)
+        exact_var = math.fsum(v for _, v, _ in self._entries)
+        drift = max(
+            abs(self._mean_sum.value - exact_mean),
+            abs(self._var_sum.value - exact_var),
+        )
+        self._mean_sum.reset(exact_mean)
+        self._var_sum.reset(exact_var)
+        self._evictions_since_resum = 0
+        self.resums += 1
+        self.last_drift = drift
+        if self.resums_counter is not None:
+            self.resums_counter.inc()
+        if self.drift_histogram is not None:
+            self.drift_histogram.observe(drift)
+
+    def set_metrics(self, resums_counter, drift_histogram) -> None:
+        """Bind (or, with Nones, unbind) the drift-guard metrics."""
+        self.resums_counter = resums_counter
+        self.drift_histogram = drift_histogram
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def mean_sum(self) -> float:
+        return self._mean_sum.value
+
+    @property
+    def var_sum(self) -> float:
+        # Compensated subtraction may leave a tiny negative residue on a
+        # window of near-cancelling variances; variances are >= 0.
+        return max(self._var_sum.value, 0.0)
+
+    @property
+    def min_mean(self) -> float:
+        if self._min is None:
+            raise StreamError("window was built without extrema tracking")
+        return self._min.value
+
+    @property
+    def max_mean(self) -> float:
+        if self._max is None:
+            raise StreamError("window was built without extrema tracking")
+        return self._max.value
+
+    @property
+    def df_size(self) -> int | None:
+        """De facto sample size of the window aggregate (Lemma 3)."""
+        return self._sizes.minimum
+
+    @property
+    def oldest_timestamp(self) -> float | None:
+        return self._timestamps[0] if self._timestamps else None
+
+    @property
+    def newest_timestamp(self) -> float | None:
+        return self._timestamps[-1] if self._timestamps else None
+
+    def members(self) -> Iterator[tuple[float, float, int | None]]:
+        """Iterate the current (mean, variance, size) members, oldest first."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -2,7 +2,9 @@
 
 Windows are passive buffers: operators push items in and receive the
 evicted ones back, which enables incremental aggregate maintenance
-(add the new contribution, subtract the evicted one).
+(add the new contribution, subtract the evicted one).  The incremental
+statistics themselves — compensated sums, sliding extrema, minimum
+sample sizes — live in :mod:`repro.streams.rolling`.
 """
 
 from __future__ import annotations
@@ -37,6 +39,10 @@ class CountWindow(Generic[T]):
     @property
     def is_full(self) -> bool:
         return len(self._items) == self.size
+
+    def clear(self) -> None:
+        """Drop every buffered item (reset between replays)."""
+        self._items.clear()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -93,6 +99,14 @@ class TimeWindow(Generic[T]):
         while self._items and self._items[0][0] <= cutoff:
             evicted.append(self._items.popleft()[1])
         return evicted
+
+    @property
+    def oldest_timestamp(self) -> float | None:
+        return self._items[0][0] if self._items else None
+
+    @property
+    def newest_timestamp(self) -> float | None:
+        return self._items[-1][0] if self._items else None
 
     def __len__(self) -> int:
         return len(self._items)

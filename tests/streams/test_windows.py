@@ -82,3 +82,23 @@ class TestTimeWindow:
     def test_rejects_bad_duration(self):
         with pytest.raises(StreamError):
             TimeWindow(0.0)
+
+    def test_timestamp_accessors(self):
+        window = TimeWindow(10.0)
+        assert window.oldest_timestamp is None
+        assert window.newest_timestamp is None
+        window.add(1.0, "a")
+        window.add(3.0, "b")
+        assert window.oldest_timestamp == 1.0
+        assert window.newest_timestamp == 3.0
+
+
+class TestCountWindowClear:
+    def test_clear_empties_window(self):
+        window = CountWindow(3)
+        window.add("a")
+        window.add("b")
+        window.clear()
+        assert len(window) == 0
+        assert not window.is_full
+        assert window.add("c") is None
