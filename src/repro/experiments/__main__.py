@@ -22,16 +22,19 @@ from repro.experiments.fig5_power import run_fig5g, run_fig5h
 from repro.experiments.fig5_predicates import run_fig5d, run_fig5e
 from repro.experiments.fig5_throughput import run_fig5c, run_fig5f
 from repro.experiments.harness import render_metrics_table
+from repro.obs.export import spans_to_json, write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceConfig, Tracer
 
 
 def _experiments(
     quick: bool,
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ):
     """(name, callable) pairs for every figure, scaled by --quick."""
-    obs = dict(registry=registry, workers=workers)
+    obs = dict(registry=registry, workers=workers, tracer=tracer)
     if quick:
         return [
             ("fig4abc", lambda: run_fig4(
@@ -103,7 +106,21 @@ def main(argv: list[str] | None = None) -> int:
              "on the sharded process-pool path with N worker processes "
              "(0 = one per CPU; also settable via REPRO_WORKERS)",
     )
+    parser.add_argument(
+        "--trace", type=pathlib.Path, default=None, metavar="OUT.json",
+        help="record a span trace of the throughput figures' "
+             "instrumented passes (fig5c, fig5f) and export it as "
+             "Chrome trace-event JSON (loads in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--trace-provenance", action="store_true",
+        help="with --trace, also record per-result accuracy provenance "
+             "and write a strict-JSON span+provenance dump next to the "
+             "trace (OUT.provenance.json)",
+    )
     args = parser.parse_args(argv)
+    if args.trace_provenance and args.trace is None:
+        parser.error("--trace-provenance requires --trace OUT.json")
     if args.workers is not None and args.workers < 0:
         parser.error(f"--workers must be >= 0, got {args.workers}")
     if args.workers == 0:
@@ -118,7 +135,12 @@ def main(argv: list[str] | None = None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     registry = MetricsRegistry() if args.metrics else None
-    for name, runner in _experiments(args.quick, registry, args.workers):
+    tracer = None
+    if args.trace is not None:
+        tracer = Tracer(TraceConfig(provenance=args.trace_provenance))
+    for name, runner in _experiments(
+        args.quick, registry, args.workers, tracer
+    ):
         if selected is not None and name not in selected:
             continue
         started = time.perf_counter()
@@ -136,6 +158,17 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / "metrics.txt").write_text(breakdown + "\n")
             (args.out / "metrics.json").write_text(
                 registry.to_json(indent=2) + "\n"
+            )
+    if tracer is not None and len(tracer):
+        write_chrome_trace(tracer, str(args.trace))
+        print(f"[trace: {len(tracer)} spans -> {args.trace}]")
+        if args.trace_provenance:
+            provenance_path = args.trace.with_suffix(".provenance.json")
+            provenance_path.write_text(spans_to_json(tracer) + "\n")
+            print(
+                f"[provenance: "
+                f"{len(tracer.provenance) if tracer.provenance else 0} "
+                f"records -> {provenance_path}]"
             )
     return 0
 

@@ -28,6 +28,8 @@ from repro.distributions.gaussian import GaussianDistribution
 from repro.experiments.harness import render_table
 from repro.learning.gaussian_learner import GaussianLearner
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import lineage_from_operands
+from repro.obs.trace import Tracer
 from repro.streams.engine import Pipeline
 from repro.streams.operators import (
     CountingSink,
@@ -175,6 +177,13 @@ class _AnalyticAccuracy(Operator):
             out[i] = out[i].with_attributes(attributes)
         self.emit_many(out)
 
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        # Theorem 1 over the window average: the de facto size of the
+        # result is the Lemma-3 min over the named operands (here one).
+        return lineage_from_operands(
+            {self.attribute: tup.attributes.get(self.attribute)}
+        )
+
 
 class _BootstrapAccuracy(Operator):
     """Attaches bootstrap accuracy info to the window-average field."""
@@ -242,6 +251,13 @@ class _BootstrapAccuracy(Operator):
                 out[i] = out[i].with_attributes(attributes)
         self.emit_many(out)
 
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        lineage = lineage_from_operands(
+            {self.attribute: tup.attributes.get(self.attribute)}
+        )
+        lineage["resamples"] = self.resamples
+        return lineage
+
 
 def _slug(name: str) -> str:
     """Configuration label -> metric-name segment."""
@@ -261,6 +277,7 @@ def _measure_all(
     registry: MetricsRegistry | None,
     figure: str,
     shard_seed: int = 0,
+    tracer: Tracer | None = None,
 ) -> ThroughputResult:
     """Measure every configuration; with a registry, also record the
     per-stage breakdown of each one under ``{figure}.{config slug}``.
@@ -284,6 +301,7 @@ def _measure_all(
             n_workers=workers,
             n_shards=N_SHARDS if workers is not None else None,
             shard_seed=shard_seed if workers is not None else None,
+            tracer=tracer,
         )
     return ThroughputResult(label, throughputs)
 
@@ -295,6 +313,7 @@ def run_fig5c(
     batch_size: int = BATCH_SIZE,
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> ThroughputResult:
     """Figure 5(c): accuracy-computation overhead on stream throughput.
 
@@ -352,6 +371,7 @@ def run_fig5c(
         registry,
         "fig5c",
         shard_seed=seed,
+        tracer=tracer,
     )
 
 
@@ -420,6 +440,7 @@ def run_fig5f(
     batch_size: int = BATCH_SIZE,
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
+    tracer: Tracer | None = None,
 ) -> ThroughputResult:
     """Figure 5(f): significance-predicate overhead on stream throughput.
 
@@ -476,4 +497,5 @@ def run_fig5f(
         registry,
         "fig5f",
         shard_seed=seed,
+        tracer=tracer,
     )

@@ -106,24 +106,36 @@ class PartialFitState:
         else:
             del mirror[x]
         self.count -= 1
+        cancelled = False
         if self.count == 0:
             self._mean = 0.0
             self._m2 = 0.0
         else:
             delta = x - self._mean
             self._mean -= delta / self.count
-            self._m2 -= delta * (x - self._mean)
-            if self._m2 < 0.0:  # removal residue; M2 is a sum of squares
-                self._m2 = 0.0
+            removed = delta * (x - self._mean)
+            m2 = self._m2 - removed
+            if m2 < 0.0:  # removal residue; M2 is a sum of squares
+                m2 = 0.0
+            self._m2 = m2
+            # Evicting a member that dominated M2 cancels catastrophically:
+            # what remains is smaller than the rounding error of the value
+            # subtracted, so it is noise, not a variance.  The periodic
+            # guard is too slow for this — recompute exactly right away.
+            cancelled = removed != 0.0 and m2 <= abs(removed) * 1e-9
         self._evictions_since_resum += 1
         if self._evictions_since_resum >= self.resum_interval:
+            self._evictions_since_resum = 0
+            self._resum()
+        elif cancelled:
+            # Corrective re-sum only: leave the periodic counter alone so
+            # the every-resum_interval cadence stays deterministic.
             self._resum()
 
     # -- drift guard --------------------------------------------------------
 
     def _resum(self) -> None:
         """Exact two-pass recomputation of mean/M2 from the mirror."""
-        self._evictions_since_resum = 0
         n = self.count
         if n == 0:
             drift = max(abs(self._mean), abs(self._m2))

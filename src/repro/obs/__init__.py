@@ -1,4 +1,4 @@
-"""Opt-in observability for the stream engine (metrics + instrumentation).
+"""Opt-in observability for the stream engine (metrics + tracing).
 
 Attach a :class:`MetricsRegistry` to a pipeline and every operator
 records tuples in/out, wall time, batch sizes, and — for
@@ -15,11 +15,30 @@ de facto sample sizes::
     registry.render_prometheus()   # text exposition format
     registry.to_json(indent=2)     # strict JSON
 
-With no registry attached the hooks reduce to one attribute check per
-call and pipeline output is unchanged — see docs/OBSERVABILITY.md for
-the model and the overhead guarantee.
+Attach a :class:`Tracer` the same way for per-stage/per-batch spans and
+per-result accuracy provenance, exportable to Perfetto::
+
+    from repro.obs import Tracer, explain, write_chrome_trace
+
+    tracer = Tracer()
+    pipeline = Pipeline([...], tracer=tracer)
+    sink = pipeline.run(source)
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+    print(explain(sink.results[-1], tracer))   # one result's lineage
+
+With neither attached the hooks reduce to one attribute check per call
+and pipeline output is unchanged — see docs/OBSERVABILITY.md and
+docs/TRACING.md for the model and the overhead guarantees.
 """
 
+from repro.obs.export import (
+    chrome_trace_events,
+    render_trace_tree,
+    spans_to_json,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.instrument import (
     BATCH_SIZE_BUCKETS,
     INTERVAL_WIDTH_BUCKETS,
@@ -36,6 +55,13 @@ from repro.obs.metrics import (
     exponential_buckets,
     linear_buckets,
 )
+from repro.obs.provenance import (
+    ProvenanceRecord,
+    ProvenanceRecorder,
+    explain,
+    lineage_from_operands,
+)
+from repro.obs.trace import OperatorTrace, Span, TraceConfig, Tracer
 
 __all__ = [
     "Counter",
@@ -50,4 +76,18 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "INTERVAL_WIDTH_BUCKETS",
     "SAMPLE_SIZE_BUCKETS",
+    "TraceConfig",
+    "Span",
+    "Tracer",
+    "OperatorTrace",
+    "ProvenanceRecord",
+    "ProvenanceRecorder",
+    "lineage_from_operands",
+    "explain",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "spans_to_json",
+    "render_trace_tree",
+    "validate_chrome_trace",
 ]

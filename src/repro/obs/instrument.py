@@ -158,6 +158,21 @@ class OperatorMetrics:
         self.sample_sizes.observe(size)
 
 
+def _stage_sort_key(op_id: str) -> tuple:
+    """Sort key ordering operator ids by *numeric* stage index.
+
+    Operator ids look like ``{prefix}.{index}.{ClassName}``; comparing
+    the raw string orders stage 10 before stage 2 whenever the index is
+    not zero-padded (and even padded ids break at >= 100 stages).  Each
+    dotted segment compares as an integer when it is one, keeping
+    pipeline prefixes grouped and stages in execution order.
+    """
+    return tuple(
+        (0, int(segment), "") if segment.isdigit() else (1, 0, segment)
+        for segment in op_id.split(".")
+    )
+
+
 def operator_rows(
     snapshot: "dict[str, dict[str, object]] | MetricsRegistry",
 ) -> list[dict[str, object]]:
@@ -211,9 +226,9 @@ def operator_rows(
         if sizes is not None and sizes.get("count"):
             row["sample_size_min"] = sizes["min"]
         rows.append(row)
-    rows.sort(key=lambda r: r["operator"])
+    rows.sort(key=lambda r: _stage_sort_key(str(r["operator"])))
     # Self-time: subtract the next stage's inclusive time within the
-    # same pipeline prefix (operator ids sort by their 2-digit index).
+    # same pipeline prefix (rows are in numeric stage order).
     for current, following in zip(rows, rows[1:]):
         cur_prefix = str(current["operator"]).rpartition(".")[0]
         next_prefix = str(following["operator"]).rpartition(".")[0]

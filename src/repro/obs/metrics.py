@@ -263,7 +263,9 @@ _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
 def _prom_name(name: str) -> str:
     sanitized = _PROM_INVALID.sub("_", name)
-    if sanitized and sanitized[0].isdigit():
+    if not sanitized:
+        return "_"
+    if sanitized[0].isdigit():
         sanitized = "_" + sanitized
     return sanitized
 
@@ -272,6 +274,25 @@ def _prom_float(value: float) -> str:
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
     return repr(value)
+
+
+def _prom_help(text: str) -> str:
+    """HELP-text escaping per the exposition format: ``\\`` and newline.
+
+    Unescaped newlines would smuggle arbitrary lines (even fake metric
+    samples) into the dump; unescaped backslashes corrupt the escape
+    sequences of a conforming parser.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_label_value(text: str) -> str:
+    """Label-value escaping: ``\\``, ``\"`` and newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 class MetricsRegistry:
@@ -428,7 +449,7 @@ class MetricsRegistry:
         for name, metric in self._metrics.items():
             prom = _prom_name(name)
             if metric.help:
-                lines.append(f"# HELP {prom} {metric.help}")
+                lines.append(f"# HELP {prom} {_prom_help(metric.help)}")
             if isinstance(metric, Counter):
                 lines.append(f"# TYPE {prom} counter")
                 lines.append(f"{prom}_total {metric.value}")
@@ -443,9 +464,8 @@ class MetricsRegistry:
             else:  # Histogram
                 lines.append(f"# TYPE {prom} histogram")
                 for bound, count in metric.bucket_counts():
-                    lines.append(
-                        f'{prom}_bucket{{le="{_prom_float(bound)}"}} {count}'
-                    )
+                    le = _prom_label_value(_prom_float(bound))
+                    lines.append(f'{prom}_bucket{{le="{le}"}} {count}')
                 lines.append(f"{prom}_sum {_prom_float(metric.sum)}")
                 lines.append(f"{prom}_count {metric.count}")
         return "\n".join(lines) + ("\n" if lines else "")

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.errors import ParallelError, StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceConfig, Tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import WorkerPool
 from repro.streams.operators import CollectSink, CountingSink
@@ -119,13 +120,21 @@ def _run_shard(
     batch_size: int,
     seed: np.random.SeedSequence | None,
     metrics_prefix: str | None,
-) -> tuple[tuple[str, object], dict | None]:
+    trace_config: TraceConfig | None = None,
+    trace_prefix: str = "pipeline",
+    trace_shard: str | None = None,
+) -> tuple[tuple[str, object], dict | None, dict | None]:
     """Pool task: run one shard through a pristine pipeline copy.
 
     ``payload`` is the pickled pipeline in worker processes, or an
     already-cloned pipeline on the serial deepcopy path — both paths
     share this function so they cannot drift apart.  Returns
-    ``(sink_state, metrics_snapshot)``, both plain picklable values.
+    ``(sink_state, metrics_snapshot, trace_snapshot)``, all plain
+    picklable values.  When tracing, the worker builds a private
+    :class:`Tracer` with shard label ``trace_shard`` (``shard{i}``) and
+    the parent's :class:`TraceConfig` — span IDs depend only on
+    ``(config.seed, shard label, seq)``, so the snapshot is identical
+    whether this runs in a pool worker or on the serial fallback.
     """
     pipeline = pickle.loads(payload) if isinstance(payload, bytes) else payload
     if seed is not None:
@@ -134,12 +143,17 @@ def _run_shard(
     if metrics_prefix is not None:
         registry = MetricsRegistry()
         pipeline.attach_metrics(registry, prefix=metrics_prefix)
+    tracer = None
+    if trace_config is not None:
+        tracer = Tracer(trace_config, shard=trace_shard or "shard?")
+        pipeline.attach_trace(tracer, prefix=trace_prefix)
     sink = pipeline.run_batched(shard_tuples, batch_size)
     snapshot = registry.snapshot() if registry is not None else None
+    trace_snapshot = tracer.snapshot() if tracer is not None else None
     if isinstance(sink, CountingSink):
-        return ("count", sink.count), snapshot
+        return ("count", sink.count), snapshot, trace_snapshot
     if isinstance(sink, CollectSink):
-        return ("collect", list(sink.results)), snapshot
+        return ("collect", list(sink.results)), snapshot, trace_snapshot
     raise StreamError(
         f"run_sharded needs a CollectSink or CountingSink terminal "
         f"operator; got {type(sink).__name__} (a generic operator's "
@@ -157,12 +171,16 @@ class ShardedResult:
         shards: list[list[int]],
         total: int,
         merge: str,
+        trace_snapshots: list[dict | None] | None = None,
     ) -> None:
         self.sink_states = sink_states
         self.snapshots = snapshots
         self.shards = shards
         self.total = total
         self.merge = merge
+        self.trace_snapshots = (
+            trace_snapshots if trace_snapshots is not None else []
+        )
 
     @property
     def kind(self) -> str:
@@ -211,6 +229,12 @@ class ShardedResult:
             if snapshot is not None:
                 registry.merge_snapshot(snapshot)
 
+    def merge_trace(self, tracer: Tracer) -> None:
+        """Fold every worker trace snapshot into ``tracer``, shard order."""
+        for snapshot in self.trace_snapshots:
+            if snapshot is not None:
+                tracer.merge_spans(snapshot)
+
 
 def run_sharded(
     pipeline: "Pipeline",
@@ -252,6 +276,11 @@ def run_sharded(
     metrics_prefix = (
         pipeline.metrics_prefix if pipeline.registry is not None else None
     )
+    parent_tracer = pipeline.tracer
+    trace_config = (
+        parent_tracer.config if parent_tracer is not None else None
+    )
+    trace_prefix = pipeline.trace_prefix
 
     root = (
         seed
@@ -288,6 +317,9 @@ def run_sharded(
                 batch_size,
                 shard_seeds[shard_index],
                 metrics_prefix,
+                trace_config,
+                trace_prefix,
+                f"shard{shard_index}",
             )
             for shard_index, indices in enumerate(shards)
         ]
@@ -299,6 +331,9 @@ def run_sharded(
                 batch_size,
                 shard_seeds[shard_index],
                 metrics_prefix,
+                trace_config,
+                trace_prefix,
+                f"shard{shard_index}",
             )
             for shard_index, indices in enumerate(shards)
         ]
@@ -311,11 +346,12 @@ def run_sharded(
                 pool.close()
 
     return ShardedResult(
-        sink_states=[state for state, _ in outcomes],
-        snapshots=[snapshot for _, snapshot in outcomes],
+        sink_states=[state for state, _, _ in outcomes],
+        snapshots=[snapshot for _, snapshot, _ in outcomes],
         shards=shards,
         total=len(tuples),
         merge=merge,
+        trace_snapshots=[trace for _, _, trace in outcomes],
     )
 
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
 from repro.streams.operators import CollectSink, CountingSink, Operator
 from repro.streams.tuples import UncertainTuple
 
@@ -44,6 +45,7 @@ class Pipeline:
         self,
         operators: Sequence[Operator],
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not operators:
             raise StreamError("pipeline needs at least one operator")
@@ -52,8 +54,12 @@ class Pipeline:
             upstream.connect(downstream)
         self.registry: MetricsRegistry | None = None
         self._metrics_prefix = "pipeline"
+        self.tracer: Tracer | None = None
+        self._trace_prefix = "pipeline"
         if registry is not None:
             self.attach_metrics(registry)
+        if tracer is not None:
+            self.attach_trace(tracer)
 
     def attach_metrics(
         self, registry: MetricsRegistry, prefix: str = "pipeline"
@@ -89,10 +95,55 @@ class Pipeline:
             if hasattr(self, attribute):
                 delattr(self, attribute)
 
+    def attach_trace(
+        self, tracer: Tracer, prefix: str = "pipeline"
+    ) -> Tracer:
+        """Record this pipeline's spans into ``tracer``.
+
+        Stage spans get the same ``{prefix}.{index:02d}.{ClassName}``
+        names as metrics, so traces and metric tables line up.
+        """
+        self.tracer = tracer
+        self._trace_prefix = prefix
+        for index, op in enumerate(self.operators):
+            name = f"{prefix}.{index:02d}.{type(op).__name__.lstrip('_')}"
+            op.attach_trace(tracer, name, index)
+        return tracer
+
+    def detach_trace(self) -> None:
+        """Stop recording spans on this pipeline and its operators."""
+        self.tracer = None
+        for op in self.operators:
+            op.detach_trace()
+
+    def _begin_run(self, mode: str) -> Span:
+        """Open the run span and every operator's stage span."""
+        span = self.tracer.begin(
+            f"{self._trace_prefix}.{mode}", kind="run"
+        )
+        for op in self.operators:
+            handle = op._trace
+            if handle is not None:
+                handle.start_stage(span)
+        return span
+
+    def _end_run(self, span: Span, count: int) -> None:
+        """Close every stage span (as inclusive-time summaries) + run."""
+        for op in self.operators:
+            handle = op._trace
+            if handle is not None:
+                handle.end_stage()
+        self.tracer.end(span, tuples=count)
+
     @property
     def metrics_prefix(self) -> str:
         """Metric-name prefix from the last :meth:`attach_metrics` call."""
         return self._metrics_prefix
+
+    @property
+    def trace_prefix(self) -> str:
+        """Span-name prefix from the last :meth:`attach_trace` call."""
+        return self._trace_prefix
 
     def pristine(self) -> "Pipeline":
         """A deep, metrics-detached copy of this pipeline.
@@ -104,14 +155,20 @@ class Pipeline:
         the registry with the original.
         """
         registry, prefix = self.registry, self._metrics_prefix
+        tracer, trace_prefix = self.tracer, self._trace_prefix
         if registry is not None:
             self.detach_metrics()
+        if tracer is not None:
+            self.detach_trace()
         try:
             clone = copy.deepcopy(self)
         finally:
             if registry is not None:
                 self.attach_metrics(registry, prefix)
+            if tracer is not None:
+                self.attach_trace(tracer, trace_prefix)
         clone._metrics_prefix = prefix
+        clone._trace_prefix = trace_prefix
         return clone
 
     def reseed(self, seed: int | np.random.SeedSequence) -> None:
@@ -143,11 +200,13 @@ class Pipeline:
 
     def run(self, source: Iterable[UncertainTuple]) -> Operator:
         """Push every tuple from the source, flush, and return the sink."""
-        if self.registry is None:
+        tracer = self.tracer
+        if self.registry is None and tracer is None:
             for tup in source:
                 self.head.receive(tup)
             self.head.flush()
             return self.sink
+        run_span = self._begin_run("run") if tracer is not None else None
         head = self.head
         count = 0
         start = perf_counter()
@@ -155,9 +214,12 @@ class Pipeline:
             head.receive(tup)
             count += 1
         head.flush()
-        self._run_seconds.record(perf_counter() - start)
-        self._tuples_pushed.inc(count)
-        self._runs.inc()
+        if self.registry is not None:
+            self._run_seconds.record(perf_counter() - start)
+            self._tuples_pushed.inc(count)
+            self._runs.inc()
+        if tracer is not None:
+            self._end_run(run_span, count)
         return self.sink
 
     def push_many(self, tuples: Sequence[UncertainTuple]) -> None:
@@ -180,6 +242,10 @@ class Pipeline:
         if batch_size < 1:
             raise StreamError(f"batch size must be >= 1, got {batch_size}")
         registry = self.registry
+        tracer = self.tracer
+        run_span = (
+            self._begin_run("run_batched") if tracer is not None else None
+        )
         head = self.head
         count = 0
         start = perf_counter() if registry is not None else 0.0
@@ -200,6 +266,8 @@ class Pipeline:
             self._run_seconds.record(perf_counter() - start)
             self._tuples_pushed.inc(count)
             self._runs.inc()
+        if tracer is not None:
+            self._end_run(run_span, count)
         return self.sink
 
     def run_sharded(
@@ -262,4 +330,6 @@ class Pipeline:
             sink.results.extend(result.merged_results())
         if self.registry is not None:
             result.merge_metrics(self.registry)
+        if self.tracer is not None:
+            result.merge_trace(self.tracer)
         return sink

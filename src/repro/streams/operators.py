@@ -29,6 +29,7 @@ from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import StreamError
 from repro.obs.instrument import OperatorMetrics
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import OperatorTrace, Tracer
 from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
 from repro.streams.tuples import UncertainTuple
 from repro.streams.windows import CountWindow
@@ -80,6 +81,7 @@ class Operator(abc.ABC):
     def __init__(self) -> None:
         self._downstream: Operator | None = None
         self._obs: OperatorMetrics | None = None
+        self._trace: OperatorTrace | None = None
 
     def connect(self, downstream: "Operator") -> "Operator":
         """Attach (and return) the downstream operator, enabling chaining."""
@@ -105,6 +107,37 @@ class Operator(abc.ABC):
         """Stop recording metrics (already-recorded values are kept)."""
         self._obs = None
         self._sync_rolling_metrics()
+
+    def attach_trace(
+        self, tracer: Tracer, name: str | None = None, index: int = 0
+    ) -> OperatorTrace:
+        """Start recording this operator's spans into ``tracer``.
+
+        Mirrors :meth:`attach_metrics`: the handle carries the stage
+        name/index and the ``accuracy_attribute`` feeding provenance.
+        """
+        if name is None:
+            name = type(self).__name__.lstrip("_")
+        self._trace = OperatorTrace(
+            tracer, name, index, self.accuracy_attribute
+        )
+        return self._trace
+
+    def detach_trace(self) -> None:
+        """Stop recording spans (already-recorded spans are kept)."""
+        self._trace = None
+
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object] | None:
+        """Accuracy lineage of one *emitted* tuple, for provenance.
+
+        Accuracy-producing operators override this to report the named
+        input sample sizes behind the emitted accuracy attribute and the
+        Lemma-3 minimum that became the de facto size (usually via
+        :func:`~repro.obs.provenance.lineage_from_operands`).  Must be a
+        pure function of the emitted tuple — never of operator state —
+        so the per-tuple and batched paths record identical lineage.
+        """
+        return None
 
     def _sync_rolling_metrics(self) -> None:
         """Hook: bind/unbind drift-guard metrics on rolling kernels.
@@ -133,6 +166,9 @@ class Operator(abc.ABC):
             obs.tuples_out.inc()
             if obs.accuracy_attribute is not None:
                 obs.observe_accuracy(tup)
+        trace = self._trace
+        if trace is not None:
+            trace.on_emit(self, tup)
         if self._downstream is not None:
             self._downstream.receive(tup)
 
@@ -147,34 +183,57 @@ class Operator(abc.ABC):
                 observe = obs.observe_accuracy
                 for tup in tuples:
                     observe(tup)
+        trace = self._trace
+        if trace is not None:
+            trace.on_emit_many(self, tuples)
         if self._downstream is not None:
             self._downstream.receive_many(tuples)
 
     def receive(self, tup: UncertainTuple) -> None:
         obs = self._obs
-        if obs is None:
+        trace = self._trace
+        if obs is None and trace is None:
             self.process(tup)
             return
-        obs.tuples_in.inc()
+        if obs is not None:
+            obs.tuples_in.inc()
+        if trace is not None:
+            trace.on_receive()
         start = perf_counter()
         try:
             self.process(tup)
         finally:
-            obs.process_seconds.record(perf_counter() - start)
+            elapsed = perf_counter() - start
+            if obs is not None:
+                obs.process_seconds.record(elapsed)
+            if trace is not None:
+                trace.seconds += elapsed
 
     def receive_many(self, tuples: Sequence[UncertainTuple]) -> None:
         """Handle a batch of tuples (``Pipeline.run_batched``)."""
         obs = self._obs
-        if obs is None:
+        trace = self._trace
+        if obs is None and trace is None:
             self.process_many(tuples)
             return
-        obs.tuples_in.inc(len(tuples))
-        obs.batch_sizes.observe(len(tuples))
+        if obs is not None:
+            obs.tuples_in.inc(len(tuples))
+            obs.batch_sizes.observe(len(tuples))
+        span = None
+        out_before = 0
+        if trace is not None:
+            out_before = trace.tuples_out
+            span = trace.begin_batch(len(tuples))
         start = perf_counter()
         try:
             self.process_many(tuples)
         finally:
-            obs.batch_seconds.record(perf_counter() - start)
+            elapsed = perf_counter() - start
+            if obs is not None:
+                obs.batch_seconds.record(elapsed)
+            if trace is not None:
+                trace.seconds += elapsed
+                trace.end_batch(span, trace.tuples_out - out_before)
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         """Batch-processing hook behind :meth:`receive_many`.
@@ -207,14 +266,19 @@ class Operator(abc.ABC):
     def flush(self) -> None:
         """Propagate end-of-stream; override ``on_flush`` to drain state."""
         obs = self._obs
-        if obs is None:
+        trace = self._trace
+        if obs is None and trace is None:
             self.on_flush()
         else:
             start = perf_counter()
             try:
                 self.on_flush()
             finally:
-                obs.flush_seconds.record(perf_counter() - start)
+                elapsed = perf_counter() - start
+                if obs is not None:
+                    obs.flush_seconds.record(elapsed)
+                if trace is not None:
+                    trace.seconds += elapsed
         if self._downstream is not None:
             self._downstream.flush()
 
@@ -419,6 +483,36 @@ class SlidingGaussianAverage(Operator):
             [out for out in map(advance, tuples) if out is not None]
         )
 
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        return _window_lineage(tup, self.attribute, self.output)
+
+
+def _window_lineage(
+    tup: UncertainTuple, attribute: str, output: str
+) -> dict[str, object]:
+    """Lineage of a windowed aggregate from the *emitted* tuple alone.
+
+    The emitted tuple still carries the newest window member under
+    ``attribute`` and the aggregate under ``output``, whose Lemma-3
+    ``sample_size`` is the window's minimum — so the de facto size is
+    readable without touching operator state (which would be stale for
+    all but the last tuple of a batched ``emit_many``).
+    """
+    out = tup.attributes.get(output)
+    df_size = out.sample_size if isinstance(out, DfSized) else None
+    field = tup.attributes.get(attribute)
+    newest = field.sample_size if isinstance(field, DfSized) else None
+    return {
+        "kind": "window",
+        "inputs": {attribute: newest},
+        "df_size": df_size,
+        "min_input": (
+            attribute
+            if df_size is not None and newest == df_size
+            else None
+        ),
+    }
+
 
 _SCALAR_AGGS = ("avg", "sum", "count", "min", "max")
 
@@ -515,6 +609,9 @@ class WindowAggregate(Operator):
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         self.emit_many([self._advance(tup) for tup in tuples])
+
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        return _window_lineage(tup, self.attribute, self.output)
 
 
 class CollectSink(Operator):
@@ -620,6 +717,9 @@ class TimeWindowAggregate(Operator):
         attributes = dict(tup.attributes)
         attributes[self.output] = _aggregate_value(stats, self.agg)
         self.emit(tup.with_attributes(attributes))
+
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        return _window_lineage(tup, self.attribute, self.output)
 
 
 class RollingLearnOperator(Operator):
@@ -776,3 +876,16 @@ class RollingLearnOperator(Operator):
             attributes[self.accuracy_output] = info
             outs.append(tup.with_attributes(attributes))
         self.emit_many(outs)
+
+    def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
+        learned = tup.attributes.get(self.output)
+        fill = (
+            learned.sample_size if isinstance(learned, DfSized) else None
+        )
+        return {
+            "kind": "learned-window",
+            "inputs": {self.attribute: fill},
+            "df_size": fill,
+            "min_input": self.attribute,
+            "window_fill": fill,
+        }

@@ -15,6 +15,7 @@ from collections.abc import Callable, Sequence
 
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.streams.engine import Pipeline
 from repro.streams.tuples import UncertainTuple
 
@@ -55,6 +56,7 @@ def measure_throughput(
     n_shards: int | None = None,
     partition_by: object = None,
     shard_seed: int | None = None,
+    tracer: Tracer | None = None,
 ) -> float:
     """Best-of-``repeats`` throughput of a pipeline over the given tuples.
 
@@ -68,10 +70,12 @@ def measure_throughput(
     process start-up and imports, so the measurement reflects
     steady-state throughput rather than ``spawn`` cost.
 
-    ``registry`` requests a per-operator breakdown: after the timed
-    repeats, one extra *instrumented* pass runs a fresh pipeline with the
-    registry attached (metric names under ``metrics_prefix``), so the
-    observability overhead never contaminates the reported throughput.
+    ``registry`` requests a per-operator breakdown and ``tracer``
+    requests a span trace (+ accuracy provenance): after the timed
+    repeats, one extra *instrumented* pass runs a fresh pipeline with
+    the registry and/or tracer attached (names under
+    ``metrics_prefix``), so the observability overhead never
+    contaminates the reported throughput.
 
     Raises :class:`StreamError` when no repeat produced a measurable
     elapsed time (tiny tuple lists on coarse clocks) — a successful call
@@ -122,9 +126,12 @@ def measure_throughput(
                 "faster than the clock resolution; use more tuples (or more "
                 "repeats) to get a measurable elapsed time"
             )
-        if registry is not None:
+        if registry is not None or tracer is not None:
             pipeline = pipeline_factory()
-            pipeline.attach_metrics(registry, prefix=metrics_prefix)
+            if registry is not None:
+                pipeline.attach_metrics(registry, prefix=metrics_prefix)
+            if tracer is not None:
+                pipeline.attach_trace(tracer, prefix=metrics_prefix)
             _run_once(pipeline)
         return best
     finally:

@@ -1,0 +1,89 @@
+"""operator_rows ordering: numeric stage index, not lexicographic."""
+
+from repro.experiments.harness import render_metrics_table
+from repro.obs import MetricsRegistry, operator_rows
+from repro.obs.instrument import _stage_sort_key
+from repro.streams.engine import Pipeline
+from repro.streams.operators import CollectSink, Select
+from repro.streams.tuples import UncertainTuple
+
+
+def _op_state(tuples_in, tuples_out, seconds):
+    return {
+        "tuples_in": {"type": "counter", "value": tuples_in},
+        "tuples_out": {"type": "counter", "value": tuples_out},
+        "process_seconds": {
+            "type": "timer",
+            "count": tuples_in,
+            "total_seconds": seconds,
+            "mean_seconds": seconds / tuples_in if tuples_in else 0.0,
+            "min_seconds": 0.0,
+            "max_seconds": seconds,
+        },
+    }
+
+
+def _snapshot(op_ids, seconds=None):
+    snapshot = {}
+    for position, op_id in enumerate(op_ids):
+        inclusive = (
+            seconds[position] if seconds is not None
+            else float(len(op_ids) - position)
+        )
+        for metric, state in _op_state(100, 100, inclusive).items():
+            snapshot[f"{op_id}.{metric}"] = state
+    return snapshot
+
+
+class TestStageSortKey:
+    def test_numeric_segments_compare_as_integers(self):
+        assert _stage_sort_key("p.2.Op") < _stage_sort_key("p.10.Op")
+        assert _stage_sort_key("p.02.Op") < _stage_sort_key("p.10.Op")
+        # Zero-padding does not fix lexicographic sort at 100+ stages.
+        assert _stage_sort_key("p.20.Op") < _stage_sort_key("p.100.Op")
+
+    def test_numbers_sort_before_names_within_a_segment(self):
+        assert _stage_sort_key("a.1.Op") < _stage_sort_key("a.b.Op")
+
+    def test_prefixes_stay_grouped(self):
+        ids = ["b.1.Op", "a.10.Op", "b.0.Op", "a.2.Op"]
+        assert sorted(ids, key=_stage_sort_key) == [
+            "a.2.Op", "a.10.Op", "b.0.Op", "b.1.Op",
+        ]
+
+
+class TestTwelveStageOrdering:
+    """Regression: at >= 10 stages with unpadded indices, lexicographic
+    sort interleaves stage 10+ before stage 2, breaking both row order
+    and the adjacent-stage self-time derivation."""
+
+    OP_IDS = [f"pipeline.{i}.Stage{i}" for i in range(12)]
+
+    def test_rows_in_execution_order(self):
+        rows = operator_rows(_snapshot(self.OP_IDS))
+        assert [r["operator"] for r in rows] == self.OP_IDS
+
+    def test_self_time_uses_numeric_neighbours(self):
+        # Inclusive times decrease by 1s per stage: each stage's self
+        # time is exactly 1s except the sink, which keeps its inclusive.
+        rows = operator_rows(_snapshot(self.OP_IDS))
+        for row in rows[:-1]:
+            assert row["self_seconds"] == 1.0
+        assert rows[-1]["self_seconds"] == rows[-1]["inclusive_seconds"]
+
+    def test_real_twelve_stage_pipeline_rows_and_table(self):
+        registry = MetricsRegistry()
+        operators = [Select(lambda t: True) for _ in range(11)]
+        pipeline = Pipeline([*operators, CollectSink()], registry=registry)
+        pipeline.run(
+            [UncertainTuple({"x": float(i)}) for i in range(20)]
+        )
+        rows = operator_rows(registry)
+        indices = [
+            int(str(r["operator"]).split(".")[1]) for r in rows
+        ]
+        assert indices == list(range(12))
+        table = render_metrics_table(registry)
+        sink_pos = table.index("11.CollectSink")
+        assert table.index("02.Select") < table.index("10.Select")
+        assert table.index("10.Select") < sink_pos

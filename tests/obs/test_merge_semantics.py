@@ -1,0 +1,143 @@
+"""merge_snapshot fold-in semantics for timers and histograms.
+
+Counters were already covered by the sharded-execution tests; these
+pin down the Timer and Histogram cases against a from-scratch reference
+when >= 3 worker snapshots come home.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+
+BUCKETS = (0.1, 1.0, 10.0)
+
+
+def _worker_timer(samples):
+    registry = MetricsRegistry()
+    timer = registry.timer("op.process_seconds", "per-call wall time")
+    for value in samples:
+        timer.record(value)
+    return registry
+
+
+def _worker_histogram(samples):
+    registry = MetricsRegistry()
+    histogram = registry.histogram("op.batch_size", BUCKETS, "batch sizes")
+    for value in samples:
+        histogram.observe(value)
+    return registry
+
+
+TIMER_SAMPLES = [
+    [0.5, 0.25, 1.5],
+    [0.125],
+    [2.0, 0.0625, 0.75, 3.0],
+]
+HISTOGRAM_SAMPLES = [
+    [0.05, 0.5, 5.0],
+    [50.0, 0.2],
+    [0.01, 0.8, 2.5, 100.0],
+]
+
+
+class TestTimerMerge:
+    def test_three_worker_fold_in_matches_single_registry(self):
+        parent = MetricsRegistry()
+        for samples in TIMER_SAMPLES:
+            parent.merge_snapshot(_worker_timer(samples).snapshot())
+        reference = _worker_timer(
+            [v for samples in TIMER_SAMPLES for v in samples]
+        )
+        merged = parent.get("op.process_seconds").snapshot()
+        expected = reference.get("op.process_seconds").snapshot()
+        assert merged["count"] == expected["count"] == 8
+        assert merged["total_seconds"] == pytest.approx(
+            expected["total_seconds"]
+        )
+        assert merged["min_seconds"] == expected["min_seconds"] == 0.0625
+        assert merged["max_seconds"] == expected["max_seconds"] == 3.0
+        assert merged["mean_seconds"] == pytest.approx(
+            expected["mean_seconds"]
+        )
+
+    def test_merge_into_nonempty_parent(self):
+        parent = _worker_timer([0.03])
+        parent.merge_snapshot(_worker_timer([4.0, 0.5]).snapshot())
+        timer = parent.get("op.process_seconds")
+        assert timer.count == 3
+        assert timer.snapshot()["min_seconds"] == 0.03
+        assert timer.snapshot()["max_seconds"] == 4.0
+
+    def test_empty_worker_timer_is_a_noop(self):
+        parent = _worker_timer([0.5])
+        parent.merge_snapshot(_worker_timer([]).snapshot())
+        snap = parent.get("op.process_seconds").snapshot()
+        assert snap["count"] == 1
+        # An empty worker must not clobber min with its None sentinel.
+        assert snap["min_seconds"] == 0.5
+
+
+class TestHistogramMerge:
+    def test_three_worker_fold_in_matches_single_registry(self):
+        parent = MetricsRegistry()
+        for samples in HISTOGRAM_SAMPLES:
+            parent.merge_snapshot(_worker_histogram(samples).snapshot())
+        reference = _worker_histogram(
+            [v for samples in HISTOGRAM_SAMPLES for v in samples]
+        )
+        merged = parent.get("op.batch_size")
+        expected = reference.get("op.batch_size")
+        assert merged.count == expected.count == 9
+        assert merged.sum == pytest.approx(expected.sum)
+        assert merged.bucket_counts() == expected.bucket_counts()
+        assert merged.snapshot()["min"] == expected.snapshot()["min"]
+        assert merged.snapshot()["max"] == expected.snapshot()["max"]
+
+    def test_overflow_bucket_survives_decumulation(self):
+        parent = MetricsRegistry()
+        for samples in ([100.0, 11.0], [0.05], [999.0]):
+            parent.merge_snapshot(_worker_histogram(samples).snapshot())
+        histogram = parent.get("op.batch_size")
+        pairs = dict(histogram.bucket_counts())
+        assert pairs[math.inf] == 4
+        assert pairs[10.0] == 1  # only the 0.05 observation
+        assert histogram.count == 4
+
+    def test_bucket_bound_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.histogram("op.batch_size", (1.0, 2.0))
+        with pytest.raises(ObservabilityError, match="bucket bounds"):
+            parent.merge_snapshot(_worker_histogram([0.5]).snapshot())
+
+    def test_unknown_metric_type_raises(self):
+        with pytest.raises(ObservabilityError, match="unknown type"):
+            MetricsRegistry().merge_snapshot(
+                {"x": {"type": "mystery", "value": 1}}
+            )
+
+
+class TestMixedWorkerSnapshots:
+    def test_full_worker_registry_fold_in(self):
+        def worker(scale):
+            registry = MetricsRegistry()
+            registry.counter("tuples").inc(10 * scale)
+            registry.gauge("depth").set(float(scale))
+            timer = registry.timer("op.process_seconds")
+            timer.record(0.1 * scale)
+            histogram = registry.histogram("op.batch_size", BUCKETS)
+            histogram.observe(float(scale))
+            return registry
+
+        parent = MetricsRegistry()
+        for scale in (1, 2, 3):
+            parent.merge_snapshot(worker(scale).snapshot())
+        assert parent.get("tuples").value == 60
+        assert parent.get("depth").value == 3.0  # last write wins
+        assert parent.get("op.process_seconds").count == 3
+        assert parent.get("op.process_seconds").snapshot()[
+            "total_seconds"
+        ] == pytest.approx(0.6)
+        assert parent.get("op.batch_size").count == 3

@@ -1,0 +1,165 @@
+"""Property tests: render_prometheus stays valid exposition format and
+to_json stays strict JSON under adversarial names, help text, and
+non-finite observations."""
+
+import json
+import math
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry, _prom_name
+
+# One line of the text exposition format: a metric name, an optional
+# single {le="..."} label (the only label this exporter emits), and a
+# float-parseable value.  Label values may contain any character except
+# a raw newline, backslash, or quote unless escaped.
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    rf'^({_NAME})(?:\{{le="((?:[^"\\\n]|\\[\\"n])*)"\}})? (\S+)$'
+)
+_COMMENT_RE = re.compile(rf"^# (HELP|TYPE) ({_NAME})(?: (.*))?$")
+
+# Text rich in the characters the escaping exists for.
+_adversarial_text = st.text(
+    alphabet=st.sampled_from(list('\\"\n') + list("a1 _#{}=-")),
+    max_size=30,
+)
+_any_name = st.text(max_size=20)
+
+
+def _parse_value(token):
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)  # raises on garbage -> test failure
+
+
+def _unescape_help(text):
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            assert i + 1 < len(text), "dangling backslash in HELP text"
+            nxt = text[i + 1]
+            assert nxt in ("\\", "n"), f"bad HELP escape \\{nxt}"
+            out.append("\\" if nxt == "\\" else "\n")
+            i += 2
+        else:
+            assert ch != "\n"
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _check_exposition(text):
+    """Every line is a well-formed comment or sample; returns the lines."""
+    assert text == "" or text.endswith("\n")
+    lines = text.splitlines()
+    helps = {}
+    for line in lines:
+        comment = _COMMENT_RE.match(line)
+        if comment:
+            if comment.group(1) == "HELP":
+                helps[comment.group(2)] = comment.group(3) or ""
+            continue
+        sample = _SAMPLE_RE.match(line)
+        assert sample is not None, f"unparseable exposition line: {line!r}"
+        _parse_value(sample.group(3))
+    return lines, helps
+
+
+class TestPrometheusProperties:
+    @settings(max_examples=150)
+    @given(name=_any_name, help=_adversarial_text)
+    def test_counter_lines_stay_well_formed(self, name, help):
+        registry = MetricsRegistry()
+        registry.counter(name, help).inc(3)
+        lines, helps = _check_exposition(registry.render_prometheus())
+        # Exactly HELP? + TYPE + one sample: newlines in help must not
+        # smuggle extra lines into the dump.
+        assert len(lines) == (3 if help else 2)
+        if help:
+            assert _unescape_help(helps[_prom_name(name)]) == help
+
+    @settings(max_examples=100)
+    @given(name=_any_name, help=_adversarial_text)
+    def test_histogram_label_values_stay_well_formed(self, name, help):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(name, (0.5, 2.0), help)
+        histogram.observe(1.0)
+        histogram.observe(100.0)
+        lines, _ = _check_exposition(registry.render_prometheus())
+        buckets = [line for line in lines if '_bucket{le="' in line]
+        assert len(buckets) == 3  # two bounds + the +Inf overflow
+        bounds = [
+            _parse_value(_SAMPLE_RE.match(line).group(2))
+            for line in buckets
+        ]
+        assert bounds == [0.5, 2.0, math.inf]
+
+    @settings(max_examples=100)
+    @given(
+        names=st.lists(_any_name, min_size=1, max_size=4, unique=True),
+        help=_adversarial_text,
+        value=st.floats(allow_nan=True, allow_infinity=True),
+    )
+    def test_mixed_registry_dump_parses(self, names, help, value):
+        registry = MetricsRegistry()
+        for position, name in enumerate(names):
+            kind = position % 4
+            if kind == 0:
+                registry.counter(f"c_{name}", help).inc()
+            elif kind == 1:
+                registry.gauge(f"g_{name}", help).set(value)
+            elif kind == 2:
+                registry.timer(f"t_{name}", help).record(abs(value))
+            else:
+                histogram = registry.histogram(f"h_{name}", (1.0,), help)
+                if not math.isnan(value):
+                    histogram.observe(value)
+        _check_exposition(registry.render_prometheus())
+
+    def test_prom_name_never_empty_or_invalid(self):
+        for raw in ("", "...", "{}", "0", "9abc", 'a"b\nc'):
+            assert re.fullmatch(_NAME, _prom_name(raw))
+
+
+class TestStrictJsonProperties:
+    @settings(max_examples=150)
+    @given(
+        gauge_value=st.floats(allow_nan=True, allow_infinity=True),
+        observations=st.lists(
+            st.floats(allow_nan=False, allow_infinity=True), max_size=8
+        ),
+        name=_any_name,
+    )
+    def test_to_json_parseable_with_nonfinite_observations(
+        self, gauge_value, observations, name
+    ):
+        registry = MetricsRegistry()
+        registry.gauge(f"g_{name}").set(gauge_value)
+        timer = registry.timer(f"t_{name}")
+        histogram = registry.histogram(f"h_{name}", (1.0, 10.0))
+        for value in observations:
+            timer.record(value)
+            histogram.observe(value)
+        text = registry.to_json(indent=2)
+        obj = json.loads(
+            text,
+            parse_constant=lambda lit: pytest.fail(
+                f"non-strict constant {lit} in to_json output"
+            ),
+        )
+        gauge_state = obj[f"g_{name}"]
+        if math.isfinite(gauge_value):
+            assert gauge_state["value"] == gauge_value
+        else:
+            assert gauge_state["value"] is None
+
+    def test_empty_registry_round_trips(self):
+        assert json.loads(MetricsRegistry().to_json()) == {}
