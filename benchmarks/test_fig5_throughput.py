@@ -39,22 +39,27 @@ SHARDED_WORKERS = 4
 def _bench_records(result, workers):
     """ThroughputResult -> BENCH_fig5.json records.
 
-    Schema: ``{config, path, workers, tuples_per_sec}`` with
-    ``path`` in {per-tuple, batched, sharded}.
+    Schema: ``{config, path, workers, layout, tuples_per_sec}`` with
+    ``path`` in {per-tuple, batched, sharded}, ``workers`` the number of
+    processes executing tuples (1 for the single-process paths, never
+    null), and ``layout`` the batch representation fed to the engine —
+    "tuple" on the per-tuple path, "columnar" on the batched and
+    sharded paths (see ``measure_throughput(layout=...)``).
     """
     records = []
     for name, tput in result.throughputs.items():
         if "(sharded" in name:
             config, path, w = name.split(" (sharded")[0], "sharded", workers
         elif name.endswith(" (batched)"):
-            config, path, w = name[: -len(" (batched)")], "batched", None
+            config, path, w = name[: -len(" (batched)")], "batched", 1
         else:
-            config, path, w = name, "per-tuple", None
+            config, path, w = name, "per-tuple", 1
         records.append(
             {
                 "config": config,
                 "path": path,
                 "workers": w,
+                "layout": "tuple" if path == "per-tuple" else "columnar",
                 "tuples_per_sec": tput,
             }
         )
@@ -128,29 +133,34 @@ def test_fig5_sharded_throughput(benchmark, results_dir):
         json.dumps(records, indent=2) + "\n"
     )
 
-    suffix = f"(sharded x{workers})"
-    for result, names in (
-        (fig5c, ("QP only", "analytic", "bootstrap")),
-        (fig5f, ("no predicate", "mTest", "mdTest", "pTest")),
-    ):
-        for name in names:
-            assert result.throughputs[f"{name} {suffix}"] > 0, name
+    # Schema invariants: every row names its layout and a real worker
+    # count (1 for single-process paths, never null).
+    rate = {(r["config"], r["path"]): r["tuples_per_sec"] for r in records}
+    for r in records:
+        expected_layout = "tuple" if r["path"] == "per-tuple" else "columnar"
+        assert r["layout"] == expected_layout, r
+        assert r["workers"] == (workers if r["path"] == "sharded" else 1), r
+        assert r["tuples_per_sec"] > 0, r
 
     if available_cpus() < workers:
         pytest.skip(
             f"sharded speedup assertion needs >= {workers} CPUs "
             f"(have {available_cpus()}); BENCH_fig5.json written"
         )
-    for name in ("analytic", "bootstrap"):
+    # Columnar transport makes sharding pay on EVERY configuration...
+    for config in (
+        "QP only", "analytic", "bootstrap",
+        "no predicate", "mTest", "mdTest", "pTest",
+    ):
+        assert rate[(config, "sharded")] > rate[(config, "batched")], config
+    # ...and clears 1.5x batched serial on the accuracy-heavy ones.
+    for config in (
+        "analytic", "bootstrap",
+        "no predicate", "mTest", "mdTest", "pTest",
+    ):
         assert (
-            fig5c.throughputs[f"{name} {suffix}"]
-            > 1.5 * fig5c.throughputs[f"{name} (batched)"]
-        ), name
-    for name in ("no predicate", "mTest", "mdTest", "pTest"):
-        assert (
-            fig5f.throughputs[f"{name} {suffix}"]
-            > 1.5 * fig5f.throughputs[f"{name} (batched)"]
-        ), name
+            rate[(config, "sharded")] > 1.5 * rate[(config, "batched")]
+        ), config
 
 
 def _fig5c_bootstrap_collect_pipeline():

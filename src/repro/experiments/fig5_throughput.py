@@ -30,6 +30,13 @@ from repro.learning.gaussian_learner import GaussianLearner
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import lineage_from_operands
 from repro.obs.trace import Tracer
+from repro.streams.columnar import (
+    EXACT_SIZE,
+    ArrayColumn,
+    ColumnarBatch,
+    GaussianDfColumn,
+    ObjectColumn,
+)
 from repro.streams.engine import Pipeline
 from repro.streams.operators import (
     CountingSink,
@@ -111,6 +118,37 @@ class _LearnGaussian(Operator):
         # All per-item point vectors have the same length, so the whole
         # batch learns from one (batch, points) matrix in two NumPy
         # reductions instead of two per tuple.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.column(self.points_attribute)
+            if (
+                isinstance(column, ArrayColumn)
+                and column.matrix.shape[1] >= 2
+            ):
+                # The raw points already sit in one (batch, k) matrix —
+                # learn straight off the columns, emit columns.
+                matrix = column.matrix
+                mus = matrix.mean(axis=1)
+                sigma2s = matrix.var(axis=1, ddof=1)
+                if not (
+                    np.isfinite(mus).all() and np.isfinite(sigma2s).all()
+                ):
+                    for i in range(len(mus)):  # canonical per-row error
+                        GaussianDistribution(
+                            float(mus[i]), float(sigma2s[i])
+                        )
+                self.emit_many(
+                    tuples.with_column(
+                        self.output,
+                        GaussianDfColumn(
+                            mus,
+                            sigma2s,
+                            np.full(
+                                len(mus), matrix.shape[1], dtype=np.int64
+                            ),
+                        ),
+                    )
+                )
+                return
         points = [tup.value(self.points_attribute) for tup in tuples]
         try:
             matrix = np.asarray(points, dtype=float)
@@ -155,6 +193,27 @@ class _AnalyticAccuracy(Operator):
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         # Vectorized Lemma 2: one mean_intervals/variance_intervals pass
         # over the whole batch instead of two interval solves per tuple.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if (
+                column is not None
+                and len(column)
+                and bool((column.sizes >= 2).all())
+            ):
+                # Every row eligible: Theorem 1 straight off the
+                # (mu, sigma2, n) columns, accuracy as an object column.
+                infos = accuracy_from_moments(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                    self.confidence,
+                )
+                self.emit_many(
+                    tuples.with_column(
+                        "accuracy", ObjectColumn(list(infos))
+                    )
+                )
+                return
         fields = [tup.dfsized(self.attribute) for tup in tuples]
         eligible = [
             i
@@ -223,6 +282,38 @@ class _BootstrapAccuracy(Operator):
         # Vectorized BOOTSTRAP-ACCURACY-INFO: sample every tuple's output
         # variable into one (batch, m) matrix, then chunk statistics and
         # percentile intervals for the whole batch in a single pass.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if (
+                column is not None
+                and len(column)
+                and bool((column.sizes >= 2).all())
+            ):
+                # Same size-grouping and RNG draw order as the tuple
+                # path (one broadcast normal per group), but the moments
+                # come straight off the columns.
+                sizes = column.sizes.tolist()
+                by_n: dict[int, list[int]] = {}
+                for i, n in enumerate(sizes):
+                    by_n.setdefault(n, []).append(i)
+                infos_out: list[object] = [None] * len(sizes)
+                for n, indices in by_n.items():
+                    m = self.resamples * n
+                    idx = np.asarray(indices, dtype=np.intp)
+                    mus = column.mu[idx]
+                    stds = np.sqrt(column.sigma2[idx])
+                    matrix = self._rng.normal(
+                        mus[:, None], stds[:, None], (len(indices), m)
+                    )
+                    infos = bootstrap_accuracy_batch(
+                        matrix, n, self.confidence
+                    )
+                    for info, i in zip(infos, indices):
+                        infos_out[i] = info
+                self.emit_many(
+                    tuples.with_column("accuracy", ObjectColumn(infos_out))
+                )
+                return
         fields = [tup.dfsized(self.attribute) for tup in tuples]
         out = list(tuples)
         # Group eligible tuples by sample size so each group shares one
@@ -302,6 +393,10 @@ def _measure_all(
             n_shards=N_SHARDS if workers is not None else None,
             shard_seed=shard_seed if workers is not None else None,
             tracer=tracer,
+            # Batched and sharded configurations run end-to-end columnar
+            # (converted once, outside the timed region); the per-tuple
+            # baseline keeps the tuple-list layout.
+            layout="columnar" if batch_size is not None else "tuple",
         )
     return ThroughputResult(label, throughputs)
 
@@ -390,6 +485,28 @@ class _CoupledMTest(Operator):
             coupled_tests(MTest(stats, ">", self.constant, 0.05), 0.05, 0.05)
         self.emit(tup)
 
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # Columnar: run the coupled test per row straight off the
+        # (mu, sigma2, n) columns; the batch passes through untouched.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                constant = self.constant
+                for mu, sigma2, n in zip(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                ):
+                    if n == EXACT_SIZE:
+                        continue
+                    stats = FieldStats(mu, float(np.sqrt(sigma2)), n)
+                    coupled_tests(
+                        MTest(stats, ">", constant, 0.05), 0.05, 0.05
+                    )
+                self.emit_many(tuples)
+                return
+        super().process_many(tuples)
+
 
 class _CoupledMdTest(Operator):
     """Coupled mdTest: current window average vs the previous one."""
@@ -409,6 +526,32 @@ class _CoupledMdTest(Operator):
                 )
             self._previous = stats
         self.emit(tup)
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # Columnar: same per-row test chain (each row's stats become the
+        # next row's "previous"), reading moments off the columns.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                previous = self._previous
+                for mu, sigma2, n in zip(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                ):
+                    if n == EXACT_SIZE:
+                        continue
+                    stats = FieldStats(mu, float(np.sqrt(sigma2)), n)
+                    if previous is not None:
+                        coupled_tests(
+                            MdTest(stats, previous, ">", 0.0, 0.05),
+                            0.05, 0.05,
+                        )
+                    previous = stats
+                self._previous = previous
+                self.emit_many(tuples)
+                return
+        super().process_many(tuples)
 
 
 class _CoupledPTest(Operator):
@@ -431,6 +574,29 @@ class _CoupledPTest(Operator):
                 0.05, 0.05,
             )
         self.emit(tup)
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        # Columnar: per-row pTest off the columns; batch passes through.
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                constant, tau = self.constant, self.tau
+                for mu, sigma2, n in zip(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                ):
+                    if n == EXACT_SIZE:
+                        continue
+                    p_hat = GaussianDistribution(
+                        mu, sigma2
+                    ).prob_greater(constant)
+                    coupled_tests(
+                        PTest(p_hat, n, tau, ">", 0.05), 0.05, 0.05
+                    )
+                self.emit_many(tuples)
+                return
+        super().process_many(tuples)
 
 
 def run_fig5f(

@@ -56,6 +56,11 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceConfig, Tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import WorkerPool
+from repro.streams.columnar import (
+    ColumnarBatch,
+    ColumnarPayload,
+    as_columnar,
+)
 from repro.streams.operators import CollectSink, CountingSink
 from repro.streams.tuples import UncertainTuple
 
@@ -105,6 +110,14 @@ def partition_indices(
             shards[i % n_shards].append(i)
         return shards
     if isinstance(partition_by, str):
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.column(partition_by)
+            if column is not None:
+                # Key values straight off the column — same materialized
+                # Python values, so the same hashes as the tuple loop.
+                for i, key in enumerate(column.values()):
+                    shards[stable_key_hash(key) % n_shards].append(i)
+                return shards
         name = partition_by
         key_of = lambda tup: tup.value(name)  # noqa: E731
     else:
@@ -116,7 +129,7 @@ def partition_indices(
 
 def _run_shard(
     payload: "bytes | Pipeline",
-    shard_tuples: list[UncertainTuple],
+    shard_source: "list[UncertainTuple] | ColumnarBatch | ColumnarPayload",
     batch_size: int,
     seed: np.random.SeedSequence | None,
     metrics_prefix: str | None,
@@ -128,15 +141,22 @@ def _run_shard(
 
     ``payload`` is the pickled pipeline in worker processes, or an
     already-cloned pipeline on the serial deepcopy path — both paths
-    share this function so they cannot drift apart.  Returns
-    ``(sink_state, metrics_snapshot, trace_snapshot)``, all plain
-    picklable values.  When tracing, the worker builds a private
-    :class:`Tracer` with shard label ``trace_shard`` (``shard{i}``) and
-    the parent's :class:`TraceConfig` — span IDs depend only on
-    ``(config.seed, shard label, seq)``, so the snapshot is identical
-    whether this runs in a pool worker or on the serial fallback.
+    share this function so they cannot drift apart.  ``shard_source``
+    is a :class:`ColumnarPayload` on the columnar transport (column
+    blocks, possibly shared-memory handles), or a tuple list / batch on
+    the fallback paths.  Returns ``(sink_state, metrics_snapshot,
+    trace_snapshot)``, all plain picklable values; a ``CollectSink``
+    that stayed columnar comes back as ``("collect-columnar",
+    ColumnarPayload)`` so the return trip ships column blocks too.
+    When tracing, the worker builds a private :class:`Tracer` with
+    shard label ``trace_shard`` (``shard{i}``) and the parent's
+    :class:`TraceConfig` — span IDs depend only on ``(config.seed,
+    shard label, seq)``, so the snapshot is identical whether this runs
+    in a pool worker or on the serial fallback.
     """
     pipeline = pickle.loads(payload) if isinstance(payload, bytes) else payload
+    if isinstance(shard_source, ColumnarPayload):
+        shard_source = ColumnarBatch.from_payload(shard_source)
     if seed is not None:
         pipeline.reseed(seed)
     registry = None
@@ -147,12 +167,20 @@ def _run_shard(
     if trace_config is not None:
         tracer = Tracer(trace_config, shard=trace_shard or "shard?")
         pipeline.attach_trace(tracer, prefix=trace_prefix)
-    sink = pipeline.run_batched(shard_tuples, batch_size)
+    sink = pipeline.run_batched(shard_source, batch_size)
     snapshot = registry.snapshot() if registry is not None else None
     trace_snapshot = tracer.snapshot() if tracer is not None else None
     if isinstance(sink, CountingSink):
         return ("count", sink.count), snapshot, trace_snapshot
     if isinstance(sink, CollectSink):
+        collected = sink.columnar_result()
+        if collected is not None:
+            # Workers never create shm segments (the parent owns
+            # segment lifetimes) — plain ndarrays still cross the
+            # boundary as one buffer per column, not one pickle per
+            # tuple.
+            out_payload, _ = collected.to_payload(use_shm=False)
+            return ("collect-columnar", out_payload), snapshot, trace_snapshot
         return ("collect", list(sink.results)), snapshot, trace_snapshot
     raise StreamError(
         f"run_sharded needs a CollectSink or CountingSink terminal "
@@ -184,7 +212,10 @@ class ShardedResult:
 
     @property
     def kind(self) -> str:
-        return self.sink_states[0][0] if self.sink_states else "collect"
+        if not self.sink_states:
+            return "collect"
+        kind = self.sink_states[0][0]
+        return "collect" if kind == "collect-columnar" else kind
 
     def merged_count(self) -> int:
         """Summed CountingSink counts across shards."""
@@ -193,11 +224,28 @@ class ShardedResult:
             if state[0] == "count"
         )
 
-    def merged_results(self) -> list[UncertainTuple]:
-        """CollectSink contents merged per the configured mode."""
-        per_shard: list[list[UncertainTuple]] = [
-            state[1] for state in self.sink_states  # type: ignore[misc]
-        ]
+    def merged_results(self) -> "list[UncertainTuple] | ColumnarBatch":
+        """CollectSink contents merged per the configured mode.
+
+        When every shard came back columnar the merge stays columnar —
+        ``interleave`` scatters each shard's rows to their global input
+        positions, ``concat`` concatenates columns in shard order — and
+        a :class:`ColumnarBatch` is returned.  Any shard that fell back
+        to a tuple list (or a cross-shard schema mismatch) degrades the
+        whole merge to the materialized tuple-list form.
+        """
+        per_shard: list[object] = []
+        all_columnar = True
+        for kind, value in self.sink_states:  # type: ignore[misc]
+            if kind == "collect-columnar":
+                per_shard.append(
+                    ColumnarBatch.from_payload(value)
+                    if isinstance(value, ColumnarPayload)
+                    else value
+                )
+            else:
+                per_shard.append(value)
+                all_columnar = False
         one_to_one = all(
             len(results) == len(indices)
             for results, indices in zip(per_shard, self.shards)
@@ -212,6 +260,25 @@ class ShardedResult:
                 )
                 + " (use merge='concat' for filtering/expanding pipelines)"
             )
+        if all_columnar:
+            try:
+                if self.merge == "concat" or not one_to_one:
+                    return ColumnarBatch.concat(per_shard)
+                return ColumnarBatch.interleave(
+                    per_shard, self.shards, self.total
+                )
+            except StreamError:
+                # Shards disagree on schema (e.g. a column degraded to
+                # objects in one shard only) — materialize and merge
+                # per tuple instead.
+                per_shard = [batch.to_tuples() for batch in per_shard]
+        else:
+            per_shard = [
+                part.to_tuples()
+                if isinstance(part, ColumnarBatch)
+                else part
+                for part in per_shard
+            ]
         if self.merge == "concat" or not one_to_one:
             concatenated: list[UncertainTuple] = []
             for results in per_shard:
@@ -267,7 +334,11 @@ def run_sharded(
     elif n_workers is not None:
         config = dataclasses_replace(config, n_workers=n_workers)
 
-    tuples = list(source)
+    tuples: Sequence[UncertainTuple]
+    if isinstance(source, ColumnarBatch):
+        tuples = source
+    else:
+        tuples = list(source)
     shards_total = (
         n_shards if n_shards is not None else max(config.resolve_workers(), 1)
     )
@@ -309,11 +380,21 @@ def run_sharded(
             )
         payload = None
 
+    # The columnar transport: partition by fancy-indexing columns, ship
+    # column blocks (shared memory for large ones) instead of pickling
+    # tuples one by one.  Non-uniform layouts keep the tuple-list path.
+    batch = as_columnar(tuples)
+
+    def shard_tuples(indices: list[int]) -> list[UncertainTuple]:
+        return [tuples[i] for i in indices]
+
     if payload is None:
         outcomes = [
             _run_shard(
                 copy.deepcopy(pristine),
-                [tuples[i] for i in indices],
+                batch.take(indices)
+                if batch is not None
+                else shard_tuples(indices),
                 batch_size,
                 shard_seeds[shard_index],
                 metrics_prefix,
@@ -324,24 +405,44 @@ def run_sharded(
             for shard_index, indices in enumerate(shards)
         ]
     else:
-        tasks = [
-            (
-                payload,
-                [tuples[i] for i in indices],
-                batch_size,
-                shard_seeds[shard_index],
-                metrics_prefix,
-                trace_config,
-                trace_prefix,
-                f"shard{shard_index}",
-            )
-            for shard_index, indices in enumerate(shards)
-        ]
+        # The pool exists before the tasks so shared-memory shipping can
+        # be skipped when the shards will run in-process anyway.
         own_pool = pool is None
         pool = pool if pool is not None else WorkerPool(config)
+        use_shm = (
+            batch is not None
+            and config.use_shared_memory
+            and not pool.serial
+        )
+        owners: list = []
+        tasks = []
         try:
+            for shard_index, indices in enumerate(shards):
+                if batch is not None:
+                    shard_source, shard_owners = batch.take(
+                        indices
+                    ).to_payload(use_shm=use_shm)
+                    owners.extend(shard_owners)
+                else:
+                    shard_source = shard_tuples(indices)
+                tasks.append(
+                    (
+                        payload,
+                        shard_source,
+                        batch_size,
+                        shard_seeds[shard_index],
+                        metrics_prefix,
+                        trace_config,
+                        trace_prefix,
+                        f"shard{shard_index}",
+                    )
+                )
             outcomes = pool.map_indexed(_run_shard, tasks)
         finally:
+            # Workers copy out of the segments before returning, so the
+            # parent can unlink as soon as every task has completed.
+            for owner in owners:
+                owner.release()
             if own_pool:
                 pool.close()
 

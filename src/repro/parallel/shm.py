@@ -50,11 +50,27 @@ class SharedArray:
         from multiprocessing import shared_memory
 
         source = np.ascontiguousarray(source)
+        if source.dtype.hasobject:
+            raise ValueError(
+                f"cannot share an object-dtype array (dtype {source.dtype}); "
+                "shared memory only holds flat numeric buffers"
+            )
         shm = shared_memory.SharedMemory(
             create=True, size=max(source.nbytes, 1)
         )
-        array = np.ndarray(source.shape, dtype=source.dtype, buffer=shm.buf)
-        array[...] = source
+        try:
+            array = np.ndarray(
+                source.shape, dtype=source.dtype, buffer=shm.buf
+            )
+            array[...] = source
+        except BaseException:
+            # The segment exists in the kernel namespace from the moment
+            # SharedMemory(create=True) returns — without this unlink a
+            # failed mapping/copy would leak it until process exit (and
+            # trip the resource tracker).
+            shm.close()
+            shm.unlink()
+            raise
         return cls(shm, array)
 
     @classmethod
@@ -63,9 +79,20 @@ class SharedArray:
     ) -> "SharedArray":
         from multiprocessing import shared_memory
 
-        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        dtype = np.dtype(dtype)
+        if dtype.hasobject:
+            raise ValueError(
+                f"cannot share an object-dtype array (dtype {dtype}); "
+                "shared memory only holds flat numeric buffers"
+            )
+        nbytes = int(np.prod(shape)) * dtype.itemsize
         shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
-        array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        try:
+            array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         return cls(shm, array)
 
     @property
@@ -95,10 +122,15 @@ class SharedArray:
 
 
 def share_array(source: np.ndarray) -> SharedArray | None:
-    """Publish ``source`` as shared memory; ``None`` when unsupported."""
+    """Publish ``source`` as shared memory; ``None`` when unsupported.
+
+    Only *platform* failures (no shm support, out of segments) degrade
+    to ``None`` — a :class:`ValueError` for an unshareable input array
+    (e.g. object dtype) is a caller bug and propagates.
+    """
     try:
         return SharedArray.create(source)
-    except (ImportError, OSError, PermissionError, ValueError):
+    except (ImportError, OSError, PermissionError):
         return None
 
 

@@ -6,6 +6,7 @@ distribution-valued attributes (attribute uncertainty), per §II-A.
 """
 
 from repro.streams.tuples import AttributeSpec, Schema, UncertainTuple
+from repro.streams.columnar import ColumnarBatch, as_columnar
 from repro.streams.stream import iter_source, replay_source
 from repro.streams.windows import CountWindow, TimeWindow, TumblingWindow
 from repro.streams.rolling import (
@@ -38,6 +39,8 @@ __all__ = [
     "AttributeSpec",
     "Schema",
     "UncertainTuple",
+    "ColumnarBatch",
+    "as_columnar",
     "iter_source",
     "replay_source",
     "CountWindow",

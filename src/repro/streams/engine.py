@@ -23,6 +23,7 @@ import numpy as np
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
+from repro.streams.columnar import ColumnarBatch, as_columnar
 from repro.streams.operators import CollectSink, CountingSink, Operator
 from repro.streams.tuples import UncertainTuple
 
@@ -238,6 +239,12 @@ class Pipeline:
         dispatch and vectorize accuracy computation across the batch;
         every operator falls back to per-tuple processing otherwise, so
         the sink contents are identical to :meth:`run` for any pipeline.
+
+        Uniform-layout sequence sources are columnarized up front
+        (:class:`~repro.streams.columnar.ColumnarBatch`) so batches are
+        zero-copy column slices and batch-aware operators consume
+        columns directly; non-uniform layouts and plain iterables keep
+        the tuple-list batching.
         """
         if batch_size < 1:
             raise StreamError(f"batch size must be >= 1, got {batch_size}")
@@ -249,18 +256,29 @@ class Pipeline:
         head = self.head
         count = 0
         start = perf_counter() if registry is not None else 0.0
-        batch: list[UncertainTuple] = []
-        append = batch.append
-        for tup in source:
-            append(tup)
-            if len(batch) >= batch_size:
+        if isinstance(source, Sequence):
+            columnar = as_columnar(source)
+            if columnar is not None:
+                source = columnar
+        if isinstance(source, ColumnarBatch):
+            total = len(source)
+            for a in range(0, total, batch_size):
+                chunk = source.slice(a, min(a + batch_size, total))
+                head.receive_many(chunk)
+                count += len(chunk)
+        else:
+            batch: list[UncertainTuple] = []
+            append = batch.append
+            for tup in source:
+                append(tup)
+                if len(batch) >= batch_size:
+                    head.receive_many(batch)
+                    count += len(batch)
+                    batch = []
+                    append = batch.append
+            if batch:
                 head.receive_many(batch)
                 count += len(batch)
-                batch = []
-                append = batch.append
-        if batch:
-            head.receive_many(batch)
-            count += len(batch)
         head.flush()
         if registry is not None:
             self._run_seconds.record(perf_counter() - start)
@@ -327,7 +345,9 @@ class Pipeline:
         if isinstance(sink, CountingSink):
             sink.count += result.merged_count()
         else:
-            sink.results.extend(result.merged_results())
+            # process_many stores the merged chunk as received, keeping
+            # a columnar merge columnar in the parent sink.
+            sink.process_many(result.merged_results())
         if self.registry is not None:
             result.merge_metrics(self.registry)
         if self.tracer is not None:

@@ -13,7 +13,10 @@ Each group's window rides the rolling kernels of
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.errors import StreamError
+from repro.streams.columnar import EXACT_SIZE, ColumnarBatch, _infer_column
 from repro.streams.operators import Operator, _aggregate_value
 from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
 from repro.streams.tuples import UncertainTuple
@@ -109,6 +112,47 @@ class GroupedAggregate(Operator):
             stats.evict_oldest()
         if self.emit_every:
             self.emit(self._aggregate(group_key))
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        if isinstance(tuples, ColumnarBatch):
+            key_column = tuples.column(self.key)
+            column = tuples.gaussian_column(self.attribute)
+            if key_column is not None and column is not None:
+                window = self.window_size
+                agg = self.agg
+                emit_every = self.emit_every
+                group_stats = self._group_stats
+                outputs = []
+                for group_key, mu, sigma2, size in zip(
+                    key_column.values(),
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                ):
+                    stats = group_stats(group_key)
+                    stats.push(
+                        mu, sigma2, None if size == EXACT_SIZE else size
+                    )
+                    if stats.count > window:
+                        stats.evict_oldest()
+                    if emit_every:
+                        outputs.append(_aggregate_value(stats, agg))
+                if emit_every:
+                    # The output tuple is {key, output} with default
+                    # probability/timestamp, exactly as ``_aggregate``
+                    # builds it — the key column is reused as-is.
+                    self.emit_many(
+                        ColumnarBatch(
+                            len(tuples),
+                            (self.key, self.output),
+                            {
+                                self.key: key_column,
+                                self.output: _infer_column(outputs),
+                            },
+                        )
+                    )
+                return
+        super().process_many(tuples)
 
     def on_flush(self) -> None:
         if not self.emit_every:

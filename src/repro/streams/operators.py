@@ -17,9 +17,12 @@ The two filters embody the paper's two predicate styles:
 from __future__ import annotations
 
 import abc
+import math
 from collections import Counter
 from collections.abc import Callable, Iterable, Sequence
 from time import perf_counter
+
+import numpy as np
 
 from repro.core.analytic import accuracy_from_moments
 from repro.core.coupled import ThreeValued, coupled_tests
@@ -30,6 +33,13 @@ from repro.errors import StreamError
 from repro.obs.instrument import OperatorMetrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import OperatorTrace, Tracer
+from repro.streams.columnar import (
+    EXACT_SIZE,
+    ColumnarBatch,
+    GaussianDfColumn,
+    _infer_column,
+    as_columnar,
+)
 from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
 from repro.streams.tuples import UncertainTuple
 from repro.streams.windows import CountWindow
@@ -310,6 +320,15 @@ class Select(Operator):
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         predicate = self.predicate
+        if isinstance(tuples, ColumnarBatch):
+            # The predicate is a black box, so rows materialize for the
+            # test — but survivors stay columnar downstream.
+            kept = [i for i, tup in enumerate(tuples) if predicate(tup)]
+            if len(kept) == len(tuples):
+                self.emit_many(tuples)
+            else:
+                self.emit_many(tuples.take(kept))
+            return
         self.emit_many([tup for tup in tuples if predicate(tup)])
 
 
@@ -326,6 +345,23 @@ class Project(Operator):
         projected = {name: tup.value(name) for name in self.names}
         self.emit(tup.with_attributes(projected))
 
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        names = self.names
+        if isinstance(tuples, ColumnarBatch) and all(
+            name in tuples.names for name in names
+        ):
+            self.emit_many(tuples.project(names))
+            return
+        # Missing attributes raise the canonical per-tuple SchemaError.
+        self.emit_many(
+            [
+                tup.with_attributes(
+                    {name: tup.value(name) for name in names}
+                )
+                for tup in tuples
+            ]
+        )
+
 
 class Derive(Operator):
     """Adds a computed attribute ``name = fn(tuple)``."""
@@ -341,6 +377,22 @@ class Derive(Operator):
         attributes = dict(tup.attributes)
         attributes[self.name] = self.fn(tup)
         self.emit(tup.with_attributes(attributes))
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        fn = self.fn
+        if isinstance(tuples, ColumnarBatch):
+            values = [fn(tup) for tup in tuples]
+            self.emit_many(
+                tuples.with_column(self.name, _infer_column(values))
+            )
+            return
+        name = self.name
+        out = []
+        for tup in tuples:
+            attributes = dict(tup.attributes)
+            attributes[name] = fn(tup)
+            out.append(tup.with_attributes(attributes))
+        self.emit_many(out)
 
 
 class ProbabilisticFilter(Operator):
@@ -478,9 +530,64 @@ class SlidingGaussianAverage(Operator):
             self.emit(out)
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                self._advance_columns(tuples, column)
+                return
         advance = self._advance
         self.emit_many(
             [out for out in map(advance, tuples) if out is not None]
+        )
+
+    def _advance_columns(
+        self, batch: ColumnarBatch, column: GaussianDfColumn
+    ) -> None:
+        """Slide over ``(mu, sigma2, n)`` columns without materializing.
+
+        The rolling sums are fed in the exact per-tuple order (no
+        vectorized re-association), so emitted values are bit-identical
+        to the per-tuple path.
+        """
+        stats = self._stats
+        window = self.window_size
+        mus = column.mu.tolist()
+        sigma2s = column.sigma2.tolist()
+        sizes = column.sizes.tolist()
+        out_mu: list[float] = []
+        out_var: list[float] = []
+        out_size: list[int] = []
+        kept = None if self.emit_partial else []
+        for i, mu in enumerate(mus):
+            size = sizes[i]
+            stats.push(mu, sigma2s[i], None if size == EXACT_SIZE else size)
+            if stats.count > window:
+                stats.evict_oldest()
+            k = stats.count
+            if kept is not None:
+                if k < window:
+                    continue
+                kept.append(i)
+            avg_mu = stats.mean_sum / k
+            avg_var = stats.var_sum / (k * k)
+            if avg_var < 0.0 or not (
+                math.isfinite(avg_mu) and math.isfinite(avg_var)
+            ):
+                GaussianDistribution(avg_mu, avg_var)  # canonical error
+            df = stats.df_size
+            out_mu.append(avg_mu)
+            out_var.append(avg_var)
+            out_size.append(EXACT_SIZE if df is None else df)
+        base = batch if kept is None else batch.take(kept)
+        self.emit_many(
+            base.with_column(
+                self.output,
+                GaussianDfColumn(
+                    np.asarray(out_mu, dtype=np.float64),
+                    np.asarray(out_var, dtype=np.float64),
+                    np.asarray(out_size, dtype=np.int64),
+                ),
+            )
         )
 
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
@@ -608,6 +715,30 @@ class WindowAggregate(Operator):
         self.emit(self._advance(tup))
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        if isinstance(tuples, ColumnarBatch):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                # Gaussian mean()/variance() are mu/sigma2, so the
+                # columns feed the rolling sums directly, in order.
+                stats = self._stats
+                window = self.window_size
+                agg = self.agg
+                outputs = []
+                for mu, sigma2, size in zip(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                ):
+                    stats.push(
+                        mu, sigma2, None if size == EXACT_SIZE else size
+                    )
+                    if stats.count > window:
+                        stats.evict_oldest()
+                    outputs.append(_aggregate_value(stats, agg))
+                self.emit_many(
+                    tuples.with_column(self.output, _infer_column(outputs))
+                )
+                return
         self.emit_many([self._advance(tup) for tup in tuples])
 
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
@@ -615,17 +746,57 @@ class WindowAggregate(Operator):
 
 
 class CollectSink(Operator):
-    """Terminal operator collecting every tuple it receives."""
+    """Terminal operator collecting every tuple it receives.
+
+    Batches arrive either as tuple lists or as
+    :class:`~repro.streams.columnar.ColumnarBatch` blocks; both are
+    stored as received, so a columnar pipeline never materializes
+    per-tuple objects just to be collected.  :attr:`results` flattens to
+    ``list[UncertainTuple]`` on demand (and stays a plain mutable list
+    for callers that extend it, e.g. the sharded merge);
+    :meth:`columnar_result` hands back the column blocks for transport.
+    """
 
     def __init__(self) -> None:
         super().__init__()
-        self.results: list[UncertainTuple] = []
+        self._chunks: list[object] = []
+        self._flat: list[UncertainTuple] = []
+        self._flat_count = 0
+
+    @property
+    def results(self) -> list[UncertainTuple]:
+        """Everything collected so far, as materialized tuples."""
+        flat = self._flat
+        chunks = self._chunks
+        for i in range(self._flat_count, len(chunks)):
+            chunk = chunks[i]
+            if isinstance(chunk, UncertainTuple):
+                flat.append(chunk)
+            else:
+                flat.extend(chunk)
+        self._flat_count = len(chunks)
+        return flat
+
+    def columnar_result(self) -> "ColumnarBatch | None":
+        """Collected tuples as one columnar batch, if representable."""
+        chunks = self._chunks
+        if chunks and all(
+            isinstance(chunk, ColumnarBatch) for chunk in chunks
+        ):
+            try:
+                return ColumnarBatch.concat(chunks)
+            except StreamError:
+                pass
+        return as_columnar(self.results)
 
     def process(self, tup: UncertainTuple) -> None:
-        self.results.append(tup)
+        self._chunks.append(tup)
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
-        self.results.extend(tuples)
+        if isinstance(tuples, ColumnarBatch):
+            self._chunks.append(tuples)
+        else:
+            self._chunks.append(list(tuples))
 
     def __len__(self) -> int:
         return len(self.results)
@@ -717,6 +888,42 @@ class TimeWindowAggregate(Operator):
         attributes = dict(tup.attributes)
         attributes[self.output] = _aggregate_value(stats, self.agg)
         self.emit(tup.with_attributes(attributes))
+
+    def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
+        if isinstance(tuples, ColumnarBatch) and isinstance(
+            tuples.timestamps, np.ndarray
+        ):
+            column = tuples.gaussian_column(self.attribute)
+            if column is not None:
+                stats = self._stats
+                duration = self.duration
+                agg = self.agg
+                outputs = []
+                for mu, sigma2, size, ts in zip(
+                    column.mu.tolist(),
+                    column.sigma2.tolist(),
+                    column.sizes.tolist(),
+                    tuples.timestamps.tolist(),
+                ):
+                    newest = stats.newest_timestamp
+                    if newest is not None and ts < newest:
+                        raise StreamError(
+                            "timestamps must be non-decreasing: "
+                            f"{ts} after {newest}"
+                        )
+                    stats.push(
+                        mu,
+                        sigma2,
+                        None if size == EXACT_SIZE else size,
+                        timestamp=ts,
+                    )
+                    stats.evict_expired(ts - duration)
+                    outputs.append(_aggregate_value(stats, agg))
+                self.emit_many(
+                    tuples.with_column(self.output, _infer_column(outputs))
+                )
+                return
+        super().process_many(tuples)
 
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
         return _window_lineage(tup, self.attribute, self.output)

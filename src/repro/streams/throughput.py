@@ -16,6 +16,7 @@ from collections.abc import Callable, Sequence
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.streams.columnar import as_columnar
 from repro.streams.engine import Pipeline
 from repro.streams.tuples import UncertainTuple
 
@@ -57,6 +58,7 @@ def measure_throughput(
     partition_by: object = None,
     shard_seed: int | None = None,
     tracer: Tracer | None = None,
+    layout: str = "tuple",
 ) -> float:
     """Best-of-``repeats`` throughput of a pipeline over the given tuples.
 
@@ -77,6 +79,13 @@ def measure_throughput(
     ``metrics_prefix``), so the observability overhead never
     contaminates the reported throughput.
 
+    ``layout`` selects the batch representation fed to the pipeline:
+    ``"tuple"`` (default) times the per-tuple list as-is, while
+    ``"columnar"`` converts the source to a
+    :class:`~repro.streams.columnar.ColumnarBatch` once, *outside* the
+    timed region, so the measurement reflects columnar execution and
+    transport rather than conversion cost.
+
     Raises :class:`StreamError` when no repeat produced a measurable
     elapsed time (tiny tuple lists on coarse clocks) — a successful call
     never returns ``0.0``.
@@ -85,6 +94,18 @@ def measure_throughput(
         raise StreamError(f"repeats must be >= 1, got {repeats}")
     if not tuples:
         raise StreamError("cannot measure throughput over zero tuples")
+    if layout not in ("tuple", "columnar"):
+        raise StreamError(
+            f"layout must be 'tuple' or 'columnar', got {layout!r}"
+        )
+    if layout == "columnar":
+        columnar = as_columnar(tuples)
+        if columnar is None:
+            raise StreamError(
+                "layout='columnar' requires a uniform-layout tuple "
+                "source; this one cannot be columnarized"
+            )
+        tuples = columnar
 
     pool = None
     if n_workers is not None:
