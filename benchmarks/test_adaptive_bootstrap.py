@@ -1,0 +1,155 @@
+"""Adaptive early-stopping bootstrap: speedup at equal coverage.
+
+The adaptive bootstrap's value proposition is *distribution
+sensitivity*: on a bursty stream where most windows are easy (tight
+output distributions) and occasional bursts are hard (wide ones), a
+width target matching the fixed budget's width on the HARD class lets
+easy tuples stop after the first escalation round while hard tuples run
+to the same cap the fixed bootstrap always pays.  The gate asserts the
+paper-style bargain is real:
+
+* >= 2x tuples/sec on the batched bootstrap path, and
+* empirical coverage of the true mean within +/- 1 percentage point of
+  the fixed-budget bootstrap (both sit near 1.0 in this fresh-draw
+  regime; see docs/STATISTICS.md).
+
+On a homogeneous stream there is no free lunch — every tuple is the
+hard class — which is why the workload here is explicitly bursty.
+
+Results land in ``benchmarks/results/BENCH_adaptive.json``.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.experiments.fig5_throughput import _BootstrapAccuracy
+from repro.experiments.harness import render_table
+from repro.streams.engine import Pipeline
+from repro.streams.operators import CollectSink
+from repro.streams.tuples import UncertainTuple
+
+N_ITEMS = 3072
+BLOCK = 256
+#: Burst positions: two of twelve blocks carry 20x the baseline sigma.
+HIGH_BLOCKS = frozenset({4, 9})
+SAMPLE_SIZE = 20
+CONFIDENCE = 0.9
+RESAMPLES = 100  # the fixed budget (r), also the adaptive cap
+SIGMA2_LOW, SIGMA2_HIGH = 1.0, 400.0
+
+
+def _bursty_stream():
+    """Bursty tuples plus per-item ground truth (mu, is_burst)."""
+    rng = np.random.default_rng(1234)
+    tuples, mus, bursts = [], [], []
+    for i in range(N_ITEMS):
+        burst = (i // BLOCK) in HIGH_BLOCKS
+        mu = float(rng.normal(50.0, 5.0))
+        tuples.append(
+            UncertainTuple(
+                {
+                    "reading": DfSized(
+                        GaussianDistribution(
+                            mu, SIGMA2_HIGH if burst else SIGMA2_LOW
+                        ),
+                        SAMPLE_SIZE,
+                    )
+                }
+            )
+        )
+        mus.append(mu)
+        bursts.append(burst)
+    return tuples, np.asarray(mus), np.asarray(bursts)
+
+
+def _measure(tuples, mus, **stage_kwargs):
+    """Run the batched bootstrap stage; return rate/coverage/draws."""
+    stage = _BootstrapAccuracy(
+        "reading", confidence=CONFIDENCE, resamples=RESAMPLES, seed=7,
+        **stage_kwargs,
+    )
+    pipeline = Pipeline([stage, CollectSink()])
+    start = time.perf_counter()
+    sink = pipeline.run_batched(tuples, batch_size=BLOCK)
+    elapsed = time.perf_counter() - start
+    infos = [tup.value("accuracy") for tup in sink.results]
+    covered = np.array(
+        [info.mean.contains(mu) for info, mu in zip(infos, mus)]
+    )
+    draws = np.array([info.draws_used for info in infos])
+    widths = np.array([info.mean.length for info in infos])
+    return {
+        "tuples_per_sec": len(tuples) / elapsed,
+        "coverage": float(covered.mean()),
+        "mean_draws_per_tuple": float(draws.mean()),
+        "widths": widths,
+    }
+
+
+def test_adaptive_speedup_at_equal_coverage(benchmark, results_dir):
+    tuples, mus, bursts = _bursty_stream()
+
+    def run():
+        fixed = _measure(tuples, mus)
+        # The width target matches the fixed budget's width on the hard
+        # (burst) class: adaptive must do no better than fixed *there*,
+        # so any speedup comes purely from the easy class stopping early.
+        target = float(np.median(fixed["widths"][bursts]))
+        adaptive = _measure(
+            tuples, mus,
+            target_ci_width=target, initial_resamples=16,
+        )
+        return fixed, adaptive, target
+
+    fixed, adaptive, target = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = adaptive["tuples_per_sec"] / fixed["tuples_per_sec"]
+    records = [
+        {
+            "config": name,
+            "path": "batched",
+            "tuples_per_sec": stats["tuples_per_sec"],
+            "coverage": stats["coverage"],
+            "mean_draws_per_tuple": stats["mean_draws_per_tuple"],
+            "target_ci_width": target if name == "bootstrap adaptive" else None,
+        }
+        for name, stats in (
+            ("bootstrap fixed", fixed),
+            ("bootstrap adaptive", adaptive),
+        )
+    ]
+    (results_dir / "BENCH_adaptive.json").write_text(
+        json.dumps(records, indent=2) + "\n"
+    )
+    save_result(
+        results_dir, "adaptive_bootstrap",
+        render_table(
+            ["config", "tuples/s", "coverage", "draws/tuple"],
+            [
+                [r["config"], r["tuples_per_sec"], r["coverage"],
+                 r["mean_draws_per_tuple"]]
+                for r in records
+            ],
+            title=(
+                "Adaptive bootstrap vs fixed budget "
+                f"(bursty stream, target width {target:.3g})"
+            ),
+        ),
+    )
+
+    # Draw budget: the easy class must actually stop early.
+    assert (
+        adaptive["mean_draws_per_tuple"]
+        < 0.5 * fixed["mean_draws_per_tuple"]
+    )
+    # The headline gate: >= 2x throughput at equal empirical coverage.
+    assert speedup >= 2.0, f"adaptive speedup {speedup:.2f}x < 2x"
+    assert abs(adaptive["coverage"] - fixed["coverage"]) <= 0.01, (
+        f"coverage drifted: fixed {fixed['coverage']:.4f} vs "
+        f"adaptive {adaptive['coverage']:.4f}"
+    )

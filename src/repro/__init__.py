@@ -75,6 +75,11 @@ from repro.core import (
     DfSized,
     bootstrap_accuracy_info,
     bootstrap_accuracy_batch,
+    adaptive_bootstrap_accuracy_info,
+    adaptive_bootstrap_from_values,
+    IncrementalBootstrap,
+    resample_schedule,
+    width_calibration,
     classical_bootstrap_accuracy,
     FieldStats,
     TestResult,
@@ -166,6 +171,11 @@ __all__ = [
     "accuracy_from_sample", "accuracy_from_stats", "df_sample_size",
     "df_sample_count", "DfSized", "bootstrap_accuracy_info",
     "bootstrap_accuracy_batch",
+    "adaptive_bootstrap_accuracy_info",
+    "adaptive_bootstrap_from_values",
+    "IncrementalBootstrap",
+    "resample_schedule",
+    "width_calibration",
     "classical_bootstrap_accuracy", "FieldStats", "TestResult", "m_test",
     "md_test", "p_test", "v_test", "MTest", "MdTest", "PTest", "VTest",
     "ThreeValued",

@@ -47,6 +47,13 @@ from repro.core.bootstrap import (
     percentile_intervals,
     classical_bootstrap_accuracy,
 )
+from repro.core.adaptive import (
+    IncrementalBootstrap,
+    adaptive_bootstrap_accuracy_info,
+    adaptive_bootstrap_from_values,
+    resample_schedule,
+    width_calibration,
+)
 from repro.core.predicates import (
     FieldStats,
     TestResult,
@@ -96,6 +103,11 @@ __all__ = [
     "DfSized",
     "bootstrap_accuracy_info",
     "bootstrap_accuracy_batch",
+    "adaptive_bootstrap_accuracy_info",
+    "adaptive_bootstrap_from_values",
+    "IncrementalBootstrap",
+    "resample_schedule",
+    "width_calibration",
     "percentile_interval",
     "percentile_intervals",
     "classical_bootstrap_accuracy",

@@ -124,6 +124,13 @@ class AccuracyInfo:
     # analytic method.
     values_used: int = 0
     values_dropped: int = 0
+    # Draw-budget observability: how many Monte-Carlo values were drawn
+    # to produce this record, and over how many escalation rounds.  A
+    # fixed-budget bootstrap reports one round; the adaptive
+    # early-stopping path (core.adaptive) reports the round at which the
+    # width target was reached.  Zero for the analytic method.
+    draws_used: int = 0
+    rounds: int = 0
 
     def __post_init__(self) -> None:
         if self.sample_size < 0:
@@ -136,6 +143,11 @@ class AccuracyInfo:
             raise AccuracyError(
                 "values_used and values_dropped must be >= 0, got "
                 f"{self.values_used} and {self.values_dropped}"
+            )
+        if self.draws_used < 0 or self.rounds < 0:
+            raise AccuracyError(
+                "draws_used and rounds must be >= 0, got "
+                f"{self.draws_used} and {self.rounds}"
             )
 
     @property

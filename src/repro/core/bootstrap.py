@@ -124,12 +124,15 @@ def _resample_statistics(
     when ``edges`` is given, bin heights with shape (r, b).
     """
     r, n = chunks.shape
-    # One matmul per statistic beats the axis-reduction front-ends on the
-    # small (r, n) chunk matrices this algorithm works with.
-    weights = np.full(n, 1.0 / n)
-    means = chunks @ weights
+    # Row-wise pairwise reductions, NOT a matmul: BLAS GEMV picks
+    # row-count-dependent kernels, so per-row dot products can differ in
+    # the last ulp between an (r, n) call and the same rows split across
+    # calls.  The adaptive engine (per-round blocks) and the parallel
+    # slab decomposition both rely on chunk statistics being a pure
+    # function of the chunk row alone for bitwise reproducibility.
+    means = chunks.mean(axis=1)
     if n > 1:
-        second_moments = (chunks * chunks) @ weights
+        second_moments = (chunks * chunks).mean(axis=1)
         variances = (second_moments - means * means) * (n / (n - 1.0))
         np.clip(variances, 0.0, None, out=variances)
     else:
@@ -216,9 +219,7 @@ def bootstrap_accuracy_info(
         raise AccuracyError(
             f"need at least 2 resamples; got m={arr.size} values for n={n} "
             f"(m must be >= 2n — callers drawing Monte-Carlo values must "
-            f"request mc_samples >= 2n; note that "
-            f"repro.distributions.arithmetic.combine defaults to 1000 "
-            f"samples, which breaks for d.f. sample sizes n > 500)"
+            f"request mc_samples >= 2n)"
         )
     values_used = r * n
     values_dropped = arr.size - values_used
@@ -255,6 +256,8 @@ def bootstrap_accuracy_info(
         method="bootstrap",
         values_used=values_used,
         values_dropped=values_dropped,
+        draws_used=int(arr.size),
+        rounds=1,
     )
 
 
@@ -279,6 +282,8 @@ def bootstrap_accuracy_batch(
     value_matrix: np.ndarray,
     n: int,
     confidence: float = 0.95,
+    edges: Sequence[float] | None = None,
+    interval: str = "percentile",
 ) -> tuple[AccuracyInfo, ...]:
     """BOOTSTRAP-ACCURACY-INFO for a whole batch of output variables.
 
@@ -287,8 +292,15 @@ def bootstrap_accuracy_batch(
     d.f. sample size ``n``.  The chunk statistics and percentile
     intervals of every tuple are computed in one vectorized pass — this
     is the stream hot path behind ``Pipeline.run_batched``.  Row ``i`` of
-    the result matches ``bootstrap_accuracy_info(value_matrix[i], n)``.
+    the result matches ``bootstrap_accuracy_info(value_matrix[i], n,
+    confidence, edges, interval)``, including the truncation warning
+    when chunking drops more than ``TRUNCATION_WARN_FRACTION`` of each
+    row's values (one warning covers the whole batch).
     """
+    if interval not in ("percentile", "basic"):
+        raise AccuracyError(
+            f"interval must be 'percentile' or 'basic', got {interval!r}"
+        )
     matrix = np.asarray(value_matrix, dtype=float)
     if matrix.ndim != 2:
         raise AccuracyError(
@@ -307,8 +319,16 @@ def bootstrap_accuracy_batch(
         )
     values_used = r * n
     values_dropped = m - values_used
+    if values_dropped > TRUNCATION_WARN_FRACTION * m:
+        warnings.warn(
+            f"bootstrap chunking dropped {values_dropped} of {m} "
+            f"Monte-Carlo values per row (m mod n with n={n}, "
+            f"{t} rows); draw a multiple of n values to use them all",
+            stacklevel=2,
+        )
     chunks = matrix[:, :values_used].reshape(t * r, n)
-    means, variances, _ = _resample_statistics(chunks, None)
+    edges_arr = None if edges is None else np.asarray(edges, dtype=float)
+    means, variances, heights = _resample_statistics(chunks, edges_arr)
     # Statistic matrices with resamples on axis 0 and tuples on axis 1.
     mean_lo, mean_hi = percentile_intervals(
         means.reshape(t, r).T, confidence
@@ -316,21 +336,45 @@ def bootstrap_accuracy_batch(
     var_lo, var_hi = percentile_intervals(
         variances.reshape(t, r).T, confidence
     )
-    return tuple(
-        AccuracyInfo(
-            mean=ConfidenceInterval(
-                float(mean_lo[i]), float(mean_hi[i]), confidence
-            ),
-            variance=ConfidenceInterval(
-                float(var_lo[i]), float(var_hi[i]), confidence
-            ),
-            sample_size=n,
-            method="bootstrap",
-            values_used=values_used,
-            values_dropped=values_dropped,
+    per_row_bins: list[tuple[BinInterval, ...]] | None = None
+    if heights is not None:
+        assert edges_arr is not None
+        # (t*r, b) tuple-major rows -> per-row (r, b) height matrices.
+        stacked = heights.reshape(t, r, -1)
+        per_row_bins = [
+            _height_bins(stacked[i], edges_arr, confidence)
+            for i in range(t)
+        ]
+    results = []
+    for i in range(t):
+        mean_ci = ConfidenceInterval(
+            float(mean_lo[i]), float(mean_hi[i]), confidence
         )
-        for i in range(t)
-    )
+        var_ci = ConfidenceInterval(
+            float(var_lo[i]), float(var_hi[i]), confidence
+        )
+        if interval == "basic":
+            used = matrix[i, :values_used]
+            mean_ci = _basic_interval(mean_ci, float(used.mean()))
+            var_point = float(used.var(ddof=1)) if used.size > 1 else 0.0
+            var_ci = _basic_interval(var_ci, var_point)
+            var_ci = ConfidenceInterval(
+                max(var_ci.low, 0.0), max(var_ci.high, 0.0), confidence
+            )
+        results.append(
+            AccuracyInfo(
+                mean=mean_ci,
+                variance=var_ci,
+                bins=per_row_bins[i] if per_row_bins is not None else (),
+                sample_size=n,
+                method="bootstrap",
+                values_used=values_used,
+                values_dropped=values_dropped,
+                draws_used=m,
+                rounds=1,
+            )
+        )
+    return tuple(results)
 
 
 def classical_bootstrap_accuracy(
@@ -371,4 +415,6 @@ def classical_bootstrap_accuracy(
         method="bootstrap",
         values_used=arr.size,
         values_dropped=0,
+        draws_used=n_resamples * n,
+        rounds=1,
     )

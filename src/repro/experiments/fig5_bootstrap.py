@@ -25,6 +25,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.core.adaptive import adaptive_bootstrap_from_values
 from repro.core.analytic import (
     histogram_accuracy,
     mean_interval,
@@ -59,6 +60,10 @@ class Fig5abResult:
     bootstrap_miss: dict[str, float]
     analytic_miss: dict[str, float]
     queries: int
+    # Fraction of the fixed Monte-Carlo budget the bootstrap actually
+    # consumed: 1.0 for the fixed-budget kernel, < 1.0 when a width
+    # target lets the adaptive path stop early.
+    draw_fraction: float = 1.0
 
     def render(self) -> str:
         rows = [
@@ -98,6 +103,8 @@ class _Accumulator:
     miss_cnt: dict[str, int] = dataclasses.field(
         default_factory=lambda: {s: 0 for s in STATISTICS}
     )
+    draws_used: int = 0
+    draws_budget: int = 0
 
     def add_ratio(
         self, statistic: str, analytic_length: float, bootstrap_length: float
@@ -113,9 +120,17 @@ class _Accumulator:
         self.analytic_miss[statistic] += analytic_missed
         self.miss_cnt[statistic] += 1
 
+    def add_draws(self, used: int, budget: int) -> None:
+        self.draws_used += used
+        self.draws_budget += budget
+
     def result(self, label: str, confidence: float, queries: int
                ) -> Fig5abResult:
         return Fig5abResult(
+            draw_fraction=(
+                self.draws_used / self.draws_budget
+                if self.draws_budget else 1.0
+            ),
             label=label,
             confidence=confidence,
             length_ratio={
@@ -181,6 +196,8 @@ def _compare_one(
     truth_values: np.ndarray,
     confidence: float,
     bucket_count: int,
+    target_ci_width: float | None = None,
+    target_relative_width: float | None = None,
 ) -> None:
     """Compare analytic vs bootstrap intervals for one query's output."""
     edges = equi_width_edges(values, bucket_count)
@@ -202,8 +219,20 @@ def _compare_one(
     histogram = HistogramDistribution.from_counts(edges, counts)
     a_bins = histogram_accuracy(histogram, n, confidence)
 
-    # Bootstrap (BOOTSTRAP-ACCURACY-INFO) on the same value sequence.
-    boot = bootstrap_accuracy_info(values, n, confidence, edges)
+    # Bootstrap (BOOTSTRAP-ACCURACY-INFO) on the same value sequence —
+    # consuming only an early-stopping prefix when a width target is set.
+    if target_ci_width is not None or target_relative_width is not None:
+        boot = adaptive_bootstrap_from_values(
+            values,
+            n,
+            confidence,
+            target_ci_width=target_ci_width,
+            target_relative_width=target_relative_width,
+            edges=edges,
+        )
+    else:
+        boot = bootstrap_accuracy_info(values, n, confidence, edges)
+    acc.add_draws(boot.draws_used, values.size)
 
     # Length ratios are truth-free and compare over every query; miss
     # rates only make sense when the true moments are well-defined.
@@ -264,8 +293,16 @@ def run_fig5a(
     confidence: float = 0.9,
     bucket_count: int = 8,
     truth_mc: int = 20000,
+    target_ci_width: float | None = None,
+    target_relative_width: float | None = None,
 ) -> Fig5abResult:
-    """Figure 5(a): mixed road-delay + random synthetic queries."""
+    """Figure 5(a): mixed road-delay + random synthetic queries.
+
+    A width target switches the bootstrap to the adaptive
+    early-stopping prefix of each query's Monte-Carlo sequence; the
+    result's ``draw_fraction`` reports the consumed share of the fixed
+    ``_RESAMPLES`` budget.
+    """
     rng = np.random.default_rng(seed)
     acc = _Accumulator()
 
@@ -275,7 +312,10 @@ def run_fig5a(
         values, n, truth = _route_tuple_and_truth(
             route, sim, rng, (10, 15, 20, 30, 50), truth_mc
         )
-        _compare_one(acc, values, n, truth, confidence, bucket_count)
+        _compare_one(
+            acc, values, n, truth, confidence, bucket_count,
+            target_ci_width, target_relative_width,
+        )
 
     workload = RandomQueryWorkload(rng, empirical_inputs=True)
     for _ in range(n_random_queries):
@@ -291,7 +331,10 @@ def run_fig5a(
             }
         )
         truth = _mc_values(generated.expression, truth_tup, rng, truth_mc)
-        _compare_one(acc, values, n, truth, confidence, bucket_count)
+        _compare_one(
+            acc, values, n, truth, confidence, bucket_count,
+            target_ci_width, target_relative_width,
+        )
 
     return acc.result(
         "Figure 5(a): bootstrap vs analytic, skewed workloads",
@@ -310,6 +353,8 @@ def run_fig5b(
     confidence: float = 0.9,
     bucket_count: int = 8,
     truth_mc: int = 20000,
+    target_ci_width: float | None = None,
+    target_relative_width: float | None = None,
 ) -> Fig5abResult:
     """Figure 5(b): normal-only inputs, operators limited to + and −."""
     rng = np.random.default_rng(seed)
@@ -330,7 +375,10 @@ def run_fig5b(
             }
         )
         truth = _mc_values(generated.expression, truth_tup, rng, truth_mc)
-        _compare_one(acc, values, n, truth, confidence, bucket_count)
+        _compare_one(
+            acc, values, n, truth, confidence, bucket_count,
+            target_ci_width, target_relative_width,
+        )
     return acc.result(
         "Figure 5(b): bootstrap vs analytic, exactly-normal results",
         confidence, n_queries,

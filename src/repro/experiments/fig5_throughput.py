@@ -15,12 +15,26 @@ again a Gaussian.  We measure maximum throughput (tuples/second) for:
 from __future__ import annotations
 
 import dataclasses
+import math
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
+from repro.core.accuracy import AccuracyInfo, ConfidenceInterval
+from repro.core.adaptive import (
+    DEFAULT_GROWTH,
+    DEFAULT_INITIAL_RESAMPLES,
+    adaptive_bootstrap_accuracy_info,
+    resample_schedule,
+    width_calibration,
+)
 from repro.core.analytic import accuracy_from_moments, distribution_accuracy
-from repro.core.bootstrap import bootstrap_accuracy_batch, bootstrap_accuracy_info
+from repro.core.bootstrap import (
+    _resample_statistics,
+    bootstrap_accuracy_batch,
+    bootstrap_accuracy_info,
+    percentile_intervals,
+)
 from repro.core.coupled import coupled_tests
 from repro.core.dfsample import DfSized
 from repro.core.predicates import FieldStats, MdTest, MTest, PTest
@@ -245,7 +259,25 @@ class _AnalyticAccuracy(Operator):
 
 
 class _BootstrapAccuracy(Operator):
-    """Attaches bootstrap accuracy info to the window-average field."""
+    """Attaches bootstrap accuracy info to the window-average field.
+
+    With a width target (``target_ci_width`` / ``target_relative_width``)
+    the fixed ``resamples`` budget becomes a cap and draws escalate
+    adaptively (:mod:`repro.core.adaptive`).  Two slide-to-slide reuse
+    layers ride on top, mirroring how the rolling layer reuses window
+    aggregates:
+
+    * **warm start** — consecutive window slides need nearly the same
+      budget, so each tuple's schedule starts one growth step below the
+      previous tuple's stopping point instead of back at ``r0``;
+    * **identical-parameter cache** — a slide that leaves the window
+      result (mu, sigma2, n) bit-identical reuses the previous
+      AccuracyInfo outright, drawing nothing.
+
+    Both layers evolve deterministically with the input stream, so the
+    pinned-shard determinism contract (identical sharded output at any
+    worker count) is preserved.
+    """
 
     accuracy_attribute = "accuracy"
 
@@ -255,28 +287,193 @@ class _BootstrapAccuracy(Operator):
         confidence: float = 0.9,
         resamples: int = 20,
         seed: int = 0,
+        target_ci_width: float | None = None,
+        target_relative_width: float | None = None,
+        initial_resamples: int = DEFAULT_INITIAL_RESAMPLES,
+        growth: float = DEFAULT_GROWTH,
     ) -> None:
         super().__init__()
         self.attribute = attribute
         self.confidence = confidence
         self.resamples = resamples
+        self.target_ci_width = target_ci_width
+        self.target_relative_width = target_relative_width
+        self.initial_resamples = initial_resamples
+        self.growth = growth
         self._rng = np.random.default_rng(seed)
+        self._warm_r = initial_resamples
+        self._cache_key: tuple[float, float, int] | None = None
+        self._cache_info: AccuracyInfo | None = None
 
     def reseed(self, seed: object) -> None:
         self._rng = np.random.default_rng(seed)
+        self._warm_r = self.initial_resamples
+        self._cache_key = None
+        self._cache_info = None
+
+    @property
+    def adaptive(self) -> bool:
+        return (
+            self.target_ci_width is not None
+            or self.target_relative_width is not None
+        )
+
+    def _start_resamples(self) -> int:
+        # One growth step below the previous stopping point: re-probes a
+        # cheaper budget when the stream gets easier, yet reaches the
+        # previous budget again after a single escalation.
+        return max(
+            self.initial_resamples, math.ceil(self._warm_r / self.growth)
+        )
 
     def process(self, tup: UncertainTuple) -> None:
         field = tup.dfsized(self.attribute)
         if field.sample_size is not None and field.sample_size >= 2:
-            values = field.distribution.sample(
-                self._rng, self.resamples * field.sample_size
-            )
+            n = field.sample_size
             attributes = dict(tup.attributes)
-            attributes["accuracy"] = bootstrap_accuracy_info(
-                values, field.sample_size, self.confidence
-            )
+            if self.adaptive:
+                dist = field.distribution
+                key = None
+                if isinstance(dist, GaussianDistribution):
+                    key = (dist.mu, dist.sigma2, n)
+                if key is not None and key == self._cache_key:
+                    info = self._cache_info
+                    assert info is not None
+                else:
+                    info = adaptive_bootstrap_accuracy_info(
+                        lambda count: dist.sample(self._rng, count),
+                        n,
+                        self.confidence,
+                        target_ci_width=self.target_ci_width,
+                        target_relative_width=self.target_relative_width,
+                        max_resamples=self.resamples,
+                        initial_resamples=self._start_resamples(),
+                        growth=self.growth,
+                    )
+                    self._warm_r = max(
+                        self.initial_resamples, info.draws_used // n
+                    )
+                    self._cache_key = key
+                    self._cache_info = info
+                attributes["accuracy"] = info
+            else:
+                values = field.distribution.sample(
+                    self._rng, self.resamples * n
+                )
+                attributes["accuracy"] = bootstrap_accuracy_info(
+                    values, n, self.confidence
+                )
             tup = tup.with_attributes(attributes)
         self.emit(tup)
+
+    def _adaptive_batch(
+        self, mus: np.ndarray, sigma2s: np.ndarray, n: int
+    ) -> list[AccuracyInfo]:
+        """Vectorized escalation over a group of Gaussian output fields.
+
+        All rows draw together round by round; a row leaves the active
+        set as soon as its calibrated interval width meets the target,
+        and only the surviving rows pay for the next round.  Statistics
+        accumulated in earlier rounds are carried forward, never
+        recomputed.  The adaptive mode draws in a different RNG order
+        than the per-tuple path (rounds are batched across rows), so
+        its values differ from ``process()`` while following the same
+        schedule and stopping semantics.
+        """
+        k = mus.size
+        stds = np.sqrt(sigma2s)
+        results: list[AccuracyInfo | None] = [None] * k
+        active = np.arange(k)
+        # Identical-parameter slides reuse the cached record directly.
+        if self._cache_key is not None and self._cache_key[2] == n:
+            mu0, sigma20 = self._cache_key[0], self._cache_key[1]
+            hit = (mus == mu0) & (sigma2s == sigma20)
+            if hit.any():
+                for i in np.flatnonzero(hit):
+                    results[i] = self._cache_info
+                active = np.flatnonzero(~hit)
+        schedule = resample_schedule(
+            self._start_resamples(), self.growth, self.resamples
+        )
+        acc_means: np.ndarray | None = None
+        acc_vars: np.ndarray | None = None
+        prev_r = 0
+        rounds = 0
+        for r_total in schedule:
+            if not active.size:
+                break
+            delta_r = r_total - prev_r
+            if delta_r <= 0:
+                continue
+            block = self._rng.normal(
+                mus[active][:, None],
+                stds[active][:, None],
+                (active.size, delta_r * n),
+            )
+            m_new, v_new, _ = _resample_statistics(
+                block.reshape(active.size * delta_r, n), None
+            )
+            m_new = m_new.reshape(active.size, delta_r)
+            v_new = v_new.reshape(active.size, delta_r)
+            acc_means = (
+                m_new
+                if acc_means is None
+                else np.concatenate([acc_means, m_new], axis=1)
+            )
+            acc_vars = (
+                v_new
+                if acc_vars is None
+                else np.concatenate([acc_vars, v_new], axis=1)
+            )
+            prev_r = r_total
+            rounds += 1
+            mean_lo, mean_hi = percentile_intervals(
+                acc_means.T, self.confidence
+            )
+            var_lo, var_hi = percentile_intervals(acc_vars.T, self.confidence)
+            factor = width_calibration(r_total, self.confidence)
+            done = np.ones(active.size, dtype=bool)
+            if r_total != schedule[-1]:
+                widths = (mean_hi - mean_lo) * factor
+                if self.target_ci_width is not None:
+                    done &= widths <= self.target_ci_width
+                if self.target_relative_width is not None:
+                    scale = np.abs((mean_lo + mean_hi) / 2.0)
+                    done &= (scale > 0.0) & (
+                        widths <= self.target_relative_width * scale
+                    )
+                    var_widths = (var_hi - var_lo) * factor
+                    var_scale = np.abs((var_lo + var_hi) / 2.0)
+                    done &= (var_scale > 0.0) & (
+                        var_widths <= self.target_relative_width * var_scale
+                    )
+            for j in np.flatnonzero(done):
+                row = int(active[j])
+                results[row] = AccuracyInfo(
+                    mean=ConfidenceInterval(
+                        float(mean_lo[j]), float(mean_hi[j]), self.confidence
+                    ),
+                    variance=ConfidenceInterval(
+                        float(var_lo[j]), float(var_hi[j]), self.confidence
+                    ),
+                    sample_size=n,
+                    method="bootstrap",
+                    values_used=r_total * n,
+                    values_dropped=0,
+                    draws_used=r_total * n,
+                    rounds=rounds,
+                )
+            keep = ~done
+            active = active[keep]
+            acc_means = acc_means[keep]
+            acc_vars = acc_vars[keep]
+        if k:
+            self._warm_r = max(
+                self.initial_resamples, results[-1].draws_used // n
+            )
+            self._cache_key = (float(mus[-1]), float(sigma2s[-1]), n)
+            self._cache_info = results[-1]
+        return results  # type: ignore[return-value]
 
     def process_many(self, tuples: Sequence[UncertainTuple]) -> None:
         # Vectorized BOOTSTRAP-ACCURACY-INFO: sample every tuple's output
@@ -298,16 +495,21 @@ class _BootstrapAccuracy(Operator):
                     by_n.setdefault(n, []).append(i)
                 infos_out: list[object] = [None] * len(sizes)
                 for n, indices in by_n.items():
-                    m = self.resamples * n
                     idx = np.asarray(indices, dtype=np.intp)
                     mus = column.mu[idx]
-                    stds = np.sqrt(column.sigma2[idx])
-                    matrix = self._rng.normal(
-                        mus[:, None], stds[:, None], (len(indices), m)
-                    )
-                    infos = bootstrap_accuracy_batch(
-                        matrix, n, self.confidence
-                    )
+                    if self.adaptive:
+                        infos = self._adaptive_batch(
+                            mus, column.sigma2[idx], n
+                        )
+                    else:
+                        m = self.resamples * n
+                        stds = np.sqrt(column.sigma2[idx])
+                        matrix = self._rng.normal(
+                            mus[:, None], stds[:, None], (len(indices), m)
+                        )
+                        infos = bootstrap_accuracy_batch(
+                            matrix, n, self.confidence
+                        )
                     for info, i in zip(infos, indices):
                         infos_out[i] = info
                 self.emit_many(
@@ -323,19 +525,43 @@ class _BootstrapAccuracy(Operator):
             if f.sample_size is not None and f.sample_size >= 2:
                 by_n.setdefault(f.sample_size, []).append(i)
         for n, indices in by_n.items():
-            m = self.resamples * n
             dists = [fields[i].distribution for i in indices]
-            if all(isinstance(d, GaussianDistribution) for d in dists):
-                mus = np.array([d.mu for d in dists])
-                stds = np.sqrt([d.sigma2 for d in dists])
-                matrix = self._rng.normal(
-                    mus[:, None], stds[:, None], (len(dists), m)
+            all_gaussian = all(
+                isinstance(d, GaussianDistribution) for d in dists
+            )
+            if self.adaptive and all_gaussian:
+                infos = self._adaptive_batch(
+                    np.array([d.mu for d in dists]),
+                    np.array([d.sigma2 for d in dists]),
+                    n,
                 )
+            elif self.adaptive:
+                infos = [
+                    adaptive_bootstrap_accuracy_info(
+                        lambda count, d=d: d.sample(self._rng, count),
+                        n,
+                        self.confidence,
+                        target_ci_width=self.target_ci_width,
+                        target_relative_width=self.target_relative_width,
+                        max_resamples=self.resamples,
+                        initial_resamples=self._start_resamples(),
+                        growth=self.growth,
+                    )
+                    for d in dists
+                ]
             else:
-                matrix = np.stack(
-                    [d.sample(self._rng, m) for d in dists]
-                )
-            infos = bootstrap_accuracy_batch(matrix, n, self.confidence)
+                m = self.resamples * n
+                if all_gaussian:
+                    mus = np.array([d.mu for d in dists])
+                    stds = np.sqrt([d.sigma2 for d in dists])
+                    matrix = self._rng.normal(
+                        mus[:, None], stds[:, None], (len(dists), m)
+                    )
+                else:
+                    matrix = np.stack(
+                        [d.sample(self._rng, m) for d in dists]
+                    )
+                infos = bootstrap_accuracy_batch(matrix, n, self.confidence)
             for info, i in zip(infos, indices):
                 attributes = dict(out[i].attributes)
                 attributes["accuracy"] = info
@@ -347,6 +573,10 @@ class _BootstrapAccuracy(Operator):
             {self.attribute: tup.attributes.get(self.attribute)}
         )
         lineage["resamples"] = self.resamples
+        if self.target_ci_width is not None:
+            lineage["target_ci_width"] = self.target_ci_width
+        if self.target_relative_width is not None:
+            lineage["target_relative_width"] = self.target_relative_width
         return lineage
 
 
@@ -409,6 +639,8 @@ def run_fig5c(
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    target_ci_width: float | None = None,
+    target_relative_width: float | None = None,
 ) -> ThroughputResult:
     """Figure 5(c): accuracy-computation overhead on stream throughput.
 
@@ -421,6 +653,11 @@ def run_fig5c(
     breakdown (tuples in/out, wall time, interval widths) from one
     instrumented pass per configuration, under metric prefix
     ``fig5c.{configuration}``.
+
+    A width target (``target_ci_width`` / ``target_relative_width``)
+    adds "bootstrap adaptive" configurations that run the same
+    bootstrap stage with early-stopping draws, for a direct
+    fixed-vs-adaptive throughput comparison.
     """
     tuples = _make_stream(n_items, seed)
 
@@ -441,14 +678,35 @@ def run_fig5c(
             base() + [_BootstrapAccuracy("avg", seed=seed), CountingSink()]
         )
 
+    def with_adaptive() -> Pipeline:
+        return Pipeline(
+            base()
+            + [
+                _BootstrapAccuracy(
+                    "avg",
+                    seed=seed,
+                    target_ci_width=target_ci_width,
+                    target_relative_width=target_relative_width,
+                ),
+                CountingSink(),
+            ]
+        )
+
+    adaptive = target_ci_width is not None or target_relative_width is not None
     configurations: dict[str, tuple] = {
         "QP only": (qp_only, None),
         "analytic": (with_analytic, None),
         "bootstrap": (with_bootstrap, None),
-        "QP only (batched)": (qp_only, batch_size),
-        "analytic (batched)": (with_analytic, batch_size),
-        "bootstrap (batched)": (with_bootstrap, batch_size),
     }
+    if adaptive:
+        configurations["bootstrap adaptive"] = (with_adaptive, None)
+    configurations["QP only (batched)"] = (qp_only, batch_size)
+    configurations["analytic (batched)"] = (with_analytic, batch_size)
+    configurations["bootstrap (batched)"] = (with_bootstrap, batch_size)
+    if adaptive:
+        configurations["bootstrap adaptive (batched)"] = (
+            with_adaptive, batch_size,
+        )
     if workers is not None:
         suffix = f"(sharded x{workers})"
         configurations[f"QP only {suffix}"] = (qp_only, batch_size, workers)
@@ -458,6 +716,10 @@ def run_fig5c(
         configurations[f"bootstrap {suffix}"] = (
             with_bootstrap, batch_size, workers,
         )
+        if adaptive:
+            configurations[f"bootstrap adaptive {suffix}"] = (
+                with_adaptive, batch_size, workers,
+            )
     return _measure_all(
         "Figure 5(c): throughput with accuracy computation",
         configurations,

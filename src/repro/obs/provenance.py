@@ -12,7 +12,8 @@ of every accuracy-producing operator, holding
 
 * the stage that emitted it and the per-stage output sequence number,
 * the accuracy payload's sample size, method, and mean-CI bounds,
-* bootstrap observability (``r``/``n``, ``values_used``/``values_dropped``),
+* bootstrap observability (``r``/``n``, ``values_used``/``values_dropped``,
+  adaptive ``draws_used``/``rounds``),
 * the operator-declared **lineage**: named input sample sizes, the
   Lemma-3 de facto size, and which input set it
   (:meth:`~repro.streams.operators.Operator.trace_lineage`,
@@ -103,6 +104,8 @@ def _describe_payload(value: object) -> dict[str, object] | None:
             "values_used": value.values_used,
             "values_dropped": value.values_dropped,
             "resamples": resamples,
+            "draws_used": value.draws_used,
+            "rounds": value.rounds,
         }
     if (
         isinstance(value, DfSized)
@@ -123,6 +126,8 @@ def _describe_payload(value: object) -> dict[str, object] | None:
             "values_used": 0,
             "values_dropped": 0,
             "resamples": None,
+            "draws_used": 0,
+            "rounds": 0,
         }
     return None
 
@@ -145,6 +150,8 @@ class ProvenanceRecord:
     values_used: int = 0
     values_dropped: int = 0
     resamples: int | None = None
+    draws_used: int = 0
+    rounds: int = 0
     lineage: dict[str, object] | None = None
     span_id: str | None = None
 
@@ -196,7 +203,8 @@ class ProvenanceRecord:
             lines.append(
                 f"  bootstrap r={self.resamples}, n={self.sample_size}, "
                 f"values_used={self.values_used}, "
-                f"values_dropped={self.values_dropped}"
+                f"values_dropped={self.values_dropped}, "
+                f"draws_used={self.draws_used}, rounds={self.rounds}"
             )
         lineage = self.lineage
         if lineage:

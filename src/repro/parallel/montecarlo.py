@@ -27,12 +27,19 @@ once instead of pickling a row slab into every task.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.accuracy import AccuracyInfo
+from repro.core.adaptive import (
+    DEFAULT_GROWTH,
+    DEFAULT_INITIAL_RESAMPLES,
+    adaptive_bootstrap_accuracy_info,
+)
 from repro.core.bootstrap import (
+    TRUNCATION_WARN_FRACTION,
     bootstrap_accuracy_batch,
     bootstrap_accuracy_info,
 )
@@ -245,15 +252,61 @@ def parallel_bootstrap_accuracy_info(
     interval: str = "percentile",
     config: ParallelConfig | None = None,
     pool: WorkerPool | None = None,
+    *,
+    target_ci_width: float | None = None,
+    target_relative_width: float | None = None,
+    initial_resamples: int = DEFAULT_INITIAL_RESAMPLES,
+    growth: float = DEFAULT_GROWTH,
 ) -> AccuracyInfo:
     """BOOTSTRAP-ACCURACY-INFO with the Monte-Carlo draw parallelised.
 
     Draws ``m = resamples * n`` values of the output variable across the
     pool (deterministically chunk-seeded) and feeds them to the serial
     :func:`bootstrap_accuracy_info` kernel.
+
+    With a width target (``target_ci_width`` and/or
+    ``target_relative_width``) the draw escalates round by round through
+    :func:`~repro.core.adaptive.adaptive_bootstrap_accuracy_info`, with
+    ``resamples`` as the budget.  Round ``k`` draws from spawn child
+    ``k`` of the root seed through the chunk-seeded
+    :func:`draw_mc_values`, so both the values and the stopping decision
+    are a pure function of ``(seed, n, schedule)`` — byte-identical at
+    any worker count.
     """
-    values = draw_mc_values(distribution, resamples * n, seed, config, pool)
-    return bootstrap_accuracy_info(values, n, confidence, edges, interval)
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    if target_ci_width is None and target_relative_width is None:
+        values = draw_mc_values(
+            distribution, resamples * n, root, config, pool
+        )
+        return bootstrap_accuracy_info(values, n, confidence, edges, interval)
+    config = config if config is not None else ParallelConfig()
+    own_pool = pool is None
+    pool = pool if pool is not None else WorkerPool(config)
+    try:
+
+        def draw_round(count: int) -> np.ndarray:
+            (child,) = root.spawn(1)
+            return draw_mc_values(distribution, count, child, config, pool)
+
+        return adaptive_bootstrap_accuracy_info(
+            draw_round,
+            n,
+            confidence,
+            target_ci_width=target_ci_width,
+            target_relative_width=target_relative_width,
+            max_resamples=resamples,
+            initial_resamples=initial_resamples,
+            growth=growth,
+            edges=edges,
+            interval=interval,
+        )
+    finally:
+        if own_pool:
+            pool.close()
 
 
 def _bootstrap_slab(
@@ -262,6 +315,8 @@ def _bootstrap_slab(
     row_stop: int,
     n: int,
     confidence: float,
+    edges: Sequence[float] | None = None,
+    interval: str = "percentile",
 ) -> tuple[AccuracyInfo, ...]:
     """Pool task: the batch kernel over a slab of value-matrix rows."""
     if isinstance(spec_or_matrix, SharedSpec):
@@ -273,13 +328,43 @@ def _bootstrap_slab(
             segment.close()
     else:
         slab = spec_or_matrix
-    return bootstrap_accuracy_batch(slab, n, confidence)
+    # Kernel warnings raised here would die with the worker process;
+    # suppress them (in the in-process serial path too, for parity) and
+    # let the parent re-warn once from the returned records.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return bootstrap_accuracy_batch(slab, n, confidence, edges, interval)
+
+
+def _rewarn_truncation(
+    records: Sequence[AccuracyInfo], n: int
+) -> None:
+    """Re-issue the batch kernel's truncation warning in the parent.
+
+    Worker processes swallow warnings, so pooled runs re-derive the
+    kernel's decision from the returned records (every row shares the
+    same ``m`` and drop count) and warn once, exactly like a serial run.
+    """
+    if not records:
+        return
+    first = records[0]
+    m = first.draws_used
+    if first.values_dropped > TRUNCATION_WARN_FRACTION * m:
+        warnings.warn(
+            f"bootstrap chunking dropped {first.values_dropped} of {m} "
+            f"Monte-Carlo values per row (m mod n with n={n}, "
+            f"{len(records)} rows); draw a multiple of n values to "
+            f"use them all",
+            stacklevel=3,
+        )
 
 
 def parallel_bootstrap_accuracy_batch(
     value_matrix: np.ndarray,
     n: int,
     confidence: float = 0.95,
+    edges: Sequence[float] | None = None,
+    interval: str = "percentile",
     config: ParallelConfig | None = None,
     pool: WorkerPool | None = None,
 ) -> tuple[AccuracyInfo, ...]:
@@ -298,7 +383,7 @@ def parallel_bootstrap_accuracy_batch(
     matrix = np.asarray(value_matrix, dtype=float)
     if matrix.ndim != 2:
         # Delegate shape validation (and its message) to the kernel.
-        return bootstrap_accuracy_batch(matrix, n, confidence)
+        return bootstrap_accuracy_batch(matrix, n, confidence, edges, interval)
     t, m = matrix.shape
     rows_per_task = max(1, config.chunk_size // max(m, 1))
     spans = chunk_spans(t, rows_per_task)
@@ -307,7 +392,9 @@ def parallel_bootstrap_accuracy_batch(
     pool = pool if pool is not None else WorkerPool(config)
     try:
         if len(spans) <= 1:
-            return bootstrap_accuracy_batch(matrix, n, confidence)
+            return bootstrap_accuracy_batch(
+                matrix, n, confidence, edges, interval
+            )
         if pool.serial:
             # Same slab decomposition as the pooled path (each slab is a
             # fresh copy, exactly like a worker's view) so the result is
@@ -315,24 +402,35 @@ def parallel_bootstrap_accuracy_batch(
             merged_serial: list[AccuracyInfo] = []
             for a, b in spans:
                 merged_serial.extend(
-                    _bootstrap_slab(np.array(matrix[a:b]), a, b, n, confidence)
+                    _bootstrap_slab(
+                        np.array(matrix[a:b]), a, b, n, confidence,
+                        edges, interval,
+                    )
                 )
+            _rewarn_truncation(merged_serial, n)
             return tuple(merged_serial)
         shared = share_array(matrix) if config.use_shared_memory else None
         if shared is not None:
             with shared:
                 slabs = pool.map_indexed(
                     _bootstrap_slab,
-                    [(shared.spec, a, b, n, confidence) for a, b in spans],
+                    [
+                        (shared.spec, a, b, n, confidence, edges, interval)
+                        for a, b in spans
+                    ],
                 )
         else:
             slabs = pool.map_indexed(
                 _bootstrap_slab,
-                [(matrix[a:b], a, b, n, confidence) for a, b in spans],
+                [
+                    (matrix[a:b], a, b, n, confidence, edges, interval)
+                    for a, b in spans
+                ],
             )
         merged: list[AccuracyInfo] = []
         for slab in slabs:
             merged.extend(slab)
+        _rewarn_truncation(merged, n)
         return tuple(merged)
     finally:
         if own_pool:

@@ -26,6 +26,11 @@ from repro.core.analytic import (
     distribution_accuracy,
     tuple_probability_interval,
 )
+from repro.core.adaptive import (
+    DEFAULT_GROWTH,
+    DEFAULT_INITIAL_RESAMPLES,
+    adaptive_bootstrap_accuracy_info,
+)
 from repro.core.bootstrap import bootstrap_accuracy_info
 from repro.core.coupled import ThreeValued, coupled_tests
 from repro.core.dfsample import DfSized
@@ -68,14 +73,28 @@ class ExecutorConfig:
     ``"analytic"`` (Theorem 1), ``"bootstrap"``
     (BOOTSTRAP-ACCURACY-INFO), or ``"none"`` (accuracy-oblivious — the
     behaviour of prior systems, kept for the throughput baseline).
-    ``bootstrap_resamples`` is the r of the bootstrap algorithm
-    (m = r * n values are used).
+    ``bootstrap_resamples`` is the r of the bootstrap algorithm; the
+    draw count is ``max(mc_samples, r * n, 2n)`` rounded up to a
+    multiple of the de facto sample size ``n`` so chunking never drops
+    values.
+
+    Setting ``target_ci_width`` (absolute width of the mean interval)
+    and/or ``target_relative_width`` (width of the mean and variance
+    intervals relative to their midpoints) switches the bootstrap to
+    the adaptive early-stopping path (:mod:`repro.core.adaptive`):
+    draws start at ``bootstrap_initial_resamples`` resamples and
+    escalate by ``bootstrap_growth`` up to the fixed budget, stopping
+    as soon as the calibrated interval width meets the target.
     """
 
     confidence: float = 0.95
     accuracy_method: str = "analytic"
     mc_samples: int = 1000
     bootstrap_resamples: int = 20
+    target_ci_width: float | None = None
+    target_relative_width: float | None = None
+    bootstrap_initial_resamples: int = DEFAULT_INITIAL_RESAMPLES
+    bootstrap_growth: float = DEFAULT_GROWTH
     keep_unsure: bool = False
     seed: int | None = None
     #: Opt-in process-pool execution for bootstrap Monte-Carlo draws
@@ -99,6 +118,19 @@ class ExecutorConfig:
             raise QueryError(
                 "bootstrap_resamples must be >= 2, "
                 f"got {self.bootstrap_resamples}"
+            )
+        for name in ("target_ci_width", "target_relative_width"):
+            target = getattr(self, name)
+            if target is not None and not target > 0.0:
+                raise QueryError(f"{name} must be > 0, got {target}")
+        if self.bootstrap_initial_resamples < 2:
+            raise QueryError(
+                "bootstrap_initial_resamples must be >= 2, "
+                f"got {self.bootstrap_initial_resamples}"
+            )
+        if self.bootstrap_growth <= 1.0:
+            raise QueryError(
+                f"bootstrap_growth must be > 1, got {self.bootstrap_growth}"
             )
 
 
@@ -305,19 +337,80 @@ class QueryExecutor:
             return distribution_accuracy(dist, n, self.config.confidence)
         # Bootstrap: the value sequence is either the Monte-Carlo output
         # (empirical result) or freshly sampled from the distribution.
-        m = self.config.bootstrap_resamples * n
-        if isinstance(dist, EmpiricalDistribution) and dist.size >= 2 * n:
-            values = dist.values
+        # The budget is max(mc_samples, r * n, 2n) rounded up to a
+        # multiple of n, so chunking never drops values and r >= 2 holds
+        # for every de facto sample size.
+        cfg = self.config
+        budget = max(cfg.mc_samples, cfg.bootstrap_resamples * n, 2 * n)
+        m = -(-budget // n) * n
+        edges = (
+            dist.edges if isinstance(dist, HistogramDistribution) else None
+        )
+        buffered = (
+            dist.values
+            if isinstance(dist, EmpiricalDistribution) and dist.size >= 2 * n
+            else None
+        )
+        if (
+            cfg.target_ci_width is not None
+            or cfg.target_relative_width is not None
+        ):
+            return self._adaptive_accuracy(dist, n, m, edges, buffered)
+        if buffered is not None:
+            values = buffered
             if values.size < m:
                 extra = self._draw(dist, m - values.size)
                 values = np.concatenate([values, extra])
         else:
             values = self._draw(dist, m)
-        edges = (
-            dist.edges if isinstance(dist, HistogramDistribution) else None
-        )
         return bootstrap_accuracy_info(
-            values, n, self.config.confidence, edges
+            values, n, cfg.confidence, edges
+        )
+
+    def _adaptive_accuracy(
+        self,
+        dist: object,
+        n: int,
+        m: int,
+        edges: "Sequence[float] | None",
+        buffered: np.ndarray | None,
+    ) -> AccuracyInfo:
+        """Early-stopping bootstrap: escalate draws until the width target.
+
+        Each escalation round consumes the Monte-Carlo output first (when
+        the result is empirical) and only then draws fresh values, so a
+        tight result stops without sampling at all.  Fresh draws go
+        through :meth:`_draw`, whose per-call ``SeedSequence`` spawning
+        keeps the round values a pure function of (seed, round order) —
+        worker-count invariant under the parallel path.
+        """
+        cfg = self.config
+        cursor = 0
+
+        def draw_round(count: int) -> np.ndarray:
+            nonlocal cursor
+            if buffered is None:
+                return self._draw(dist, count)
+            take = min(count, buffered.size - cursor)
+            take = max(take, 0)
+            block = buffered[cursor : cursor + take]
+            cursor += take
+            if count > take:
+                block = np.concatenate(
+                    [block, self._draw(dist, count - take)]
+                )
+            return block
+
+        return adaptive_bootstrap_accuracy_info(
+            draw_round,
+            n,
+            cfg.confidence,
+            target_ci_width=cfg.target_ci_width,
+            target_relative_width=cfg.target_relative_width,
+            max_resamples=m // n,
+            initial_resamples=cfg.bootstrap_initial_resamples,
+            growth=cfg.bootstrap_growth,
+            edges=edges,
         )
 
     # -- execution ----------------------------------------------------------------

@@ -281,7 +281,10 @@ class RollingWindowStats:
             self._max.evict()
         self._sizes.discard(size)
         self._evictions_since_resum += 1
-        if self._evictions_since_resum >= self.resum_interval:
+        if (
+            self._evictions_since_resum >= self.resum_interval
+            or self._cancellation(mean, variance)
+        ):
             self._resum()
         return mean, variance, size
 
@@ -299,6 +302,21 @@ class RollingWindowStats:
         return evicted
 
     # -- drift guard --------------------------------------------------------
+
+    #: Eviction-to-survivor magnitude ratio that forces an immediate
+    #: resum.  Compensated subtraction leaves absolute error of order
+    #: ``eps * |evicted|``; once the evicted member exceeds the
+    #: surviving total by this factor that error can breach the 1e-9
+    #: relative contract before the periodic resum fires.
+    CANCELLATION_RATIO = 1e6
+
+    def _cancellation(self, mean: float, variance: float) -> bool:
+        """Did this eviction cancel away the bulk of a running sum?"""
+        ratio = self.CANCELLATION_RATIO
+        return (
+            abs(mean) > ratio * (abs(self._mean_sum.value) + 1.0)
+            or abs(variance) > ratio * (abs(self._var_sum.value) + 1.0)
+        )
 
     def _resum(self) -> None:
         """Recompute the running sums exactly from the buffered members."""

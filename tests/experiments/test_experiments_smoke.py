@@ -125,3 +125,36 @@ class TestFig5Power:
             series = sweep.power[family]
             assert series[-1] > series[0]
         assert "tau" in sweep.render()
+
+
+class TestAdaptiveBootstrapExperiments:
+    def test_fig5a_target_consumes_prefix(self):
+        base = run_fig5a(
+            seed=1, n_route_queries=4, n_random_queries=4, truth_mc=3000
+        )
+        adaptive = run_fig5a(
+            seed=1, n_route_queries=4, n_random_queries=4, truth_mc=3000,
+            target_relative_width=0.6,
+        )
+        assert base.draw_fraction == 1.0
+        assert 0.0 < adaptive.draw_fraction < 1.0
+
+    def test_fig5b_no_target_unchanged(self):
+        base = run_fig5b(seed=1, n_queries=6, truth_mc=3000)
+        again = run_fig5b(seed=1, n_queries=6, truth_mc=3000)
+        assert base == again
+        assert base.draw_fraction == 1.0
+
+    def test_fig5c_adaptive_configurations_present(self):
+        result = run_fig5c(
+            seed=0, n_items=400, repeats=1, workers=1, target_ci_width=12.0
+        )
+        rates = result.throughputs
+        assert "bootstrap adaptive" in rates
+        assert "bootstrap adaptive (batched)" in rates
+        assert any(k.startswith("bootstrap adaptive (sharded") for k in rates)
+        assert all(v > 0 for v in rates.values())
+
+    def test_fig5c_no_target_has_no_adaptive_rows(self):
+        result = run_fig5c(seed=0, n_items=400, repeats=1)
+        assert not any("adaptive" in k for k in result.throughputs)

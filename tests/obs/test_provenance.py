@@ -277,3 +277,46 @@ class TestRecorder:
         tracer.provenance.reset()
         assert len(tracer.provenance) == 0
         assert tracer.provenance.find(sink.results[0]) == []
+
+
+class TestAdaptiveProvenance:
+    def test_explain_shows_draws_used_and_rounds(self):
+        from repro.experiments.fig5_throughput import _BootstrapAccuracy
+
+        tracer = Tracer()
+        pipeline = Pipeline(
+            [
+                _BootstrapAccuracy(
+                    "left", resamples=32, seed=5,
+                    target_ci_width=1e9, initial_resamples=8,
+                ),
+                CollectSink(),
+            ],
+            tracer=tracer,
+        )
+        sink = pipeline.run(_join_tuples(4))
+        record = tracer.provenance.records[0]
+        assert record.method == "bootstrap"
+        assert record.draws_used == 8 * record.sample_size  # stopped early
+        assert record.rounds == 1
+        text = tracer.explain(sink.results[0])
+        assert "draws_used=" in text
+        assert "rounds=" in text
+
+    def test_record_dict_roundtrips_draw_fields(self):
+        from repro.experiments.fig5_throughput import _BootstrapAccuracy
+
+        tracer = Tracer()
+        Pipeline(
+            [
+                _BootstrapAccuracy(
+                    "left", resamples=32, seed=5, target_ci_width=1e9
+                ),
+                CollectSink(),
+            ],
+            tracer=tracer,
+        ).run(_join_tuples(2))
+        record = tracer.provenance.records[0]
+        clone = ProvenanceRecord.from_dict(record.to_dict())
+        assert clone.draws_used == record.draws_used
+        assert clone.rounds == record.rounds

@@ -16,6 +16,7 @@ from repro.core.bootstrap import (
 )
 from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import ParallelError
+from repro.core.adaptive import resample_schedule
 from repro.parallel import (
     ParallelConfig,
     WorkerPool,
@@ -247,3 +248,104 @@ class TestSharedMemory:
         for name in created:
             with pytest.raises(FileNotFoundError):
                 real(name=name)
+
+
+class TestAdaptiveParallelBootstrap:
+    """Adaptive escalation keeps the worker-count determinism contract."""
+
+    def test_escalation_bitwise_at_1_2_4_workers(self, pool2):
+        # An unreachable target forces every escalation round, so the
+        # multi-round draw sequence itself is pinned across worker counts.
+        kwargs = dict(
+            resamples=64, confidence=0.9, seed=23,
+            target_ci_width=1e-9, initial_resamples=8,
+        )
+        serial = parallel_bootstrap_accuracy_info(
+            DIST, 25, config=_config(1), **kwargs
+        )
+        two = parallel_bootstrap_accuracy_info(
+            DIST, 25, config=_config(2), pool=pool2, **kwargs
+        )
+        with WorkerPool(ParallelConfig(n_workers=4)) as pool4:
+            four = parallel_bootstrap_accuracy_info(
+                DIST, 25, config=_config(4), pool=pool4, **kwargs
+            )
+        assert serial == two == four
+        assert serial.draws_used == 64 * 25
+        assert serial.rounds == len(resample_schedule(8, 2.0, 64))
+
+    def test_adaptive_early_stop_spends_fewer_draws(self, pool2):
+        full = parallel_bootstrap_accuracy_info(
+            DIST, 25, resamples=64, confidence=0.9, seed=23,
+            config=_config(2), pool=pool2,
+        )
+        # Chunk means have std sigma/sqrt(n) = 1, so the calibrated 90%
+        # width sits near 3.3; a target of 6 is met at the first round.
+        adaptive = parallel_bootstrap_accuracy_info(
+            DIST, 25, resamples=64, confidence=0.9, seed=23,
+            config=_config(2), pool=pool2, target_ci_width=6.0,
+        )
+        assert full.draws_used == 64 * 25
+        assert adaptive.draws_used < full.draws_used
+        assert adaptive.draws_used % 25 == 0
+
+    def test_no_target_path_unchanged(self, pool2):
+        """Without a width target the one-shot fixed path still runs."""
+        n, resamples = 30, 10
+        values = draw_mc_values(
+            DIST, resamples * n, seed=17, config=_config(2)
+        )
+        expected = bootstrap_accuracy_info(values, n, 0.95)
+        got = parallel_bootstrap_accuracy_info(
+            DIST, n, resamples, 0.95, seed=17, config=_config(2), pool=pool2
+        )
+        assert got == expected
+        assert got.rounds == 1
+
+
+class TestBatchWarningsAndVariants:
+    def test_pooled_batch_surfaces_truncation_warning(self, pool2):
+        # 200 mod 70 = 60 dropped per row: 30% > the 25% threshold.
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(0.0, 1.0, size=(6, 200))
+        with pytest.warns(UserWarning, match="bootstrap chunking dropped"):
+            parallel_bootstrap_accuracy_batch(
+                matrix, 70, 0.9, config=_config(2, chunk_size=400),
+                pool=pool2,
+            )
+
+    def test_serial_slab_batch_surfaces_truncation_warning(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(0.0, 1.0, size=(6, 200))
+        with pytest.warns(UserWarning, match="bootstrap chunking dropped"):
+            parallel_bootstrap_accuracy_batch(
+                matrix, 70, 0.9, config=_config(1, chunk_size=400)
+            )
+
+    def test_batch_below_threshold_is_silent(self, pool2):
+        # 200 mod 30 = 20 dropped per row: 10% < the 25% threshold.
+        import warnings as _warnings
+
+        rng = np.random.default_rng(9)
+        matrix = rng.normal(0.0, 1.0, size=(6, 200))
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            parallel_bootstrap_accuracy_batch(
+                matrix, 30, 0.9, config=_config(2, chunk_size=400),
+                pool=pool2,
+            )
+
+    def test_batch_edges_and_interval_thread_through(self, pool2):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(0.0, 1.0, size=(6, 200))
+        edges = (-1.0, 0.0, 1.0)
+        serial = parallel_bootstrap_accuracy_batch(
+            matrix, 20, 0.9, edges=edges, interval="basic",
+            config=_config(1, chunk_size=400),
+        )
+        pooled = parallel_bootstrap_accuracy_batch(
+            matrix, 20, 0.9, edges=edges, interval="basic",
+            config=_config(2, chunk_size=400), pool=pool2,
+        )
+        assert pooled == serial
+        assert all(len(info.bins) == 2 for info in pooled)

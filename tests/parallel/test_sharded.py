@@ -16,6 +16,7 @@ import zlib
 import numpy as np
 import pytest
 
+from repro.core.adaptive import resample_schedule
 from repro.core.dfsample import DfSized
 from repro.distributions.gaussian import GaussianDistribution
 from repro.errors import ParallelError, StreamError
@@ -305,3 +306,54 @@ class TestUnpicklableFallback:
             warnings.simplefilter("error")
             sink = pipeline.run_sharded(_tuples(8), n_workers=1, n_shards=2)
         assert len(sink.results) == 8
+
+
+class TestAdaptiveBootstrapSharded:
+    def test_adaptive_stage_worker_count_invariant(self):
+        """Adaptive escalation state is per-shard: pinned n_shards makes
+        the sharded sink byte-identical at 1, 2, and 4 workers."""
+        from repro.experiments.fig5_throughput import _BootstrapAccuracy
+
+        tuples = _tuples(n=96)
+
+        def run(workers):
+            pipeline = Pipeline(
+                [
+                    _BootstrapAccuracy(
+                        "reading", resamples=32, seed=5,
+                        target_ci_width=12.0, initial_resamples=8,
+                    ),
+                    CollectSink(),
+                ]
+            )
+            sink = pipeline.run_sharded(
+                tuples, n_workers=workers, n_shards=N_SHARDS, seed=9
+            )
+            return _element_bytes(sink.results)
+
+        expected = run(1)
+        assert len(expected) == len(tuples)
+        for workers in WORKER_COUNTS[1:]:
+            assert run(workers) == expected, (
+                f"adaptive sharded sink diverged at {workers} workers"
+            )
+
+    def test_adaptive_draws_vary_per_tuple(self):
+        from repro.experiments.fig5_throughput import _BootstrapAccuracy
+
+        pipeline = Pipeline(
+            [
+                _BootstrapAccuracy(
+                    "reading", resamples=32, seed=5,
+                    target_ci_width=12.0, initial_resamples=8,
+                ),
+                CollectSink(),
+            ]
+        )
+        sink = pipeline.run(_tuples(n=96))
+        draws = {tup.value("accuracy").draws_used for tup in sink.results}
+        budgets = {tup.value("accuracy").draws_used
+                   // tup.value("accuracy").sample_size
+                   for tup in sink.results}
+        assert budgets <= set(resample_schedule(8, 2.0, 32))
+        assert len(draws) > 1  # distribution-sensitive: not one budget

@@ -291,3 +291,79 @@ class TestExecutorConfig:
         assert first[0].value("sq").distribution.mean() == pytest.approx(
             second[0].value("sq").distribution.mean()
         )
+
+
+class TestAdaptiveBootstrapConfig:
+    def test_rejects_bad_targets(self):
+        with pytest.raises(QueryError):
+            ExecutorConfig(target_ci_width=0.0)
+        with pytest.raises(QueryError):
+            ExecutorConfig(target_relative_width=-1.0)
+        with pytest.raises(QueryError):
+            ExecutorConfig(bootstrap_initial_resamples=1)
+        with pytest.raises(QueryError):
+            ExecutorConfig(bootstrap_growth=1.0)
+
+    def test_fixed_budget_is_multiple_of_n(self):
+        # mc_samples=1000, n=300 -> rounded up to 1200, nothing dropped.
+        results = run_query(
+            "SELECT speed + speed AS s2 FROM s",
+            [_gaussian_tuple("speed", 50, 4, 300)],
+            config=ExecutorConfig(
+                seed=0, accuracy_method="bootstrap", mc_samples=1000,
+                bootstrap_resamples=2,
+            ),
+        )
+        info = results[0].accuracy["s2"]
+        assert info.values_dropped == 0
+        assert info.values_used == 1200
+        assert info.values_used % 300 == 0
+
+    def test_budget_floor_is_two_chunks(self):
+        # n so large that mc_samples < 2n: budget rises to 2n.
+        results = run_query(
+            "SELECT speed FROM s",
+            [_gaussian_tuple("speed", 50, 4, 900)],
+            config=ExecutorConfig(
+                seed=0, accuracy_method="bootstrap", mc_samples=100,
+                bootstrap_resamples=2,
+            ),
+        )
+        info = results[0].accuracy["speed"]
+        assert info.values_used == 1800
+        assert info.values_dropped == 0
+
+    def test_adaptive_target_stops_early_and_records_rounds(self):
+        fixed = run_query(
+            "SELECT speed + speed AS s2 FROM s",
+            [_gaussian_tuple("speed", 50, 4, 20)],
+            config=ExecutorConfig(
+                seed=0, accuracy_method="bootstrap",
+                bootstrap_resamples=100,
+            ),
+        )[0].accuracy["s2"]
+        adaptive = run_query(
+            "SELECT speed + speed AS s2 FROM s",
+            [_gaussian_tuple("speed", 50, 4, 20)],
+            config=ExecutorConfig(
+                seed=0, accuracy_method="bootstrap",
+                bootstrap_resamples=100,
+                target_ci_width=10.0 * fixed.mean.length,
+            ),
+        )[0].accuracy["s2"]
+        assert fixed.draws_used == 100 * 20
+        assert adaptive.draws_used < fixed.draws_used
+        assert adaptive.draws_used % 20 == 0
+        assert adaptive.rounds >= 1
+        assert adaptive.method == "bootstrap"
+
+    def test_unreachable_target_runs_full_budget(self):
+        info = run_query(
+            "SELECT speed FROM s",
+            [_gaussian_tuple("speed", 50, 4, 20)],
+            config=ExecutorConfig(
+                seed=0, accuracy_method="bootstrap",
+                bootstrap_resamples=50, target_ci_width=1e-12,
+            ),
+        )[0].accuracy["speed"]
+        assert info.draws_used == 50 * 20

@@ -452,3 +452,26 @@ class TestRollingObservability:
         assert pipe.operators[0]._stats.resums_counter is not None
         assert clone.operators[0]._stats.resums_counter is None
         assert clone.operators[2]._state.resums_counter is None
+
+
+class TestCancellationGuard:
+    def test_dominant_evict_resums_immediately(self):
+        # Evicting a member ~1e7x the surviving total must not leave
+        # eps*|member| residue in the running sums until the periodic
+        # resum: the cancellation guard fires an immediate resum.
+        stats = RollingWindowStats(resum_interval=10_000)
+        stats.push(50331648.0, 50331648.0 / 3.0, None)
+        stats.push(1.0, 1.0 / 3.0, None)
+        stats.push(0.0, 0.0, None)
+        stats.evict_oldest()
+        assert stats.resums == 1
+        assert stats.mean_sum == 1.0
+        assert stats.var_sum == 1.0 / 3.0
+
+    def test_moderate_evictions_stay_incremental(self):
+        stats = RollingWindowStats(resum_interval=10_000)
+        for i in range(200):
+            stats.push(float(i), 1.0, None)
+            if i >= 32:
+                stats.evict_oldest()
+        assert stats.resums == 0
