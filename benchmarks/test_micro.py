@@ -156,6 +156,44 @@ def test_micro_histogram_convolution(benchmark):
     benchmark(convolve_histograms, a, b)
 
 
+def test_micro_db_insert_loop(benchmark):
+    """Ingest-only baseline: one ``insert`` call per tuple.
+
+    Each call re-resolves the stream state, validates one tuple, and
+    walks the (empty) watcher list — the per-tuple overhead
+    ``insert_many`` hoists.
+    """
+    from repro.db import StreamDatabase
+    from repro.streams.tuples import Schema
+
+    tuples = [UncertainTuple({"x": float(i)}) for i in range(2000)]
+
+    def run() -> int:
+        db = StreamDatabase()
+        db.create_stream("s", Schema([("x", "number")]))
+        for tup in tuples:
+            db.insert("s", tup)
+        return db.count("s")
+
+    assert benchmark(run) == 2000
+
+
+def test_micro_db_insert_many(benchmark):
+    """Batched ingest: state resolved once, schema validated per batch."""
+    from repro.db import StreamDatabase
+    from repro.streams.tuples import Schema
+
+    tuples = [UncertainTuple({"x": float(i)}) for i in range(2000)]
+
+    def run() -> int:
+        db = StreamDatabase()
+        db.create_stream("s", Schema([("x", "number")]))
+        db.insert_many("s", tuples)
+        return db.count("s")
+
+    assert benchmark(run) == 2000
+
+
 def test_micro_tuple_serialisation(benchmark, rng):
     from repro.learning.histogram_learner import HistogramLearner
     from repro.persist import tuple_from_dict, tuple_to_dict

@@ -37,6 +37,7 @@ from repro.errors import (
     ParseError,
     StreamError,
     SchemaError,
+    CallbackError,
     ParallelError,
 )
 from repro.distributions import (
@@ -157,7 +158,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError", "DistributionError", "LearningError", "AccuracyError",
     "QueryError", "ParseError", "StreamError", "SchemaError",
-    "ParallelError",
+    "CallbackError", "ParallelError",
     "Distribution", "Deterministic", "HistogramDistribution",
     "GaussianDistribution", "EmpiricalDistribution", "DiscreteDistribution",
     "UniformDistribution", "ExponentialDistribution", "GammaDistribution",

@@ -18,17 +18,20 @@ a distributed system.
 from __future__ import annotations
 
 import dataclasses
+import time
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
 
-from repro.errors import QueryError, SchemaError, StreamError
+from repro.errors import CallbackError, QueryError, SchemaError, StreamError
 from repro.core.dfsample import DfSized
 from repro.learning.base import Learner
 from repro.learning.histogram_learner import HistogramLearner
 from repro.learning.registry import make_learner
 from repro.learning.weighted import WeightedLearner
+from repro.obs.metrics import MetricsRegistry
 from repro.query.executor import ExecutorConfig, QueryExecutor, ResultTuple
-from repro.query.planner import compile_query
+from repro.query.multiquery import MultiQueryEngine
+from repro.query.planner import compile_query_cached
 from repro.streams.tuples import Schema, UncertainTuple
 
 __all__ = ["StreamDatabase", "ContinuousQuery"]
@@ -53,12 +56,22 @@ class ContinuousQuery:
 
 
 class StreamDatabase:
-    """A single-process accuracy-aware uncertain stream database."""
+    """A single-process accuracy-aware uncertain stream database.
+
+    ``shared_subplans`` selects how standing queries are dispatched.
+    With the default ``True``, registered plans are grouped by their
+    accuracy-bearing prefix fingerprint (:mod:`repro.query.multiquery`)
+    and each group's prefix runs once per tuple; ``insert_many``
+    additionally columnarizes the batch and screens residual predicates
+    vectorized.  ``False`` keeps the naive one-full-pipeline-per-query
+    loop — the determinism oracle the shared path is byte-identical to.
+    """
 
     def __init__(
         self,
         config: ExecutorConfig | None = None,
         max_tuples_per_stream: int = 100_000,
+        shared_subplans: bool = True,
     ) -> None:
         if max_tuples_per_stream < 1:
             raise StreamError(
@@ -67,8 +80,21 @@ class StreamDatabase:
             )
         self.config = config if config is not None else ExecutorConfig()
         self.max_tuples_per_stream = max_tuples_per_stream
+        self.shared_subplans = shared_subplans
+        self.metrics = MetricsRegistry()
+        self._engine = MultiQueryEngine(self.metrics)
         self._streams: dict[str, _StreamState] = {}
         self._continuous: dict[str, ContinuousQuery] = {}
+        self._cache_hits = self.metrics.counter(
+            "plan_cache.hits", "compiled plans served from the plan cache"
+        )
+        self._cache_misses = self.metrics.counter(
+            "plan_cache.misses", "query texts compiled from scratch"
+        )
+        self._fanout_timer = self.metrics.timer(
+            "multiquery.fanout_seconds",
+            "batched shared-subplan execution time per insert_many call",
+        )
 
     # -- stream management ---------------------------------------------------
 
@@ -95,6 +121,7 @@ class StreamDatabase:
         ]
         for cq_name in stale:
             del self._continuous[cq_name]
+        self._engine.remove_source(name)
 
     def streams(self) -> list[str]:
         return sorted(self._streams)
@@ -134,7 +161,13 @@ class StreamDatabase:
     def insert(
         self, name: str, tup: "UncertainTuple | Mapping[str, object]"
     ) -> None:
-        """Insert one tuple (mappings become probability-1 tuples)."""
+        """Insert one tuple (mappings become probability-1 tuples).
+
+        Every standing query on the stream sees the tuple even when an
+        earlier query's callback raises; the first callback failure is
+        re-raised as :class:`~repro.errors.CallbackError` after the
+        dispatch completes.
+        """
         state = self._state(name)
         if not isinstance(tup, UncertainTuple):
             tup = UncertainTuple(dict(tup))
@@ -142,24 +175,98 @@ class StreamDatabase:
             state.schema.validate(tup)
         state.tuples.append(tup)
         state.inserted += 1
+        self._dispatch_one(name, tup)
+
+    def _iter_naive(self, name: str, tup: UncertainTuple):
+        """The per-query reference loop: every pipeline in full."""
         for cq in self._continuous.values():
             if cq.source == name:
                 result = cq.executor.execute_one(tup)
                 if result is not None:
-                    cq.matches += 1
-                    cq.callback(result)
+                    yield cq, result
+
+    def _dispatch_one(self, name: str, tup: UncertainTuple) -> None:
+        """Fan one tuple out to its standing queries, fault-isolated."""
+        if self.shared_subplans:
+            pairs = self._engine.iter_results(name, tup)
+        else:
+            pairs = self._iter_naive(name, tup)
+        first_error: Exception | None = None
+        first_name = ""
+        for cq, result in pairs:
+            cq.matches += 1
+            try:
+                cq.callback(result)
+            except Exception as exc:  # noqa: BLE001 - isolate subscribers
+                if first_error is None:
+                    first_error, first_name = exc, cq.name
+        if first_error is not None:
+            raise CallbackError(
+                f"callback of continuous query {first_name!r} raised "
+                f"{type(first_error).__name__}: {first_error}",
+                first_name,
+            ) from first_error
 
     def insert_many(
         self,
         name: str,
         tuples: Iterable["UncertainTuple | Mapping[str, object]"],
     ) -> int:
-        """Insert a batch; returns how many tuples were inserted."""
-        count = 0
-        for tup in tuples:
-            self.insert(name, tup)
-            count += 1
-        return count
+        """Insert a batch; returns how many tuples were inserted.
+
+        Validation is atomic: the whole batch is checked against the
+        stream schema before any tuple is buffered or dispatched.  With
+        standing queries registered and ``shared_subplans`` enabled,
+        the batch is columnarized and every shared-plan group's prefix
+        runs once per tuple (vectorized where the residuals allow),
+        with results emitted row by row in the naive callback order.
+        A raising callback still sees the rest of *its* tuple's
+        dispatch complete, then aborts the remaining rows with
+        :class:`~repro.errors.CallbackError`.
+        """
+        state = self._state(name)
+        batch = [
+            tup
+            if isinstance(tup, UncertainTuple)
+            else UncertainTuple(dict(tup))
+            for tup in tuples
+        ]
+        if state.schema is not None:
+            state.schema.validate_batch(batch)
+        buffer = state.tuples
+        if not any(cq.source == name for cq in self._continuous.values()):
+            buffer.extend(batch)
+            state.inserted += len(batch)
+            return len(batch)
+        if self.shared_subplans and len(batch) >= 2:
+            start = time.perf_counter()
+            rows = self._engine.execute_batch(name, batch)
+            self._fanout_timer.record(time.perf_counter() - start)
+            first_error: Exception | None = None
+            first_name = ""
+            for tup, row in zip(batch, rows):
+                buffer.append(tup)
+                state.inserted += 1
+                for cq, result in row:
+                    cq.matches += 1
+                    try:
+                        cq.callback(result)
+                    except Exception as exc:  # noqa: BLE001
+                        if first_error is None:
+                            first_error, first_name = exc, cq.name
+                if first_error is not None:
+                    raise CallbackError(
+                        f"callback of continuous query {first_name!r} "
+                        f"raised {type(first_error).__name__}: "
+                        f"{first_error}",
+                        first_name,
+                    ) from first_error
+            return len(batch)
+        for tup in batch:
+            buffer.append(tup)
+            state.inserted += 1
+            self._dispatch_one(name, tup)
+        return len(batch)
 
     def ingest_observations(
         self,
@@ -245,11 +352,20 @@ class StreamDatabase:
 
     # -- querying ---------------------------------------------------------------
 
+    def _compile(self, text: str):
+        """Compile through the plan cache, counting hits and misses."""
+        compiled, hit = compile_query_cached(text)
+        if hit:
+            self._cache_hits.inc()
+        else:
+            self._cache_misses.inc()
+        return compiled
+
     def query(
         self, text: str, config: ExecutorConfig | None = None
     ) -> list[ResultTuple]:
         """One-shot query over a stream's current buffered tuples."""
-        compiled = compile_query(text)
+        compiled = self._compile(text)
         state = self._state(compiled.source)
         executor = QueryExecutor(
             compiled,
@@ -265,10 +381,15 @@ class StreamDatabase:
         callback: Callable[[ResultTuple], None],
         config: ExecutorConfig | None = None,
     ) -> ContinuousQuery:
-        """Register a standing query evaluated on each future insert."""
+        """Register a standing query evaluated on each future insert.
+
+        Identical query texts (modulo whitespace) share one compiled
+        plan object through the plan cache, and plans whose prefix
+        fingerprints match land in the same shared-plan group.
+        """
         if name in self._continuous:
             raise QueryError(f"continuous query {name!r} already exists")
-        compiled = compile_query(text)
+        compiled = self._compile(text)
         self._state(compiled.source)  # source must exist
         cq = ContinuousQuery(
             name=name,
@@ -281,6 +402,7 @@ class StreamDatabase:
             callback=callback,
         )
         self._continuous[name] = cq
+        self._engine.add(name, cq.source, cq.executor, cq)
         return cq
 
     def unregister_continuous(self, name: str) -> None:
@@ -288,6 +410,7 @@ class StreamDatabase:
             del self._continuous[name]
         except KeyError:
             raise QueryError(f"no continuous query {name!r}") from None
+        self._engine.remove(name)
 
     def continuous_queries(self) -> list[str]:
         return sorted(self._continuous)

@@ -41,6 +41,21 @@ class StreamError(ReproError):
     """The stream engine was misconfigured or received bad tuples."""
 
 
+class CallbackError(ReproError):
+    """A continuous-query callback raised during dispatch.
+
+    Dispatch runs every standing query to completion before re-raising
+    the first callback failure wrapped in this error, so one faulty
+    subscriber cannot starve the queries registered after it.  The
+    offending query's name is available as :attr:`query_name` and the
+    original exception as ``__cause__``.
+    """
+
+    def __init__(self, message: str, query_name: str) -> None:
+        super().__init__(message)
+        self.query_name = query_name
+
+
 class ObservabilityError(ReproError):
     """A metric was declared or used inconsistently (name/type clash)."""
 

@@ -23,12 +23,20 @@ from repro.query.expressions import (
     EvalContext,
 )
 from repro.query.parser import parse_query, Query
-from repro.query.planner import compile_query, CompiledQuery
+from repro.query.planner import (
+    compile_query,
+    compile_query_cached,
+    clear_plan_cache,
+    plan_cache_size,
+    prefix_fingerprint,
+    CompiledQuery,
+)
 from repro.query.executor import (
     QueryExecutor,
     ResultTuple,
     ExecutorConfig,
 )
+from repro.query.multiquery import MultiQueryEngine
 
 __all__ = [
     "Expression",
@@ -41,8 +49,13 @@ __all__ = [
     "parse_query",
     "Query",
     "compile_query",
+    "compile_query_cached",
+    "clear_plan_cache",
+    "plan_cache_size",
+    "prefix_fingerprint",
     "CompiledQuery",
     "QueryExecutor",
     "ResultTuple",
     "ExecutorConfig",
+    "MultiQueryEngine",
 ]

@@ -60,7 +60,12 @@ from repro.query.parser import (
 from repro.query.planner import CompiledQuery, compile_query
 from repro.streams.tuples import Schema, UncertainTuple
 
-__all__ = ["ExecutorConfig", "ResultTuple", "QueryExecutor"]
+__all__ = [
+    "ExecutorConfig",
+    "ResultTuple",
+    "ResidualOutcome",
+    "QueryExecutor",
+]
 
 _ACCURACY_METHODS = ("analytic", "bootstrap", "none")
 
@@ -178,6 +183,24 @@ class _ConditionOutcome:
     probability: float
     sizes: tuple[int | None, ...]
     decisions: tuple[ThreeValued, ...]
+
+
+@dataclasses.dataclass
+class ResidualOutcome:
+    """Result of a plan's residual stage (WHERE conjuncts) on one tuple.
+
+    Everything here is per-query: the membership probability after the
+    conjunct factors, the contributing de facto sample sizes, and the
+    significance-test decisions.  ``ctx`` is the evaluation context the
+    conjuncts ran under, reused by :meth:`QueryExecutor.finalize_result`
+    for the ORDER BY sort key so expression evaluation order matches the
+    monolithic :meth:`QueryExecutor.execute_one` exactly.
+    """
+
+    probability: float
+    sizes: tuple[int | None, ...]
+    decisions: tuple[ThreeValued, ...]
+    ctx: EvalContext
 
 
 class QueryExecutor:
@@ -312,8 +335,19 @@ class QueryExecutor:
 
     # -- accuracy ----------------------------------------------------------------
 
-    def _draw(self, dist: object, m: int) -> np.ndarray:
-        """``m`` values of ``dist`` — sequential, or pooled when enabled."""
+    def _draw(
+        self, dist: object, m: int, rng: "np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """``m`` values of ``dist`` — sequential, or pooled when enabled.
+
+        Passing ``rng`` overrides both the sequential generator and the
+        parallel ``SeedSequence`` spawning (which is stateful: each spawn
+        advances the spawn counter).  The shared-subplan engine passes a
+        guard object here so that *any* attempt to draw — which would
+        make the prefix RNG-dependent — raises before mutating state.
+        """
+        if rng is not None:
+            return dist.sample(rng, m)  # type: ignore[attr-defined]
         if self.config.parallel is None:
             return dist.sample(self._rng, m)  # type: ignore[attr-defined]
         from repro.parallel.montecarlo import draw_mc_values
@@ -323,7 +357,11 @@ class QueryExecutor:
             dist, m, seed, self.config.parallel, self._parallel_pool()
         )
 
-    def _field_accuracy(self, field: DfSized) -> AccuracyInfo | None:
+    def _field_accuracy(
+        self,
+        field: DfSized,
+        rng: "np.random.Generator | None" = None,
+    ) -> AccuracyInfo | None:
         method = self.config.accuracy_method
         if method == "none" or field.sample_size is None:
             return None
@@ -355,14 +393,14 @@ class QueryExecutor:
             cfg.target_ci_width is not None
             or cfg.target_relative_width is not None
         ):
-            return self._adaptive_accuracy(dist, n, m, edges, buffered)
+            return self._adaptive_accuracy(dist, n, m, edges, buffered, rng)
         if buffered is not None:
             values = buffered
             if values.size < m:
-                extra = self._draw(dist, m - values.size)
+                extra = self._draw(dist, m - values.size, rng)
                 values = np.concatenate([values, extra])
         else:
-            values = self._draw(dist, m)
+            values = self._draw(dist, m, rng)
         return bootstrap_accuracy_info(
             values, n, cfg.confidence, edges
         )
@@ -374,6 +412,7 @@ class QueryExecutor:
         m: int,
         edges: "Sequence[float] | None",
         buffered: np.ndarray | None,
+        rng: "np.random.Generator | None" = None,
     ) -> AccuracyInfo:
         """Early-stopping bootstrap: escalate draws until the width target.
 
@@ -390,14 +429,14 @@ class QueryExecutor:
         def draw_round(count: int) -> np.ndarray:
             nonlocal cursor
             if buffered is None:
-                return self._draw(dist, count)
+                return self._draw(dist, count, rng)
             take = min(count, buffered.size - cursor)
             take = max(take, 0)
             block = buffered[cursor : cursor + take]
             cursor += take
             if count > take:
                 block = np.concatenate(
-                    [block, self._draw(dist, count - take)]
+                    [block, self._draw(dist, count - take, rng)]
                 )
             return block
 
@@ -415,12 +454,17 @@ class QueryExecutor:
 
     # -- execution ----------------------------------------------------------------
 
-    def execute_one(self, tup: UncertainTuple) -> ResultTuple | None:
-        """Run the query against a single tuple; None when filtered out."""
-        if self.query.is_aggregate:
-            raise QueryError(
-                "aggregate queries need the whole stream; use execute()"
-            )
+    def residual_outcome(
+        self, tup: UncertainTuple
+    ) -> ResidualOutcome | None:
+        """Run only the per-query residual stage (the WHERE conjuncts).
+
+        Returns ``None`` when the tuple is filtered out, otherwise the
+        accumulated membership probability / sample sizes / decisions.
+        This is the first half of :meth:`execute_one`; the shared-subplan
+        engine calls it per query and only computes the (shareable)
+        prefix when at least one query matched.
+        """
         ctx = EvalContext(tup, self._rng, self.config.mc_samples)
         probability = tup.probability
         sizes: list[int | None] = []
@@ -434,7 +478,29 @@ class QueryExecutor:
             decisions.extend(outcome.decisions)
         if probability <= 0.0:
             return None
+        return ResidualOutcome(
+            probability, tuple(sizes), tuple(decisions), ctx
+        )
 
+    def evaluate_prefix(
+        self,
+        tup: UncertainTuple,
+        rng: "np.random.Generator | None" = None,
+    ) -> tuple[dict[str, DfSized], dict[str, AccuracyInfo]]:
+        """Run only the accuracy-bearing prefix: projection + accuracy.
+
+        With ``rng=None`` this consumes the executor's own generator,
+        exactly as :meth:`execute_one` would.  The shared-subplan engine
+        passes a guard generator instead: if the prefix turns out to
+        need randomness (Monte-Carlo projection expressions, bootstrap
+        draws), the guard raises before any state mutates, and the
+        engine falls back to each member's private prefix.
+        """
+        ctx = EvalContext(
+            tup,
+            self._rng if rng is None else rng,
+            self.config.mc_samples,
+        )
         if self.query.star:
             attributes = {
                 name: tup.dfsized(name) for name in tup.attributes
@@ -444,34 +510,59 @@ class QueryExecutor:
                 alias: expr.evaluate(ctx)
                 for expr, alias in self.query.select_items
             }
-
         accuracy: dict[str, AccuracyInfo] = {}
         if self.config.accuracy_method != "none":
             for name, field in attributes.items():
-                info = self._field_accuracy(field)
+                info = self._field_accuracy(field, rng)
                 if info is not None:
                     accuracy[name] = info
+        return attributes, accuracy
 
-        finite_sizes = [s for s in sizes if s is not None]
+    def finalize_result(
+        self,
+        tup: UncertainTuple,
+        outcome: ResidualOutcome,
+        attributes: dict[str, DfSized],
+        accuracy: dict[str, AccuracyInfo],
+    ) -> ResultTuple:
+        """Assemble a :class:`ResultTuple` from residual + prefix output."""
+        finite_sizes = [s for s in outcome.sizes if s is not None]
         probability_interval = None
         if finite_sizes and self.config.accuracy_method != "none":
             probability_interval = tuple_probability_interval(
-                probability, min(finite_sizes), self.config.confidence
+                outcome.probability,
+                min(finite_sizes),
+                self.config.confidence,
             )
 
         sort_key = None
         if self.query.order_by is not None:
-            sort_key = self.query.order_by.evaluate(ctx).distribution.mean()
+            sort_key = (
+                self.query.order_by.evaluate(outcome.ctx)
+                .distribution.mean()
+            )
 
         return ResultTuple(
             attributes=attributes,
-            probability=probability,
+            probability=outcome.probability,
             probability_interval=probability_interval,
             accuracy=accuracy,
-            decisions=tuple(decisions),
+            decisions=outcome.decisions,
             source=tup,
             sort_key=sort_key,
         )
+
+    def execute_one(self, tup: UncertainTuple) -> ResultTuple | None:
+        """Run the query against a single tuple; None when filtered out."""
+        if self.query.is_aggregate:
+            raise QueryError(
+                "aggregate queries need the whole stream; use execute()"
+            )
+        outcome = self.residual_outcome(tup)
+        if outcome is None:
+            return None
+        attributes, accuracy = self.evaluate_prefix(tup)
+        return self.finalize_result(tup, outcome, attributes, accuracy)
 
     @staticmethod
     def _group_key(tup: UncertainTuple, attribute: str) -> object:

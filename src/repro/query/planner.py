@@ -10,6 +10,7 @@ of conjuncts the executor evaluates per tuple.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 
 from repro.errors import QueryError
 from repro.query.expressions import Expression
@@ -25,7 +26,17 @@ from repro.query.parser import (
 )
 from repro.streams.tuples import Schema
 
-__all__ = ["CompiledQuery", "compile_query"]
+__all__ = [
+    "CompiledQuery",
+    "PlanSplit",
+    "compile_query",
+    "compile_query_cached",
+    "clear_plan_cache",
+    "plan_cache_size",
+    "prefix_fingerprint",
+    "split_plan",
+    "PLAN_CACHE_MAX",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -175,4 +186,123 @@ def compile_query(
         limit=query.limit,
         aggregates=query.aggregates,
         group_by=query.group_by,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+#: Eviction bound of the compiled-plan cache (least recently used out).
+PLAN_CACHE_MAX = 256
+
+_plan_cache: "OrderedDict[str, CompiledQuery]" = OrderedDict()
+
+
+def _normalize_query_text(text: str) -> str:
+    """Whitespace-insensitive cache key for query text."""
+    return " ".join(text.split())
+
+
+def compile_query_cached(text: str) -> tuple[CompiledQuery, bool]:
+    """Compile schema-less query text through a bounded LRU plan cache.
+
+    Returns ``(plan, hit)``; identical query texts (modulo whitespace)
+    share one immutable :class:`CompiledQuery` object, so registering
+    the same standing query N times compiles it once.  Only the
+    schema-less form is cached — schema validation depends on mutable
+    schema objects, so :func:`compile_query` with a schema always
+    compiles fresh.  Callers surface ``hit`` in their own metrics
+    registries (e.g. ``plan_cache.hits`` / ``plan_cache.misses`` on
+    :class:`repro.db.StreamDatabase`).
+    """
+    key = _normalize_query_text(text)
+    cached = _plan_cache.get(key)
+    if cached is not None:
+        _plan_cache.move_to_end(key)
+        return cached, True
+    compiled = compile_query(text)
+    _plan_cache[key] = compiled
+    while len(_plan_cache) > PLAN_CACHE_MAX:
+        _plan_cache.popitem(last=False)
+    return compiled, False
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (test isolation)."""
+    _plan_cache.clear()
+
+
+def plan_cache_size() -> int:
+    """Number of plans currently cached."""
+    return len(_plan_cache)
+
+
+# ---------------------------------------------------------------------------
+# Shared-subplan support: prefix fingerprint and prefix/residual split
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanSplit:
+    """A compiled plan split at the accuracy-bearing prefix boundary.
+
+    ``prefix`` is the expensive, per-tuple work whose output is
+    identical for every query with the same :func:`prefix_fingerprint`:
+    projection of the SELECT items and Theorem-1 accuracy attachment.
+    ``residual`` is the cheap per-query remainder: WHERE conjuncts,
+    the membership-probability interval, and the ORDER BY sort key.
+    """
+
+    star: bool
+    prefix_select: tuple
+    residual_conjuncts: tuple
+    order_by: object | None
+
+
+def split_plan(compiled: CompiledQuery) -> PlanSplit:
+    """Split a compiled plan into its shared prefix and residual stages."""
+    return PlanSplit(
+        star=compiled.star,
+        prefix_select=compiled.select_items,
+        residual_conjuncts=compiled.conjuncts,
+        order_by=compiled.order_by,
+    )
+
+
+def prefix_fingerprint(
+    compiled: CompiledQuery, config: object
+) -> tuple | None:
+    """Structural fingerprint of a plan's accuracy-bearing prefix.
+
+    Two standing queries whose fingerprints are equal compute exactly
+    the same projection and accuracy work per tuple, so a multi-query
+    engine may evaluate that prefix once and fan the output to each
+    query's residual stage.  The fingerprint covers the source stream,
+    the SELECT structure (the expression AST nodes are frozen
+    dataclasses, hence hashable), and every config knob the prefix
+    depends on: confidence, accuracy method, the Monte-Carlo budget,
+    and the bootstrap/adaptive parameters.
+
+    Deliberately excluded: ``seed`` and ``parallel`` (prefix results
+    are only ever shared when their computation is RNG-free, in which
+    case neither matters), ``keep_unsure`` (it only affects residual
+    significance decisions), and the WHERE / ORDER BY / LIMIT clauses
+    (all residual).  Aggregate plans return ``None`` — they consume
+    whole streams, not single tuples, and never share.
+    """
+    if compiled.is_aggregate:
+        return None
+    return (
+        compiled.source,
+        compiled.star,
+        compiled.select_items,
+        config.confidence,
+        config.accuracy_method,
+        config.mc_samples,
+        config.bootstrap_resamples,
+        config.target_ci_width,
+        config.target_relative_width,
+        config.bootstrap_initial_resamples,
+        config.bootstrap_growth,
     )

@@ -103,6 +103,29 @@ class Schema:
                     f"got {type(value).__name__}"
                 )
 
+    def validate_batch(self, tuples: "Iterable[UncertainTuple]") -> None:
+        """Validate many tuples with the per-tuple set algebra hoisted out.
+
+        Equivalent to calling :meth:`validate` on each tuple in order —
+        same first error, same message — but tuples whose key layout
+        matches the schema (the overwhelmingly common case for a
+        stream) skip the missing/extra list computations and only run
+        the kind checks that can actually fail.
+        """
+        checks = tuple(s for s in self._specs if s.kind != "any")
+        keys = self._by_name.keys()
+        for tup in tuples:
+            attributes = tup.attributes
+            if attributes.keys() != keys:
+                self.validate(tup)  # exact missing/extra error
+            for spec in checks:
+                if not spec.accepts(attributes[spec.name]):
+                    raise SchemaError(
+                        f"attribute {spec.name!r} expects kind "
+                        f"{spec.kind!r}, "
+                        f"got {type(attributes[spec.name]).__name__}"
+                    )
+
     def __repr__(self) -> str:
         fields = ", ".join(f"{s.name}:{s.kind}" for s in self._specs)
         return f"Schema({fields})"

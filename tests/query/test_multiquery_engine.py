@@ -1,0 +1,180 @@
+"""Unit tests of the shared-subplan engine internals.
+
+The end-to-end byte-identity contract lives in
+``tests/test_db_multiquery.py`` and the property suite; these pin the
+pieces the contract rests on — residual vectorizability detection, the
+conservative candidate screen, and the RNG guard.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query.executor import ExecutorConfig, QueryExecutor
+from repro.query.multiquery import (
+    MultiQueryEngine,
+    PrefixNeedsRng,
+    _candidate_z_bound,
+    _GuardRng,
+    VecConjunct,
+    vectorizable_conjuncts,
+)
+from repro.query.planner import compile_query
+
+
+def _specs(text: str):
+    return vectorizable_conjuncts(compile_query(text))
+
+
+class TestVectorizableConjuncts:
+    def test_column_op_literal(self):
+        specs = _specs("SELECT a FROM s WHERE a > 5 PROB 0.7")
+        assert specs == (VecConjunct("a", ">", 5.0, 0.7),)
+
+    def test_literal_op_column_flips(self):
+        specs = _specs("SELECT a FROM s WHERE 5 < a PROB 0.7")
+        assert specs == (VecConjunct("a", ">", 5.0, 0.7),)
+
+    def test_bare_comparison_has_no_threshold(self):
+        specs = _specs("SELECT a FROM s WHERE a <= 3")
+        assert specs == (VecConjunct("a", "<=", 3.0, None),)
+
+    def test_multi_conjunct(self):
+        specs = _specs("SELECT a FROM s WHERE a > 1 AND b < 2 PROB 0.5")
+        assert specs is not None and len(specs) == 2
+
+    def test_no_where_is_empty_tuple(self):
+        assert _specs("SELECT a FROM s") == ()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "SELECT a FROM s WHERE a = 5",  # equality: branch-order trap
+            "SELECT a FROM s WHERE a <> 5",
+            "SELECT a FROM s WHERE a + b > 5",  # expression arithmetic
+            "SELECT a FROM s WHERE mTest(a, '>', 0, 0.05)",
+            "SELECT a FROM s WHERE a > 1 OR b > 2",
+            "SELECT a FROM s WHERE a > 1 ORDER BY a",
+            "SELECT AVG(a) FROM s",
+        ],
+    )
+    def test_non_vectorizable_shapes(self, text):
+        assert _specs(text) is None
+
+
+class TestCandidateZBound:
+    def test_no_threshold_uses_underflow_bound(self):
+        bound = _candidate_z_bound(VecConjunct("a", ">", 0.0, None))
+        assert bound == 38.0
+
+    def test_tiny_tau_accepts_everything(self):
+        bound = _candidate_z_bound(VecConjunct("a", ">", 0.0, 1e-13))
+        assert bound == np.inf
+
+    def test_tau_above_one_rejects_everything(self):
+        bound = _candidate_z_bound(VecConjunct("a", ">", 0.0, 1.0 + 1e-9))
+        assert bound == -np.inf
+
+    def test_midrange_tau_bounds_are_banded(self):
+        # q >= tau  <=>  z <= erfcinv(2 tau); the screen's bound must
+        # sit strictly above the exact inversion point.
+        from scipy import special
+
+        for tau in (0.1, 0.5, 0.9, 0.99):
+            bound = _candidate_z_bound(VecConjunct("a", ">", 0.0, tau))
+            exact = float(special.erfcinv(2.0 * tau))
+            assert bound > exact
+            assert bound - exact < 0.01
+
+    def test_screen_never_rejects_a_qualifying_row(self):
+        # Exhaustive scalar cross-check on a grid: every row the
+        # executor accepts must be a screen candidate.
+        import math
+
+        rng = np.random.default_rng(0)
+        taus = [1e-12, 0.01, 0.5, 0.9, 0.999999, 1.0]
+        for tau in taus:
+            bound = _candidate_z_bound(VecConjunct("a", ">", 0.0, tau))
+            for _ in range(200):
+                mu = float(rng.normal(0.0, 5.0))
+                sigma2 = float(rng.uniform(0.0, 10.0))
+                c = float(rng.normal(0.0, 5.0))
+                if sigma2 > 0.0:
+                    z = (c - mu) / math.sqrt(2.0 * sigma2)
+                    q = 0.5 * math.erfc(z)
+                    candidate = (
+                        bool(bound > 0) if not np.isfinite(bound)
+                        else (c - mu) <= bound * math.sqrt(2.0 * sigma2)
+                    )
+                else:
+                    q = 1.0 if c < mu else 0.0  # step tail, > operator
+                    candidate = (
+                        bool(bound > 0) if not np.isfinite(bound)
+                        else c <= mu
+                    )
+                if q >= tau:
+                    assert candidate, (tau, mu, sigma2, c)
+
+
+class TestGuardRng:
+    def test_any_method_raises(self):
+        guard = _GuardRng()
+        with pytest.raises(PrefixNeedsRng):
+            guard.normal(0.0, 1.0)
+        with pytest.raises(PrefixNeedsRng):
+            guard.choice([1, 2])
+
+    def test_analytic_prefix_is_rng_free(self):
+        executor = QueryExecutor("SELECT a FROM s")
+        from repro.core.dfsample import DfSized
+        from repro.distributions.gaussian import GaussianDistribution
+        from repro.streams.tuples import UncertainTuple
+
+        tup = UncertainTuple(
+            {"a": DfSized(GaussianDistribution(1.0, 2.0), 10)}
+        )
+        attrs, acc = executor.evaluate_prefix(tup, rng=_GuardRng())
+        assert set(attrs) == {"a"}
+        assert acc["a"].method == "analytic"
+
+    def test_bootstrap_prefix_trips_guard(self):
+        executor = QueryExecutor(
+            "SELECT a FROM s",
+            config=ExecutorConfig(
+                accuracy_method="bootstrap", bootstrap_resamples=4
+            ),
+        )
+        from repro.core.dfsample import DfSized
+        from repro.distributions.gaussian import GaussianDistribution
+        from repro.streams.tuples import UncertainTuple
+
+        tup = UncertainTuple(
+            {"a": DfSized(GaussianDistribution(1.0, 2.0), 10)}
+        )
+        with pytest.raises(PrefixNeedsRng):
+            executor.evaluate_prefix(tup, rng=_GuardRng())
+
+
+class TestEngineBookkeeping:
+    def test_groups_gauge_counts_multi_member_groups(self):
+        engine = MultiQueryEngine()
+        cfg = ExecutorConfig()
+        for i, text in enumerate(
+            [
+                "SELECT a FROM s WHERE a > 1",
+                "SELECT a FROM s WHERE a > 2",
+                "SELECT b FROM s WHERE b > 1",
+            ]
+        ):
+            engine.add(f"q{i}", "s", QueryExecutor(text, config=cfg), object())
+        assert engine.shared_group_count() == 1
+        engine.remove("q1")
+        assert engine.shared_group_count() == 0
+        engine.remove_source("s")
+        assert engine._entries == {}
+
+    def test_aggregate_queries_never_group(self):
+        engine = MultiQueryEngine()
+        engine.add(
+            "agg", "s", QueryExecutor("SELECT AVG(a) FROM s"), object()
+        )
+        assert engine.group_size("agg") == 1

@@ -3,8 +3,16 @@
 import pytest
 
 from repro.errors import QueryError
+from repro.query.executor import ExecutorConfig
 from repro.query.parser import CompareCondition, SignificanceCondition
-from repro.query.planner import compile_query
+from repro.query.planner import (
+    PLAN_CACHE_MAX,
+    clear_plan_cache,
+    compile_query,
+    compile_query_cached,
+    plan_cache_size,
+    prefix_fingerprint,
+)
 from repro.streams.tuples import Schema
 
 
@@ -81,3 +89,102 @@ class TestCompositionRules:
     def test_rejects_duplicate_output_names(self):
         with pytest.raises(QueryError, match="duplicate"):
             compile_query("SELECT a, b AS a FROM s")
+
+
+class TestPlanCache:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        clear_plan_cache()
+        yield
+        clear_plan_cache()
+
+    def test_identical_text_shares_one_plan(self):
+        first, hit1 = compile_query_cached("SELECT a FROM s WHERE a > 1")
+        second, hit2 = compile_query_cached("SELECT a FROM s WHERE a > 1")
+        assert (hit1, hit2) == (False, True)
+        assert first is second
+
+    def test_whitespace_normalized_key(self):
+        first, _ = compile_query_cached("SELECT a FROM s")
+        second, hit = compile_query_cached("SELECT   a\n  FROM  s")
+        assert hit is True
+        assert first is second
+
+    def test_eviction_bound_holds(self):
+        for i in range(PLAN_CACHE_MAX + 10):
+            compile_query_cached(f"SELECT a FROM s WHERE a > {i}")
+        assert plan_cache_size() == PLAN_CACHE_MAX
+
+    def test_lru_eviction_keeps_recently_used(self):
+        compile_query_cached("SELECT a FROM keepme")
+        for i in range(PLAN_CACHE_MAX - 1):
+            compile_query_cached(f"SELECT a FROM s WHERE a > {i}")
+        # Touch the oldest entry, then overflow by one: the untouched
+        # second-oldest is evicted instead.
+        _, hit = compile_query_cached("SELECT a FROM keepme")
+        assert hit is True
+        compile_query_cached("SELECT a FROM overflow")
+        _, hit = compile_query_cached("SELECT a FROM keepme")
+        assert hit is True
+
+    def test_clear_empties_cache(self):
+        compile_query_cached("SELECT a FROM s")
+        clear_plan_cache()
+        assert plan_cache_size() == 0
+
+
+class TestPrefixFingerprint:
+    def test_where_order_limit_excluded(self):
+        config = ExecutorConfig()
+        base = prefix_fingerprint(
+            compile_query("SELECT a, b FROM s WHERE a > 1 PROB 0.5"),
+            config,
+        )
+        other = prefix_fingerprint(
+            compile_query(
+                "SELECT a, b FROM s WHERE b < 9 ORDER BY a LIMIT 3"
+            ),
+            config,
+        )
+        assert base == other
+
+    def test_select_structure_included(self):
+        config = ExecutorConfig()
+        a = prefix_fingerprint(compile_query("SELECT a FROM s"), config)
+        b = prefix_fingerprint(compile_query("SELECT b FROM s"), config)
+        star = prefix_fingerprint(compile_query("SELECT * FROM s"), config)
+        assert len({a, b, star}) == 3
+
+    def test_source_included(self):
+        config = ExecutorConfig()
+        assert prefix_fingerprint(
+            compile_query("SELECT a FROM s"), config
+        ) != prefix_fingerprint(compile_query("SELECT a FROM t"), config)
+
+    def test_accuracy_config_included(self):
+        compiled = compile_query("SELECT a FROM s")
+        assert prefix_fingerprint(
+            compiled, ExecutorConfig(confidence=0.9)
+        ) != prefix_fingerprint(compiled, ExecutorConfig(confidence=0.95))
+        assert prefix_fingerprint(
+            compiled, ExecutorConfig(accuracy_method="bootstrap")
+        ) != prefix_fingerprint(
+            compiled, ExecutorConfig(accuracy_method="analytic")
+        )
+
+    def test_seed_and_keep_unsure_excluded(self):
+        compiled = compile_query("SELECT a FROM s")
+        assert prefix_fingerprint(
+            compiled, ExecutorConfig(seed=1)
+        ) == prefix_fingerprint(compiled, ExecutorConfig(seed=2))
+        assert prefix_fingerprint(
+            compiled, ExecutorConfig(keep_unsure=True)
+        ) == prefix_fingerprint(compiled, ExecutorConfig(keep_unsure=False))
+
+    def test_aggregate_plans_have_no_fingerprint(self):
+        assert (
+            prefix_fingerprint(
+                compile_query("SELECT AVG(a) FROM s"), ExecutorConfig()
+            )
+            is None
+        )

@@ -7,7 +7,7 @@ when a tuple is malformed or an operator raises mid-pipeline.
 import pytest
 
 from repro.db import StreamDatabase
-from repro.errors import ReproError, SchemaError, StreamError
+from repro.errors import CallbackError, ReproError, SchemaError, StreamError
 from repro.streams.engine import Pipeline
 from repro.streams.operators import (
     CollectSink,
@@ -93,8 +93,10 @@ class TestDatabaseFailures:
             raise RuntimeError("callback failure")
 
         db.register_continuous("boom", "SELECT x FROM s", explode)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(CallbackError) as excinfo:
             db.insert("s", {"x": 1.0})
+        assert excinfo.value.query_name == "boom"
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
         # The tuple was buffered before the callback ran.
         assert db.count("s") == 1
 

@@ -1,0 +1,237 @@
+"""Shared-subplan dispatch through the StreamDatabase facade.
+
+The contract under test: with ``shared_subplans`` enabled (the
+default), standing-query dispatch — single inserts and batched
+``insert_many`` — produces byte-identical results, match counts, and
+callback order to the naive one-full-pipeline-per-query loop
+(``shared_subplans=False``), while the obs registry shows the sharing
+actually happened.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.db import StreamDatabase
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import CallbackError, SchemaError
+from repro.query.executor import ExecutorConfig
+from repro.streams.tuples import Schema, UncertainTuple
+
+
+def _delay_tuples(seed: int, n: int) -> list[UncertainTuple]:
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "road_id": float(i),
+                "delay": DfSized(
+                    GaussianDistribution(
+                        float(rng.normal(60.0, 15.0)),
+                        float(rng.uniform(1.0, 30.0)),
+                    ),
+                    int(rng.integers(2, 40)),
+                ),
+            }
+        )
+        for i in range(n)
+    ]
+
+
+QUERIES = [
+    "SELECT road_id, delay FROM t WHERE delay > 55 PROB 0.7",
+    "SELECT road_id, delay FROM t WHERE delay > 65 PROB 0.7",
+    "SELECT road_id, delay FROM t WHERE 50 < delay PROB 0.6",
+    "SELECT road_id, delay FROM t WHERE delay <= 60",
+]
+
+
+def _run(shared: bool, batched: bool, config=None, queries=QUERIES):
+    db = StreamDatabase(config=config, shared_subplans=shared)
+    db.create_stream("t")
+    events: list[tuple[int, bytes]] = []
+    for i, text in enumerate(queries):
+        db.register_continuous(
+            f"q{i}",
+            text,
+            lambda r, i=i: events.append((i, pickle.dumps(r))),
+        )
+    tuples = _delay_tuples(11, 120)
+    if batched:
+        db.insert_many("t", tuples)
+    else:
+        for tup in tuples:
+            db.insert("t", tup)
+    matches = [db._continuous[f"q{i}"].matches for i in range(len(queries))]
+    return events, matches, db
+
+
+class TestByteIdentity:
+    def test_single_insert_matches_naive(self):
+        naive, m_naive, _ = _run(shared=False, batched=False)
+        shared, m_shared, _ = _run(shared=True, batched=False)
+        assert m_shared == m_naive
+        assert shared == naive  # same callback order, same pickle bytes
+
+    def test_batched_insert_matches_naive(self):
+        naive, m_naive, _ = _run(shared=False, batched=False)
+        shared, m_shared, _ = _run(shared=True, batched=True)
+        assert m_shared == m_naive
+        assert shared == naive
+
+    def test_bootstrap_prefix_falls_back_identically(self):
+        # Bootstrap accuracy draws from each query's own generator, so
+        # the prefix is NOT shareable; the guard must detect that and
+        # the fallback must reproduce the naive draw sequence exactly.
+        config = ExecutorConfig(
+            accuracy_method="bootstrap",
+            seed=3,
+            mc_samples=64,
+            bootstrap_resamples=4,
+        )
+        naive, m_naive, _ = _run(False, False, config)
+        shared, m_shared, db = _run(True, True, config)
+        assert m_shared == m_naive
+        assert shared == naive
+        fallbacks = db.metrics.counter("multiquery.prefix_fallbacks").value
+        assert fallbacks >= 1
+
+    def test_shared_flag_off_uses_naive_loop(self):
+        _events, matches, db = _run(shared=False, batched=True)
+        assert sum(matches) > 0
+        assert db.metrics.counter("multiquery.shared_hits").value == 0
+
+
+class TestEngineRegistry:
+    def test_same_prefix_queries_form_one_group(self):
+        _events, _matches, db = _run(shared=True, batched=False)
+        assert db.metrics.gauge("multiquery.groups").value == 1.0
+        assert db._engine.group_size("q0") == len(QUERIES)
+
+    def test_shared_hits_recorded(self):
+        _events, matches, db = _run(shared=True, batched=True)
+        hits = db.metrics.counter("multiquery.shared_hits").value
+        # Every result beyond the first per (tuple, group) rode a
+        # shared prefix; with four same-prefix queries there are many.
+        assert hits > 0
+        assert hits < sum(matches)
+
+    def test_different_configs_do_not_share(self):
+        db = StreamDatabase(shared_subplans=True)
+        db.create_stream("t")
+        db.register_continuous(
+            "a", "SELECT delay FROM t WHERE delay > 50", lambda r: None
+        )
+        db.register_continuous(
+            "b",
+            "SELECT delay FROM t WHERE delay > 60",
+            lambda r: None,
+            config=ExecutorConfig(confidence=0.8),
+        )
+        assert db._engine.group_size("a") == 1
+        assert db._engine.group_size("b") == 1
+        assert db.metrics.gauge("multiquery.groups").value == 0.0
+
+    def test_unregister_leaves_group(self):
+        _events, _matches, db = _run(shared=True, batched=False)
+        db.unregister_continuous("q0")
+        assert db._engine.group_size("q1") == len(QUERIES) - 1
+        events: list[int] = []
+        db._continuous["q1"].callback = lambda r: events.append(1)
+        db.insert("t", _delay_tuples(5, 1)[0])
+        assert "q0" not in db._engine._entries
+
+    def test_drop_stream_clears_engine(self):
+        _events, _matches, db = _run(shared=True, batched=False)
+        db.drop_stream("t")
+        assert db._engine._entries == {}
+
+    def test_plan_cache_counters(self):
+        from repro.query.planner import clear_plan_cache
+
+        clear_plan_cache()
+        db = StreamDatabase()
+        db.create_stream("t")
+        db.register_continuous(
+            "a", "SELECT delay FROM t WHERE delay > 50", lambda r: None
+        )
+        db.register_continuous(
+            "b", "SELECT  delay  FROM t WHERE delay > 50", lambda r: None
+        )
+        assert db.metrics.counter("plan_cache.misses").value == 1
+        assert db.metrics.counter("plan_cache.hits").value == 1
+        # One immutable plan object shared by both executors.
+        assert (
+            db._continuous["a"].executor.query
+            is db._continuous["b"].executor.query
+        )
+
+
+class TestCallbackFaultIsolation:
+    def _db_with_bomb(self, shared: bool):
+        db = StreamDatabase(shared_subplans=shared)
+        db.create_stream("t")
+        seen: dict[str, list[float]] = {"early": [], "late": []}
+
+        def early(result):
+            seen["early"].append(result.value("x").distribution.mean())
+            raise RuntimeError("subscriber bug")
+
+        db.register_continuous("early", "SELECT x FROM t", early)
+        db.register_continuous(
+            "late",
+            "SELECT x FROM t",
+            lambda r: seen["late"].append(r.value("x").distribution.mean()),
+        )
+        return db, seen
+
+    @pytest.mark.parametrize("shared", [False, True])
+    def test_later_queries_still_dispatch(self, shared):
+        db, seen = self._db_with_bomb(shared)
+        with pytest.raises(CallbackError) as excinfo:
+            db.insert("t", {"x": 1.0})
+        assert excinfo.value.query_name == "early"
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+        # The query registered after the bomb saw the tuple.
+        assert seen["late"] == [1.0]
+        assert db._continuous["late"].matches == 1
+
+    def test_batched_aborts_after_failing_row(self):
+        db, seen = self._db_with_bomb(shared=True)
+        with pytest.raises(CallbackError):
+            db.insert_many("t", [{"x": 1.0}, {"x": 2.0}, {"x": 3.0}])
+        # The failing row completed its fan-out; later rows did not run.
+        assert seen["early"] == [1.0]
+        assert seen["late"] == [1.0]
+        assert db.count("t") == 1
+
+
+class TestInsertManyFastPaths:
+    def test_no_watchers_extends_buffer(self):
+        db = StreamDatabase()
+        db.create_stream("s")
+        inserted = db.insert_many("s", [{"x": float(i)} for i in range(10)])
+        assert inserted == 10
+        assert db.count("s") == 10
+        assert db.stats("s")["inserted"] == 10
+
+    def test_batch_validation_is_atomic(self):
+        db = StreamDatabase()
+        db.create_stream("s", Schema([("x", "number")]))
+        with pytest.raises(SchemaError):
+            db.insert_many("s", [{"x": 1.0}, {"x": "bad"}, {"x": 3.0}])
+        assert db.count("s") == 0
+
+    def test_mappings_accepted_in_batch(self):
+        db = StreamDatabase()
+        db.create_stream("s")
+        hits: list[float] = []
+        db.register_continuous(
+            "w",
+            "SELECT x FROM s WHERE x > 1",
+            lambda r: hits.append(r.value("x").distribution.mean()),
+        )
+        db.insert_many("s", [{"x": 1.0}, {"x": 2.0}, {"x": 3.0}])
+        assert hits == [2.0, 3.0]
