@@ -131,6 +131,14 @@ class AccuracyInfo:
     # width target was reached.  Zero for the analytic method.
     draws_used: int = 0
     rounds: int = 0
+    # Synopsis observability: the additional rank/probability-unit error
+    # introduced by a bounded-memory sketch synopsis standing in for the
+    # full sample (see repro.learning.sketch and docs/SKETCHES.md).
+    # Zero when the intervals were derived from exact retained state;
+    # when positive, the intervals above have already been widened by
+    # the corresponding value-unit amounts (sketch error composed with
+    # the sampling error).
+    synopsis_error: float = 0.0
 
     def __post_init__(self) -> None:
         if self.sample_size < 0:
@@ -149,6 +157,75 @@ class AccuracyInfo:
                 "draws_used and rounds must be >= 0, got "
                 f"{self.draws_used} and {self.rounds}"
             )
+        if not (self.synopsis_error >= 0.0) or math.isinf(
+            self.synopsis_error
+        ):
+            raise AccuracyError(
+                f"synopsis error must be finite and >= 0, "
+                f"got {self.synopsis_error}"
+            )
+
+    def widened(
+        self,
+        mean_eps: float,
+        variance_eps: float = 0.0,
+        bin_eps: float = 0.0,
+        synopsis_error: float | None = None,
+    ) -> "AccuracyInfo":
+        """Compose a synopsis error bound with these sampling intervals.
+
+        Bounded-memory sketch synopses (:mod:`repro.learning.sketch`)
+        stand in for the full retained sample: their estimates carry a
+        quantified additional error on top of the Lemma 1/2 sampling
+        error.  This widens the mean interval by ``±mean_eps`` (value
+        units), the variance interval by ``±variance_eps`` (the lower
+        bound stays >= 0), and every bin-height interval by ``±bin_eps``
+        (clamped to [0, 1]), and records ``synopsis_error`` (defaults to
+        ``bin_eps``, the synopsis' native rank/probability-unit bound)
+        so provenance can report it.  With all epsilons zero the record
+        is returned unchanged.
+        """
+        if mean_eps < 0 or variance_eps < 0 or bin_eps < 0:
+            raise AccuracyError(
+                f"synopsis widening must be >= 0, got "
+                f"({mean_eps}, {variance_eps}, {bin_eps})"
+            )
+        recorded = bin_eps if synopsis_error is None else synopsis_error
+        if mean_eps == 0.0 and variance_eps == 0.0 and bin_eps == 0.0:
+            if recorded == self.synopsis_error:
+                return self
+            return dataclasses.replace(self, synopsis_error=recorded)
+        mean = ConfidenceInterval(
+            self.mean.low - mean_eps,
+            self.mean.high + mean_eps,
+            self.mean.confidence,
+        )
+        variance = ConfidenceInterval(
+            max(self.variance.low - variance_eps, 0.0),
+            self.variance.high + variance_eps,
+            self.variance.confidence,
+        )
+        bins = self.bins
+        if bin_eps and bins:
+            bins = tuple(
+                BinInterval(
+                    b.lower_edge,
+                    b.upper_edge,
+                    ConfidenceInterval(
+                        b.interval.low - bin_eps,
+                        b.interval.high + bin_eps,
+                        b.interval.confidence,
+                    ).clamped(0.0, 1.0),
+                )
+                for b in bins
+            )
+        return dataclasses.replace(
+            self,
+            mean=mean,
+            variance=variance,
+            bins=bins,
+            synopsis_error=recorded,
+        )
 
     @property
     def has_bins(self) -> bool:
@@ -165,6 +242,11 @@ class AccuracyInfo:
             f"  mean     {self.mean}",
             f"  variance {self.variance}",
         ]
+        if self.synopsis_error:
+            lines.append(
+                f"  synopsis error +/-{self.synopsis_error:.4g} "
+                f"(sketch, folded into the intervals above)"
+            )
         for b in self.bins:
             lines.append(
                 f"  bin [{b.lower_edge:.4g}, {b.upper_edge:.4g}) "

@@ -63,11 +63,14 @@ def render_metrics_table(
 
     Columns: operator id, tuples in/out, selectivity (out/in), number of
     ``receive``/``receive_many`` calls, self wall-time (inclusive time
-    minus the next stage's — exact for a linear push pipeline), and the
-    mean emitted confidence-interval width where recorded.
+    minus the next stage's — exact for a linear push pipeline), the
+    mean emitted confidence-interval width where recorded, and the
+    retained state bytes sampled at flush (``memory_metrics``
+    operators).
     """
     rows = []
     for row in operator_rows(registry):
+        state = row.get("state_bytes")
         rows.append(
             [
                 row["operator"],
@@ -78,6 +81,7 @@ def render_metrics_table(
                 row.get("self_seconds", row["inclusive_seconds"]),
                 row.get("interval_width_mean", "-"),
                 row.get("sample_size_min", "-"),
+                int(state) if state is not None else "-",
             ]
         )
     return render_table(
@@ -90,6 +94,7 @@ def render_metrics_table(
             "self_s",
             "ci_width",
             "min_n",
+            "state_B",
         ],
         rows,
         title=title,

@@ -23,6 +23,16 @@ from repro.learning.registry import (
     make_rolling_learner,
     register_learner,
 )
+from repro.learning.sketch import (
+    AmsSketch,
+    CountMinSketch,
+    FrequencySketchLearner,
+    HistogramSynopsis,
+    HistogramSynopsisLearner,
+    KllSketch,
+    QuantileSketchLearner,
+    SketchWindowState,
+)
 
 __all__ = [
     "Learner",
@@ -41,4 +51,12 @@ __all__ = [
     "make_learner",
     "make_rolling_learner",
     "register_learner",
+    "AmsSketch",
+    "CountMinSketch",
+    "FrequencySketchLearner",
+    "HistogramSynopsis",
+    "HistogramSynopsisLearner",
+    "KllSketch",
+    "QuantileSketchLearner",
+    "SketchWindowState",
 ]

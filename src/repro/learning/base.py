@@ -100,6 +100,14 @@ class Learner(abc.ABC):
     #: carrying learners compute per-slide accuracy instead.
     partial_vectorizable: bool = False
 
+    #: Whether the rolling state handles sliding-window eviction itself
+    #: (bounded-memory sketch synopses: :mod:`repro.learning.sketch`).
+    #: When set, the owning operator keeps only a fill counter — no
+    #: O(window) value buffer — and calls ``partial_evict(state, None)``
+    #: once per expiry; the evicted value is not replayed because the
+    #: state expires its own oldest content (FIFO chunk expiry).
+    partial_self_evicting: bool = False
+
     @abc.abstractmethod
     def learn(self, sample: "np.ndarray | list[float]") -> LearnedDistribution:
         """Fit a distribution to the sample; raises LearningError if unfit."""

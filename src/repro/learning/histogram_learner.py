@@ -40,6 +40,15 @@ class _HistogramPartial(PartialFitState):
         self._edge_list = [float(e) for e in edges]
         self.counts = [0] * (len(edges) - 1)
 
+    @property
+    def nbytes(self) -> int:
+        return (
+            super().nbytes
+            + self.edges.nbytes
+            + 32 * len(self._edge_list)
+            + 40 * len(self.counts)
+        )
+
     def bin_index(self, x: float) -> int:
         """Bucket of ``x`` under ``np.histogram`` semantics, after clamping.
 

@@ -163,6 +163,16 @@ class PartialFitState:
     # -- statistics ---------------------------------------------------------
 
     @property
+    def nbytes(self) -> int:
+        """Approximate retained bytes (feeds the ``state.bytes`` gauge).
+
+        Dominated by the multiset mirror: one dict entry (boxed float
+        key + boxed int count) is ~100 bytes — O(distinct window values),
+        which is O(window) for continuous observations.
+        """
+        return 160 + 100 * len(self._mirror)
+
+    @property
     def mean(self) -> float:
         """Sample mean of the current window."""
         if self.count < 1:

@@ -15,6 +15,11 @@ from repro.learning.empirical_learner import EmpiricalLearner
 from repro.learning.gaussian_learner import GaussianLearner
 from repro.learning.histogram_learner import HistogramLearner
 from repro.learning.kde_learner import KdeLearner
+from repro.learning.sketch.learners import (
+    FrequencySketchLearner,
+    HistogramSynopsisLearner,
+    QuantileSketchLearner,
+)
 from repro.learning.weighted import WeightedLearner
 
 __all__ = [
@@ -30,6 +35,12 @@ LEARNERS: dict[str, Callable[..., Learner]] = {
     "empirical": EmpiricalLearner,
     "kde": KdeLearner,
     "weighted": WeightedLearner,
+    # Bounded-memory sketch synopses (repro.learning.sketch): memory
+    # stays O(sketch) for any window size, at a quantified widening of
+    # the emitted accuracy intervals (docs/SKETCHES.md).
+    "sketch-quantile": QuantileSketchLearner,
+    "sketch-frequency": FrequencySketchLearner,
+    "sketch-histogram": HistogramSynopsisLearner,
 }
 
 

@@ -1,0 +1,48 @@
+"""Bounded-memory sketch synopses for million-tuple windows.
+
+Every exact learner retains its full sample (``EmpiricalLearner`` keeps
+the observations, ``PartialFitState`` mirrors the window as a multiset),
+so memory grows O(window x keys).  This package provides *synopses* —
+compact, mergeable summaries with quantified error — that stand in for
+the full sample and convert memory from a scaling wall into an accuracy
+knob:
+
+* :class:`~repro.learning.sketch.quantile.KllSketch` — a KLL-style
+  mergeable quantile sketch with deterministic, seed-stable compaction
+  and a self-reported rank-error bound;
+* :class:`~repro.learning.sketch.frequency.CountMinSketch` /
+  :class:`~repro.learning.sketch.frequency.AmsSketch` — frequency and
+  second-moment estimation with exactly associative integer merges;
+* :class:`~repro.learning.sketch.histogram.HistogramSynopsis` — a
+  bounded-bucket probabilistic-histogram synopsis over pinned edges;
+* :class:`~repro.learning.sketch.window.SketchWindowState` — the
+  sliding-window wrapper: a ring of per-chunk sub-synopses with exact
+  chunk statistics, whole-chunk eviction, and pair-merge doubling that
+  keeps the live chunk count bounded for any window size;
+* :mod:`~repro.learning.sketch.learners` — the ``Learner`` registry
+  entries (``"sketch-quantile"``, ``"sketch-frequency"``,
+  ``"sketch-histogram"``) whose ``partial_*`` hooks ride the window
+  state and whose accuracy records fold the synopsis error into the
+  Lemma 1/2 intervals (see ``docs/SKETCHES.md``).
+"""
+
+from repro.learning.sketch.frequency import AmsSketch, CountMinSketch
+from repro.learning.sketch.histogram import HistogramSynopsis
+from repro.learning.sketch.learners import (
+    FrequencySketchLearner,
+    HistogramSynopsisLearner,
+    QuantileSketchLearner,
+)
+from repro.learning.sketch.quantile import KllSketch
+from repro.learning.sketch.window import SketchWindowState
+
+__all__ = [
+    "AmsSketch",
+    "CountMinSketch",
+    "FrequencySketchLearner",
+    "HistogramSynopsis",
+    "HistogramSynopsisLearner",
+    "KllSketch",
+    "QuantileSketchLearner",
+    "SketchWindowState",
+]

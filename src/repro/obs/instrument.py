@@ -71,6 +71,7 @@ class OperatorMetrics:
         "sample_sizes",
         "rolling_resums",
         "rolling_drift",
+        "state_bytes",
     )
 
     def __init__(
@@ -80,6 +81,7 @@ class OperatorMetrics:
         accuracy_attribute: str | None = None,
         confidence: float = 0.95,
         rolling: bool = False,
+        memory: bool = False,
     ) -> None:
         self.name = name
         self.tuples_in = registry.counter(
@@ -134,6 +136,13 @@ class OperatorMetrics:
         else:
             self.rolling_resums = None
             self.rolling_drift = None
+        if memory:
+            self.state_bytes = registry.gauge(
+                f"{name}.state.bytes",
+                "approximate retained operator state, sampled on flush",
+            )
+        else:
+            self.state_bytes = None
 
     def observe_accuracy(self, tup) -> None:
         """Record interval width + sample size of one emitted tuple."""
@@ -191,6 +200,10 @@ def operator_rows(
         op_id, _, metric = name.rpartition(".")
         if not op_id:
             continue
+        if metric == "bytes" and op_id.endswith(".state"):
+            # ``{op}.state.bytes`` belongs to the parent operator row,
+            # not a phantom ``{op}.state`` operator.
+            op_id, metric = op_id[: -len(".state")], "state_bytes"
         bucket = per_op.setdefault(op_id, {})
         bucket[metric] = state
     rows: list[dict[str, object]] = []
@@ -225,6 +238,9 @@ def operator_rows(
         sizes = metrics.get("sample_size")
         if sizes is not None and sizes.get("count"):
             row["sample_size_min"] = sizes["min"]
+        state = metrics.get("state_bytes")
+        if state is not None:
+            row["state_bytes"] = state["value"]
         rows.append(row)
     rows.sort(key=lambda r: _stage_sort_key(str(r["operator"])))
     # Self-time: subtract the next stage's inclusive time within the

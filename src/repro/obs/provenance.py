@@ -106,6 +106,7 @@ def _describe_payload(value: object) -> dict[str, object] | None:
             "resamples": resamples,
             "draws_used": value.draws_used,
             "rounds": value.rounds,
+            "synopsis_error": value.synopsis_error,
         }
     if (
         isinstance(value, DfSized)
@@ -152,6 +153,7 @@ class ProvenanceRecord:
     resamples: int | None = None
     draws_used: int = 0
     rounds: int = 0
+    synopsis_error: float = 0.0
     lineage: dict[str, object] | None = None
     span_id: str | None = None
 
@@ -205,6 +207,11 @@ class ProvenanceRecord:
                 f"values_used={self.values_used}, "
                 f"values_dropped={self.values_dropped}, "
                 f"draws_used={self.draws_used}, rounds={self.rounds}"
+            )
+        if self.synopsis_error:
+            lines.append(
+                f"  synopsis error +/-{self.synopsis_error:.6g} "
+                f"(bounded-memory sketch; folded into the CI)"
             )
         lineage = self.lineage
         if lineage:

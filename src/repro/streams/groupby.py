@@ -13,17 +13,23 @@ Each group's window rides the rolling kernels of
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 
 from repro.errors import StreamError
 from repro.streams.columnar import EXACT_SIZE, ColumnarBatch, _infer_column
 from repro.streams.operators import Operator, _aggregate_value
-from repro.streams.rolling import DEFAULT_RESUM_INTERVAL, RollingWindowStats
+from repro.streams.rolling import (
+    DEFAULT_RESUM_INTERVAL,
+    ChunkedWindowStats,
+    RollingWindowStats,
+)
 from repro.streams.tuples import UncertainTuple
 
 __all__ = ["GroupedAggregate"]
 
 _AGGS = ("avg", "sum", "count", "min", "max")
+_SYNOPSES = ("exact", "chunked")
 
 
 class GroupedAggregate(Operator):
@@ -48,9 +54,24 @@ class GroupedAggregate(Operator):
     resum_interval:
         Evictions between drift-guard re-sums of each group's running
         sums (see :class:`~repro.streams.rolling.RollingWindowStats`).
+    expire_after:
+        Global-arrival TTL: a group member expires once this many
+        further tuples (of *any* key) have arrived, and a group whose
+        window fully drains is reclaimed — state and all.  Without it,
+        per-key state lives forever, which is unbounded under a
+        churning key space.  ``None`` (default) keeps the historical
+        keep-forever behavior.
+    synopsis:
+        ``"exact"`` (default) buffers every window member per group
+        (:class:`~repro.streams.rolling.RollingWindowStats`, O(window)
+        per key); ``"chunked"`` keeps bounded chunk statistics instead
+        (:class:`~repro.streams.rolling.ChunkedWindowStats`, ~O(1) per
+        key at a quantified staleness) — the memory mode for GROUP BY
+        over very large key spaces (docs/SKETCHES.md).
     """
 
     rolling_metrics = True
+    memory_metrics = True
 
     def __init__(
         self,
@@ -61,12 +82,22 @@ class GroupedAggregate(Operator):
         output: str | None = None,
         emit_every: bool = True,
         resum_interval: int = DEFAULT_RESUM_INTERVAL,
+        expire_after: int | None = None,
+        synopsis: str = "exact",
     ) -> None:
         super().__init__()
         if agg not in _AGGS:
             raise StreamError(f"unknown aggregate {agg!r}; expected {_AGGS}")
         if window_size < 1:
             raise StreamError(f"window size must be >= 1, got {window_size}")
+        if expire_after is not None and expire_after < 1:
+            raise StreamError(
+                f"expire_after must be >= 1, got {expire_after}"
+            )
+        if synopsis not in _SYNOPSES:
+            raise StreamError(
+                f"unknown synopsis {synopsis!r}; expected {_SYNOPSES}"
+            )
         self.key = key
         self.attribute = attribute
         self.window_size = window_size
@@ -74,7 +105,18 @@ class GroupedAggregate(Operator):
         self.output = output if output is not None else agg
         self.emit_every = emit_every
         self.resum_interval = resum_interval
+        self.expire_after = expire_after
+        self.synopsis = synopsis
         self._groups: dict[object, RollingWindowStats] = {}
+        #: TTL bookkeeping: (expiry arrival index, key) per pushed
+        #: member, plus per-key credits for members the per-group window
+        #: already evicted ahead of their TTL (so they are not evicted
+        #: twice).
+        self._ttl: deque[tuple[int, object]] | None = (
+            deque() if expire_after is not None else None
+        )
+        self._early: dict[object, int] = {}
+        self._arrivals = 0
 
     def _sync_rolling_metrics(self) -> None:
         obs = self._obs
@@ -88,15 +130,51 @@ class GroupedAggregate(Operator):
     def _group_stats(self, group_key: object) -> RollingWindowStats:
         stats = self._groups.get(group_key)
         if stats is None:
-            stats = RollingWindowStats(
-                self.resum_interval,
-                track_extrema=self.agg in ("min", "max"),
-            )
+            if self.synopsis == "chunked":
+                stats = ChunkedWindowStats(self.resum_interval)
+            else:
+                stats = RollingWindowStats(
+                    self.resum_interval,
+                    track_extrema=self.agg in ("min", "max"),
+                )
             obs = self._obs
             if obs is not None:
                 stats.set_metrics(obs.rolling_resums, obs.rolling_drift)
             self._groups[group_key] = stats
         return stats
+
+    def _after_push(self, group_key: object, stats) -> None:
+        """Window eviction + TTL bookkeeping for one pushed member."""
+        if stats.count > self.window_size:
+            stats.evict_oldest()
+            if self._ttl is not None:
+                self._early[group_key] = self._early.get(group_key, 0) + 1
+        ttl = self._ttl
+        if ttl is None:
+            return
+        self._arrivals += 1
+        ttl.append((self._arrivals + self.expire_after, group_key))
+        arrivals = self._arrivals
+        early = self._early
+        groups = self._groups
+        while ttl and ttl[0][0] <= arrivals:
+            _, expired_key = ttl.popleft()
+            credit = early.get(expired_key)
+            if credit:
+                if credit == 1:
+                    del early[expired_key]
+                else:
+                    early[expired_key] = credit - 1
+                continue
+            expired = groups.get(expired_key)
+            if expired is None:
+                continue
+            expired.evict_oldest()
+            if expired.count == 0:
+                # Fully drained: reclaim the per-key state.  Remaining
+                # TTL entries for this key (if any) are exactly covered
+                # by its surviving early-eviction credits.
+                del groups[expired_key]
 
     def _aggregate(self, group_key: object) -> UncertainTuple:
         value = _aggregate_value(self._groups[group_key], self.agg)
@@ -108,8 +186,7 @@ class GroupedAggregate(Operator):
         dist = field.distribution
         stats = self._group_stats(group_key)
         stats.push(dist.mean(), dist.variance(), field.sample_size)
-        if stats.count > self.window_size:
-            stats.evict_oldest()
+        self._after_push(group_key, stats)
         if self.emit_every:
             self.emit(self._aggregate(group_key))
 
@@ -118,10 +195,10 @@ class GroupedAggregate(Operator):
             key_column = tuples.column(self.key)
             column = tuples.gaussian_column(self.attribute)
             if key_column is not None and column is not None:
-                window = self.window_size
                 agg = self.agg
                 emit_every = self.emit_every
                 group_stats = self._group_stats
+                after_push = self._after_push
                 outputs = []
                 for group_key, mu, sigma2, size in zip(
                     key_column.values(),
@@ -133,8 +210,7 @@ class GroupedAggregate(Operator):
                     stats.push(
                         mu, sigma2, None if size == EXACT_SIZE else size
                     )
-                    if stats.count > window:
-                        stats.evict_oldest()
+                    after_push(group_key, stats)
                     if emit_every:
                         outputs.append(_aggregate_value(stats, agg))
                 if emit_every:
@@ -164,3 +240,12 @@ class GroupedAggregate(Operator):
     @property
     def group_count(self) -> int:
         return len(self._groups)
+
+    def state_bytes(self) -> int:
+        """Retained per-key state, for the ``state.bytes`` gauge."""
+        total = 96 * len(self._groups)  # dict slots + key objects
+        for stats in self._groups.values():
+            total += stats.nbytes
+        if self._ttl is not None:
+            total += 64 * len(self._ttl) + 96 * len(self._early)
+        return total

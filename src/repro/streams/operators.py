@@ -88,6 +88,12 @@ class Operator(abc.ABC):
     #: triggers :meth:`_sync_rolling_metrics` on attach/detach.
     rolling_metrics: bool = False
 
+    #: Set by operators with meaningful retained state: registers the
+    #: per-operator ``state.bytes`` gauge, sampled from
+    #: :meth:`state_bytes` on every :meth:`flush` (opt-in, like
+    #: ``rolling_metrics``, so stateless operators pay nothing).
+    memory_metrics: bool = False
+
     def __init__(self) -> None:
         self._downstream: Operator | None = None
         self._obs: OperatorMetrics | None = None
@@ -109,6 +115,7 @@ class Operator(abc.ABC):
             name,
             self.accuracy_attribute,
             rolling=self.rolling_metrics,
+            memory=self.memory_metrics,
         )
         self._sync_rolling_metrics()
         return self._obs
@@ -289,11 +296,24 @@ class Operator(abc.ABC):
                     obs.flush_seconds.record(elapsed)
                 if trace is not None:
                     trace.seconds += elapsed
+            if obs is not None and obs.state_bytes is not None:
+                retained = self.state_bytes()
+                if retained is not None:
+                    obs.state_bytes.set(retained)
         if self._downstream is not None:
             self._downstream.flush()
 
     def on_flush(self) -> None:
         """Hook for subclasses with buffered state."""
+
+    def state_bytes(self) -> int | None:
+        """Approximate bytes of retained operator state, or ``None``.
+
+        Operators with ``memory_metrics = True`` override this; the
+        value is sampled into the ``{op}.state.bytes`` gauge on every
+        :meth:`flush` (not per tuple — sizing state can be O(state)).
+        """
+        return None
 
 
 class _BatchCollector(Operator):
@@ -474,6 +494,7 @@ class SlidingGaussianAverage(Operator):
     """
 
     rolling_metrics = True
+    memory_metrics = True
 
     def __init__(
         self,
@@ -590,6 +611,9 @@ class SlidingGaussianAverage(Operator):
             )
         )
 
+    def state_bytes(self) -> int:
+        return self._stats.nbytes
+
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
         return _window_lineage(tup, self.attribute, self.output)
 
@@ -667,6 +691,7 @@ class WindowAggregate(Operator):
     """
 
     rolling_metrics = True
+    memory_metrics = True
 
     def __init__(
         self,
@@ -740,6 +765,9 @@ class WindowAggregate(Operator):
                 )
                 return
         self.emit_many([self._advance(tup) for tup in tuples])
+
+    def state_bytes(self) -> int:
+        return self._stats.nbytes
 
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
         return _window_lineage(tup, self.attribute, self.output)
@@ -832,6 +860,7 @@ class TimeWindowAggregate(Operator):
     """
 
     rolling_metrics = True
+    memory_metrics = True
 
     def __init__(
         self,
@@ -925,6 +954,9 @@ class TimeWindowAggregate(Operator):
                 return
         super().process_many(tuples)
 
+    def state_bytes(self) -> int:
+        return self._stats.nbytes
+
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
         return _window_lineage(tup, self.attribute, self.output)
 
@@ -953,6 +985,7 @@ class RollingLearnOperator(Operator):
     """
 
     rolling_metrics = True
+    memory_metrics = True
 
     def __init__(
         self,
@@ -1000,7 +1033,16 @@ class RollingLearnOperator(Operator):
         )
         self.confidence = confidence
         self.emit_partial = emit_partial
-        self._window: CountWindow[float] = CountWindow(window_size)
+        # Self-evicting learners (bounded-memory sketch synopses) expire
+        # their own oldest content, so the operator keeps a fill counter
+        # instead of an O(window) value buffer — the buffer would defeat
+        # the whole memory bound.
+        self._window: CountWindow[float] | None = (
+            None
+            if getattr(learner, "partial_self_evicting", False)
+            else CountWindow(window_size)
+        )
+        self._fill = 0
         self._state = learner.partial_begin(resum_interval)
 
     def _sync_rolling_metrics(self) -> None:
@@ -1020,13 +1062,22 @@ class RollingLearnOperator(Operator):
             )
         value = float(value)
         self.learner.partial_add(self._state, value)
-        evicted = self._window.add(value)
-        if evicted is not None:
-            self.learner.partial_evict(self._state, evicted)
-        k = len(self._window)
+        if self._window is not None:
+            evicted = self._window.add(value)
+            if evicted is not None:
+                self.learner.partial_evict(self._state, evicted)
+            k = len(self._window)
+            full = self._window.is_full
+        else:
+            if self._fill >= self.window_size:
+                self.learner.partial_evict(self._state, None)
+            else:
+                self._fill += 1
+            k = self._fill
+            full = k >= self.window_size
         if k < 2:
             return None
-        if not self.emit_partial and not self._window.is_full:
+        if not self.emit_partial and not full:
             return None
         return k
 
@@ -1083,6 +1134,14 @@ class RollingLearnOperator(Operator):
             attributes[self.accuracy_output] = info
             outs.append(tup.with_attributes(attributes))
         self.emit_many(outs)
+
+    def state_bytes(self) -> int:
+        """Learner state plus (for buffering learners) the value window."""
+        total = getattr(self._state, "nbytes", 0) or 0
+        if self._window is not None:
+            # deque of boxed floats: ~88 bytes per buffered observation.
+            total += 64 + len(self._window) * 88
+        return total
 
     def trace_lineage(self, tup: UncertainTuple) -> dict[str, object]:
         learned = tup.attributes.get(self.output)

@@ -42,6 +42,7 @@ __all__ = [
     "SlidingExtremum",
     "MinSizeTracker",
     "RollingWindowStats",
+    "ChunkedWindowStats",
 ]
 
 #: Evictions between exact re-sums of the compensated running sums.
@@ -386,5 +387,227 @@ class RollingWindowStats:
         """Iterate the current (mean, variance, size) members, oldest first."""
         return iter(self._entries)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained bytes (feeds the ``state.bytes`` gauge).
+
+        Dominated by the member buffer: each deque entry is a 3-tuple of
+        boxed floats (~120 bytes with the deque block share); extrema
+        deques and the size multiset add a bounded constant factor.
+        """
+        members = len(self._entries)
+        extrema = (
+            (len(self._min) + len(self._max)) * 56
+            if self._min is not None
+            else 0
+        )
+        return (
+            160
+            + members * 120
+            + len(self._timestamps) * 32
+            + len(self._sizes._counts) * 72
+            + extrema
+        )
+
     def __len__(self) -> int:
         return len(self._entries)
+
+
+class _StatsChunk:
+    """Add-only sufficient statistics of one chunk of window members."""
+
+    __slots__ = (
+        "count", "mean_sum", "var_sum", "min_mean", "max_mean", "min_size"
+    )
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean_sum = 0.0
+        self.var_sum = 0.0
+        self.min_mean = math.inf
+        self.max_mean = -math.inf
+        self.min_size: int | None = None
+
+    def push(self, mean: float, variance: float, size: int | None) -> None:
+        self.count += 1
+        self.mean_sum += mean
+        self.var_sum += variance
+        if mean < self.min_mean:
+            self.min_mean = mean
+        if mean > self.max_mean:
+            self.max_mean = mean
+        if size is not None and (
+            self.min_size is None or size < self.min_size
+        ):
+            self.min_size = size
+
+    def merged_with(self, other: "_StatsChunk") -> "_StatsChunk":
+        out = _StatsChunk()
+        out.count = self.count + other.count
+        out.mean_sum = self.mean_sum + other.mean_sum
+        out.var_sum = self.var_sum + other.var_sum
+        out.min_mean = min(self.min_mean, other.min_mean)
+        out.max_mean = max(self.max_mean, other.max_mean)
+        sizes = [
+            s for s in (self.min_size, other.min_size) if s is not None
+        ]
+        out.min_size = min(sizes) if sizes else None
+        return out
+
+
+class ChunkedWindowStats:
+    """Bounded-memory drop-in for :class:`RollingWindowStats`.
+
+    Where ``RollingWindowStats`` buffers every window member (O(window)
+    per group — ruinous for GROUP BY over millions of keys), this keeps
+    a ring of add-only chunk statistics with whole-chunk eviction, the
+    same scheme as :class:`repro.learning.sketch.window.
+    SketchWindowState`: ~O(chunk_count) memory for any window size, with
+    the expired-but-retained tail quantified as :attr:`staleness`
+    (bounded near ``1 / chunk_count``).  Running sums are *scaled* to
+    the live count, so ``avg`` reads the retained average and ``sum``
+    its live-count extrapolation; ``min_mean``/``max_mean`` and
+    ``df_size`` range over the retained mass (conservative for Lemma 3:
+    a superset minimum is never larger than the true one).
+
+    There are no compensated subtractions here — chunk sums are
+    add-only — so there is no drift guard; ``resum_interval`` is
+    accepted for signature compatibility and ignored, ``set_metrics``
+    is a no-op.  ``evict_oldest`` returns ``None``: the evicted
+    member's values are no longer individually known.
+    """
+
+    __slots__ = (
+        "chunk_count", "chunk_size", "_chunks", "pending", "_retained",
+        "track_extrema",
+    )
+
+    #: Ring-size target; live chunks stay within [count, 2 * count].
+    DEFAULT_CHUNK_COUNT = 16
+
+    def __init__(
+        self,
+        resum_interval: int = DEFAULT_RESUM_INTERVAL,
+        track_extrema: bool = True,
+        chunk_count: int = DEFAULT_CHUNK_COUNT,
+        chunk_size: int = 64,
+    ) -> None:
+        check_resum_interval(resum_interval)
+        if chunk_count < 2:
+            raise StreamError(
+                f"chunk count must be >= 2, got {chunk_count}"
+            )
+        if chunk_size < 1:
+            raise StreamError(f"chunk size must be >= 1, got {chunk_size}")
+        self.chunk_count = int(chunk_count)
+        self.chunk_size = int(chunk_size)
+        self._chunks: list[_StatsChunk] = []
+        self.pending = 0
+        self._retained = 0
+        self.track_extrema = track_extrema
+
+    # -- window maintenance -------------------------------------------------
+
+    def push(
+        self,
+        mean: float,
+        variance: float,
+        size: int | None = None,
+        timestamp: float | None = None,
+    ) -> None:
+        if timestamp is not None:
+            raise StreamError(
+                "ChunkedWindowStats does not support time-based windows"
+            )
+        chunks = self._chunks
+        if not chunks or chunks[-1].count >= self.chunk_size:
+            chunks.append(_StatsChunk())
+            if len(chunks) > 2 * self.chunk_count:
+                merged = [
+                    chunks[i].merged_with(chunks[i + 1])
+                    for i in range(0, len(chunks) - 1, 2)
+                ]
+                if len(chunks) % 2:
+                    merged.append(chunks[-1])
+                self._chunks = chunks = merged
+                self.chunk_size *= 2
+        chunks[-1].push(mean, variance, size)
+        self._retained += 1
+
+    def evict_oldest(self) -> None:
+        """Logically expire the oldest member (whole-chunk reclamation)."""
+        if self.count < 1:
+            raise StreamError("evict from an empty window")
+        self.pending += 1
+        chunks = self._chunks
+        while len(chunks) > 1 and self.pending >= chunks[0].count:
+            dropped = chunks.pop(0)
+            self.pending -= dropped.count
+            self._retained -= dropped.count
+
+    def set_metrics(self, resums_counter, drift_histogram) -> None:
+        """No drift guard to bind: chunk statistics are add-only."""
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Live (logical) window fill: retained minus pending-evicted."""
+        return self._retained - self.pending
+
+    @property
+    def staleness(self) -> float:
+        """Fraction of retained mass that has already logically expired."""
+        return self.pending / self._retained if self._retained else 0.0
+
+    @property
+    def mean_sum(self) -> float:
+        """Retained mean sum scaled to the live count.
+
+        ``mean_sum / count`` is then exactly the retained average, and
+        ``sum`` aggregates extrapolate it over the live membership.
+        """
+        return self._scaled(math.fsum(c.mean_sum for c in self._chunks))
+
+    @property
+    def var_sum(self) -> float:
+        return max(
+            self._scaled(math.fsum(c.var_sum for c in self._chunks)), 0.0
+        )
+
+    def _scaled(self, retained_sum: float) -> float:
+        if self.pending == 0:
+            return retained_sum
+        return retained_sum * (self.count / self._retained)
+
+    @property
+    def min_mean(self) -> float:
+        if not self.track_extrema:
+            raise StreamError("window was built without extrema tracking")
+        if not self._chunks:
+            raise StreamError("sliding extremum of an empty window")
+        return min(c.min_mean for c in self._chunks)
+
+    @property
+    def max_mean(self) -> float:
+        if not self.track_extrema:
+            raise StreamError("window was built without extrema tracking")
+        if not self._chunks:
+            raise StreamError("sliding extremum of an empty window")
+        return max(c.max_mean for c in self._chunks)
+
+    @property
+    def df_size(self) -> int | None:
+        """Minimum sample size over the retained members (Lemma 3)."""
+        sizes = [
+            c.min_size for c in self._chunks if c.min_size is not None
+        ]
+        return min(sizes) if sizes else None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained bytes (feeds the ``state.bytes`` gauge)."""
+        return 120 + len(self._chunks) * 110
+
+    def __len__(self) -> int:
+        return self.count

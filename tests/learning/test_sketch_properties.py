@@ -1,0 +1,254 @@
+"""Property-based guarantees of the sketch synopses.
+
+Three families, per the subsystem's contract (docs/SKETCHES.md):
+
+* **Error bounds** — every estimate stays within the synopsis' own
+  advertised epsilon, including on adversarial streams (sorted runs,
+  duplicate-heavy pools, mixed magnitudes).  The KLL bound checked here
+  is the *self-reported* certificate, not the asymptotic constant.
+* **Merge algebra** — Count-Min/AMS/histogram merges are exactly
+  associative and commutative (byte-identical under pickle); the KLL
+  merge is byte-identical under operand swap and keeps its certificate
+  valid under any grouping.
+* **Determinism** — a sketch is a pure function of its input sequence
+  (seed-stable internals), and a pinned shard decomposition folds to
+  byte-identical results however often it is replayed.
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.sketch import (
+    AmsSketch,
+    CountMinSketch,
+    HistogramSynopsis,
+    KllSketch,
+)
+from repro.learning.sketch.window import SketchWindowState
+
+finite = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    width=64,
+    min_value=-1e9,
+    max_value=1e9,
+)
+streams = st.lists(finite, min_size=1, max_size=250)
+# Duplicate-heavy: values drawn from a tiny pool, the worst case for
+# rank queries (huge ties) and the best case for frequency sketches.
+dup_streams = st.lists(
+    st.sampled_from([-2.5, -1.0, -0.0, 0.0, 1.0, 3.5]),
+    min_size=1,
+    max_size=250,
+)
+
+
+def _build_kll(values, k=32):
+    sketch = KllSketch(k)
+    for x in values:
+        sketch.update(x)
+    return sketch
+
+
+def _assert_kll_within_epsilon(sketch, values):
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    budget = sketch.epsilon * n + 1e-6
+    for probe in np.unique(arr):
+        true_rank = float(np.sum(arr <= probe))
+        assert abs(sketch.rank(probe) - true_rank) <= budget
+
+
+class TestKllErrorBounds:
+    @given(values=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_rank_within_certificate(self, values):
+        _assert_kll_within_epsilon(_build_kll(values), values)
+
+    @given(values=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_within_certificate_sorted(self, values):
+        ordered = sorted(values)
+        _assert_kll_within_epsilon(_build_kll(ordered), ordered)
+
+    @given(values=dup_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_rank_within_certificate_duplicates(self, values):
+        _assert_kll_within_epsilon(_build_kll(values), values)
+
+    @given(values=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_extrema_and_count_exact(self, values):
+        sketch = _build_kll(values)
+        assert sketch.n == len(values)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+        assert sketch.quantile(0.0) == min(values)
+        assert sketch.quantile(1.0) == max(values)
+
+    @given(values=streams, split=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_certificate_still_valid(self, values, split):
+        split = min(split, len(values))
+        merged = _build_kll(values[:split]).merge(
+            _build_kll(values[split:])
+        )
+        assert merged.n == len(values)
+        _assert_kll_within_epsilon(merged, values)
+
+
+class TestMergeAlgebra:
+    @given(values=streams, split=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=60, deadline=None)
+    def test_kll_merge_commutative_bytes(self, values, split):
+        split = min(split, len(values))
+        a = _build_kll(values[:split])
+        b = _build_kll(values[split:])
+        assert pickle.dumps(a.merge(b)) == pickle.dumps(b.merge(a))
+
+    @given(
+        values=dup_streams,
+        cut1=st.integers(min_value=0, max_value=250),
+        cut2=st.integers(min_value=0, max_value=250),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_merge_associative_commutative_bytes(
+        self, values, cut1, cut2
+    ):
+        lo, hi = sorted((min(cut1, len(values)), min(cut2, len(values))))
+        parts = [values[:lo], values[lo:hi], values[hi:]]
+        sketches = []
+        for part in parts:
+            sketch = CountMinSketch(width=64, depth=3)
+            for x in part:
+                sketch.update(x)
+            sketches.append(sketch)
+        a, b, c = sketches
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        swapped = c.merge(a.merge(b))
+        assert pickle.dumps(left) == pickle.dumps(right)
+        assert pickle.dumps(left) == pickle.dumps(swapped)
+
+    @given(values=dup_streams, cut=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_ams_merge_matches_single_pass_bytes(self, values, cut):
+        cut = min(cut, len(values))
+        a = AmsSketch(width=32, depth=3)
+        b = AmsSketch(width=32, depth=3)
+        whole = AmsSketch(width=32, depth=3)
+        for x in values[:cut]:
+            a.update(x)
+        for x in values[cut:]:
+            b.update(x)
+        for x in values:
+            whole.update(x)
+        merged = a.merge(b)
+        # Integer counters: merging shards equals one pass, exactly.
+        assert pickle.dumps(merged) == pickle.dumps(whole)
+        assert pickle.dumps(merged) == pickle.dumps(b.merge(a))
+
+    @given(values=streams, cut=st.integers(min_value=0, max_value=250))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_merge_matches_single_pass_bytes(self, values, cut):
+        cut = min(cut, len(values))
+        edges = np.linspace(-1e9, 1e9, 9)
+        a, b, whole = (HistogramSynopsis(edges) for _ in range(3))
+        for x in values[:cut]:
+            a.update(x)
+        for x in values[cut:]:
+            b.update(x)
+        for x in values:
+            whole.update(x)
+        assert pickle.dumps(a.merge(b)) == pickle.dumps(whole)
+        assert pickle.dumps(a.merge(b)) == pickle.dumps(b.merge(a))
+
+
+class TestFrequencyBounds:
+    @given(values=dup_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_one_sided_within_epsilon(self, values):
+        sketch = CountMinSketch(width=64, depth=3)
+        for x in values:
+            sketch.update(x)
+        arr = np.asarray(values, dtype=float)
+        budget = sketch.epsilon * len(values) + 1e-9
+        for probe in np.unique(arr):
+            true = float(np.sum(arr == probe))
+            estimate = sketch.estimate(probe)
+            assert estimate >= true  # never under-counts
+            assert estimate <= true + budget
+
+    def test_negative_zero_canonicalized(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        sketch.update(-0.0)
+        sketch.update(0.0)
+        assert sketch.estimate(0.0) == sketch.estimate(-0.0) == 2
+
+    @given(values=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_counts_exact(self, values):
+        edges = np.linspace(-1e9, 1e9, 9)
+        synopsis = HistogramSynopsis(edges)
+        for x in values:
+            synopsis.update(x)
+        assert synopsis.n == len(values)
+        assert int(synopsis.counts.sum()) == len(values)
+        assert synopsis.epsilon == 0.0  # nothing outside the range
+
+
+class TestDeterminism:
+    @given(values=streams)
+    @settings(max_examples=40, deadline=None)
+    def test_rebuild_is_byte_identical(self, values):
+        assert pickle.dumps(_build_kll(values)) == pickle.dumps(
+            _build_kll(values)
+        )
+
+    @given(values=streams, n_shards=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_pinned_shard_fold_is_replayable(self, values, n_shards):
+        """Fixed decomposition + fixed fold order => byte-stable result.
+
+        This is the merge-side half of the sharded contract: worker
+        count never changes which shard holds what, so folding the
+        pinned shards in order must be a pure function.
+        """
+
+        def fold():
+            shards = [
+                _build_kll(values[i::n_shards]) for i in range(n_shards)
+            ]
+            merged = shards[0]
+            for shard in shards[1:]:
+                merged = merged.merge(shard)
+            return pickle.dumps(merged)
+
+        assert fold() == fold()
+
+    @given(
+        values=st.lists(finite, min_size=4, max_size=250),
+        evictions=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_state_accounting(self, values, evictions):
+        state = SketchWindowState(
+            lambda: KllSketch(16), chunk_count=2, chunk_size=4
+        )
+        evictions = min(evictions, len(values) - 2)
+        for x in values:
+            state.add(x)
+        for _ in range(evictions):
+            state.evict()
+        assert state.count == len(values) - evictions
+        assert 0.0 <= state.staleness < 1.0
+        merged = state.merged()
+        assert merged.n >= state.count
+        mean, variance, retained = state.moments()
+        assert retained >= state.count
+        assert variance >= 0.0
+        # The ring stays bounded no matter the add/evict pattern.
+        assert len(state._chunks) <= 2 * state.chunk_count + 1

@@ -1,0 +1,147 @@
+"""The per-operator ``state.bytes`` gauge.
+
+Stateful operators that opt in (``memory_metrics = True``) report their
+approximate retained bytes, sampled once per flush — the observability
+half of the bounded-memory work (docs/SKETCHES.md).  The gauge must show
+up in snapshots under ``<op>.state.bytes``, fold into the operator's own
+row in :func:`operator_rows` (never a phantom ``<op>.state`` row), and
+render in the ``state_B`` column; operators that do not opt in must not
+grow a gauge at all.
+"""
+
+import numpy as np
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.experiments.harness import render_metrics_table
+from repro.obs import MetricsRegistry, operator_rows
+from repro.streams.engine import Pipeline
+from repro.streams.groupby import GroupedAggregate
+from repro.streams.operators import (
+    CollectSink,
+    RollingLearnOperator,
+    Select,
+    SlidingGaussianAverage,
+)
+from repro.streams.tuples import UncertainTuple
+
+
+def _tuples(n=60, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "sensor": int(rng.integers(3)),
+                "obs": float(rng.normal(0.0, 1.0)),
+                "value": DfSized(
+                    GaussianDistribution(float(rng.normal(10.0, 2.0)), 1.0),
+                    20,
+                ),
+            }
+        )
+        for _ in range(n)
+    ]
+
+
+class TestStateBytesGauge:
+    def test_sampled_on_flush_for_memory_operators(self):
+        registry = MetricsRegistry()
+        pipeline = Pipeline(
+            [SlidingGaussianAverage("value", 8), CollectSink()],
+            registry=registry,
+        )
+        pipeline.run(_tuples())
+        snap = registry.snapshot()
+        gauge = snap["pipeline.00.SlidingGaussianAverage.state.bytes"]
+        # 8 buffered window members at ~120 bytes apiece, plus overhead.
+        assert gauge["value"] > 8 * 100
+
+    def test_opt_out_operators_have_no_gauge(self):
+        registry = MetricsRegistry()
+        pipeline = Pipeline(
+            [Select(lambda t: True), CollectSink()], registry=registry
+        )
+        pipeline.run(_tuples())
+        assert not any(
+            name.endswith("state.bytes") for name in registry.snapshot()
+        )
+
+    def test_folds_into_operator_row_not_a_phantom_stage(self):
+        registry = MetricsRegistry()
+        pipeline = Pipeline(
+            [
+                RollingLearnOperator(
+                    "obs", window_size=8, learner="sketch-quantile", k=32
+                ),
+                CollectSink(),
+            ],
+            registry=registry,
+        )
+        pipeline.run(_tuples())
+        rows = operator_rows(registry)
+        names = [row["operator"] for row in rows]
+        assert not any(name.endswith(".state") for name in names)
+        learn_row = next(
+            row
+            for row in rows
+            if row["operator"].endswith("RollingLearnOperator")
+        )
+        assert learn_row["state_bytes"] > 0
+
+    def test_rendered_in_state_bytes_column(self):
+        registry = MetricsRegistry()
+        pipeline = Pipeline(
+            [
+                GroupedAggregate(
+                    "sensor", "value", window_size=8, synopsis="chunked"
+                ),
+                CollectSink(),
+            ],
+            registry=registry,
+        )
+        pipeline.run(_tuples())
+        table = render_metrics_table(registry)
+        assert "state_B" in table
+        grouped_line = next(
+            line
+            for line in table.splitlines()
+            if "GroupedAggregate" in line
+        )
+        assert grouped_line.split()[-1].isdigit()
+        # The stateless sink renders a placeholder in the same column.
+        sink_line = next(
+            line for line in table.splitlines() if "CollectSink" in line
+        )
+        assert sink_line.split()[-1] == "-"
+
+    def test_sketch_state_smaller_than_exact_state(self):
+        """The gauge can see the tentpole: sketches retain less."""
+
+        def run(learner, **kwargs):
+            registry = MetricsRegistry()
+            pipeline = Pipeline(
+                [
+                    RollingLearnOperator(
+                        "obs",
+                        window_size=2048,
+                        learner=learner,
+                        **kwargs,
+                    ),
+                    CollectSink(),
+                ],
+                registry=registry,
+            )
+            rng = np.random.default_rng(11)
+            pipeline.run(
+                [
+                    UncertainTuple({"obs": float(x)})
+                    for x in rng.normal(0.0, 1.0, 4096)
+                ]
+            )
+            return registry.snapshot()[
+                "pipeline.00.RollingLearnOperator.state.bytes"
+            ]["value"]
+
+        exact = run("gaussian")
+        sketch = run("sketch-quantile", k=64)
+        assert sketch * 5 <= exact

@@ -1,0 +1,211 @@
+"""Determinism of the sketch synopses under sharded execution.
+
+The sketch acceptance contract (docs/SKETCHES.md): every sketch is
+seed-stable — the KLL compaction coin is an internal splitmix64 chain,
+the Count-Min/AMS row seeds are fixed constants — so with a fixed seed
+and pinned ``n_shards`` a sketch-backed pipeline emits byte-identical
+sink contents at any worker count.  Worker scheduling must never shape
+the output; only the shard decomposition may.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.streams.engine import Pipeline
+from repro.streams.groupby import GroupedAggregate
+from repro.streams.operators import CollectSink, RollingLearnOperator
+from repro.streams.tuples import UncertainTuple
+
+N_SHARDS = 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _raw_tuples(n=200, seed=7):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "sensor": int(rng.integers(5)),
+                # Mixed magnitudes + ties: the adversarial cases for
+                # rank and frequency sketches.
+                "obs": float(
+                    round(rng.normal(0.0, 1.0), 1) * 10.0 ** rng.integers(3)
+                ),
+                "seq": i,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+def _dist_tuples(n=200, seed=7):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "sensor": int(rng.integers(5)),
+                "reading": DfSized(
+                    GaussianDistribution(
+                        float(rng.normal(100.0, 40.0)),
+                        float(rng.uniform(0.5, 4.0)),
+                    ),
+                    int(rng.integers(5, 50)),
+                ),
+                "seq": i,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+# Module-level factories so the pipelines pickle into spawn workers.
+def _quantile_pipeline():
+    return Pipeline(
+        [
+            RollingLearnOperator(
+                "obs",
+                window_size=24,
+                learner="sketch-quantile",
+                k=64,
+                chunk_size=8,
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def _frequency_pipeline():
+    return Pipeline(
+        [
+            RollingLearnOperator(
+                "obs",
+                window_size=24,
+                learner="sketch-frequency",
+                cm_width=64,
+                support_size=8,
+                chunk_size=8,
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def _chunked_groupby_pipeline():
+    # No expire_after here: the TTL clock counts arrivals of *any* key,
+    # so a key-partitioned shard (which only sees its own keys) expires
+    # on a different schedule than a serial run.  Serial equality is a
+    # property of the synopsis alone; TTL determinism is covered by the
+    # worker-invariance test below.
+    return Pipeline(
+        [
+            GroupedAggregate(
+                key="sensor",
+                attribute="reading",
+                window_size=16,
+                synopsis="chunked",
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def _chunked_ttl_pipeline():
+    return Pipeline(
+        [
+            GroupedAggregate(
+                key="sensor",
+                attribute="reading",
+                window_size=16,
+                synopsis="chunked",
+                expire_after=64,
+            ),
+            CollectSink(),
+        ]
+    )
+
+
+def _element_bytes(results):
+    return [pickle.dumps(tup) for tup in results]
+
+
+class TestSketchWorkerCountInvariance:
+    def test_quantile_learner_invariant_across_workers(self):
+        tuples = _raw_tuples()
+
+        def run(workers):
+            sink = _quantile_pipeline().run_sharded(
+                tuples, n_workers=workers, n_shards=N_SHARDS, seed=42
+            )
+            return _element_bytes(sink.results)
+
+        baseline = run(1)
+        for workers in WORKER_COUNTS[1:]:
+            assert run(workers) == baseline, (
+                f"sketch-quantile diverged at n_workers={workers}"
+            )
+
+    def test_frequency_learner_invariant_across_workers(self):
+        tuples = _raw_tuples()
+
+        def run(workers):
+            sink = _frequency_pipeline().run_sharded(
+                tuples, n_workers=workers, n_shards=N_SHARDS, seed=42
+            )
+            return _element_bytes(sink.results)
+
+        baseline = run(1)
+        for workers in WORKER_COUNTS[1:]:
+            assert run(workers) == baseline, (
+                f"sketch-frequency diverged at n_workers={workers}"
+            )
+
+    def test_chunked_groupby_partitioned_matches_serial(self):
+        # Partitioned by the group key, shard-local chunk rings equal the
+        # global ones: the sharded run must equal the serial run.
+        tuples = _dist_tuples()
+        expected = _element_bytes(
+            _chunked_groupby_pipeline().run_batched(tuples, 32).results
+        )
+        for workers in WORKER_COUNTS:
+            sink = _chunked_groupby_pipeline().run_sharded(
+                tuples,
+                n_workers=workers,
+                partition_by="sensor",
+                n_shards=N_SHARDS,
+                seed=42,
+            )
+            assert _element_bytes(sink.results) == expected, (
+                f"chunked GROUP BY diverged at n_workers={workers}"
+            )
+
+    def test_chunked_groupby_with_ttl_invariant_across_workers(self):
+        # With expire_after the output depends on the (pinned) shard
+        # decomposition but never on how many workers execute it.
+        tuples = _dist_tuples()
+
+        def run(workers):
+            sink = _chunked_ttl_pipeline().run_sharded(
+                tuples,
+                n_workers=workers,
+                partition_by="sensor",
+                n_shards=N_SHARDS,
+                seed=42,
+            )
+            return _element_bytes(sink.results)
+
+        baseline = run(1)
+        for workers in WORKER_COUNTS[1:]:
+            assert run(workers) == baseline, (
+                f"TTL'd chunked GROUP BY diverged at n_workers={workers}"
+            )
+
+    def test_quantile_learner_batched_matches_serial_run(self):
+        tuples = _raw_tuples()
+        serial = _element_bytes(_quantile_pipeline().run(tuples).results)
+        batched = _element_bytes(
+            _quantile_pipeline().run_batched(tuples, 32).results
+        )
+        assert batched == serial

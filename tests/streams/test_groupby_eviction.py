@@ -1,0 +1,142 @@
+"""GROUP BY state bounds: TTL reclamation + chunked synopsis mode.
+
+Regression suite for the historical leak: ``GroupedAggregate`` kept one
+``RollingWindowStats`` per key forever, so a churning key space (every
+tuple a fresh key) grew state without bound.  ``expire_after`` bounds the
+live key set; ``synopsis="chunked"`` bounds the per-key window state.
+"""
+
+import pytest
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.errors import StreamError
+from repro.streams.engine import Pipeline
+from repro.streams.groupby import GroupedAggregate
+from repro.streams.operators import CollectSink
+from repro.streams.tuples import UncertainTuple
+
+
+def _tuple(key, mean, n=10):
+    return UncertainTuple(
+        {"road": key, "delay": DfSized(GaussianDistribution(mean, 1.0), n)}
+    )
+
+
+def _run(op, tuples):
+    sink = CollectSink()
+    Pipeline([op, sink]).run(tuples)
+    return sink.results
+
+
+class TestExpireAfter:
+    def test_churning_keys_stay_bounded(self):
+        """Every tuple a fresh key: live groups must plateau at the TTL."""
+        op = GroupedAggregate(
+            "road", "delay", window_size=4, expire_after=100
+        )
+        _run(op, [_tuple(k, float(k % 7)) for k in range(5000)])
+        assert op.group_count <= 100
+        # The leaky behavior this regresses against:
+        leaky = GroupedAggregate("road", "delay", window_size=4)
+        _run(leaky, [_tuple(k, 0.0) for k in range(5000)])
+        assert leaky.group_count == 5000
+
+    def test_drained_group_is_reclaimed(self):
+        op = GroupedAggregate(
+            "road", "delay", window_size=8, expire_after=10
+        )
+        stream = [_tuple("cold", 1.0)] + [
+            _tuple("hot", 2.0) for _ in range(30)
+        ]
+        _run(op, stream)
+        assert op.group_count == 1  # only the hot key survives
+
+    def test_hot_key_keeps_full_window(self):
+        """A key refreshed faster than the TTL aggregates as without it."""
+        stream = [_tuple("hot", float(i)) for i in range(20)]
+        plain = GroupedAggregate("road", "delay", window_size=5)
+        ttld = GroupedAggregate(
+            "road", "delay", window_size=5, expire_after=5
+        )
+        expected = _run(plain, stream)[-1].value("avg").distribution.mean()
+        observed = _run(ttld, stream)[-1].value("avg").distribution.mean()
+        assert observed == pytest.approx(expected)
+
+    def test_window_eviction_credits_prevent_double_eviction(self):
+        """Members evicted by the per-group window must not be evicted
+        again when their TTL entry expires (the count would go negative
+        and the group would drain early)."""
+        op = GroupedAggregate(
+            "road", "delay", window_size=2, expire_after=6
+        )
+        results = _run(op, [_tuple("k", float(i)) for i in range(50)])
+        assert op.group_count == 1
+        final = results[-1].value("avg").distribution.mean()
+        assert final == pytest.approx((48.0 + 49.0) / 2.0)
+
+    def test_state_bytes_shrinks_after_reclamation(self):
+        op = GroupedAggregate(
+            "road", "delay", window_size=4, expire_after=50
+        )
+        sink = CollectSink()
+        pipe = Pipeline([op, sink])
+        pipe.run([_tuple(k, 0.0) for k in range(500)])
+        bounded = op.state_bytes()
+        leaky = GroupedAggregate("road", "delay", window_size=4)
+        _run(leaky, [_tuple(k, 0.0) for k in range(500)])
+        assert bounded < leaky.state_bytes() / 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(StreamError):
+            GroupedAggregate("road", "delay", 4, expire_after=0)
+        with pytest.raises(StreamError):
+            GroupedAggregate("road", "delay", 4, synopsis="approximate")
+
+
+class TestChunkedSynopsis:
+    def test_matches_exact_average_on_stable_stream(self):
+        stream = [
+            _tuple("k", 10.0 + (i % 5) * 0.5) for i in range(400)
+        ]
+        exact = GroupedAggregate("road", "delay", window_size=128)
+        chunked = GroupedAggregate(
+            "road", "delay", window_size=128, synopsis="chunked"
+        )
+        want = _run(exact, stream)[-1].value("avg").distribution.mean()
+        got = _run(chunked, stream)[-1].value("avg").distribution.mean()
+        # Chunked eviction is stale by up to one chunk; on a stream whose
+        # values cycle every 5 tuples that staleness is value-neutral.
+        assert got == pytest.approx(want, abs=0.3)
+
+    def test_per_key_state_is_bounded(self):
+        window = 4096
+        stream = [_tuple("k", float(i % 17)) for i in range(window)]
+        exact = GroupedAggregate("road", "delay", window_size=window)
+        chunked = GroupedAggregate(
+            "road", "delay", window_size=window, synopsis="chunked"
+        )
+        _run(exact, stream)
+        _run(chunked, stream)
+        # The reason the mode exists: >=10x smaller per-key state once
+        # the window is large.
+        assert chunked.state_bytes() * 10 <= exact.state_bytes()
+
+    def test_count_aggregate_tracks_window(self):
+        op = GroupedAggregate(
+            "road", "delay", window_size=16, agg="count", synopsis="chunked"
+        )
+        results = _run(op, [_tuple("k", 1.0) for _ in range(100)])
+        assert results[-1].value("count") == pytest.approx(16.0)
+
+    def test_composes_with_expire_after(self):
+        op = GroupedAggregate(
+            "road",
+            "delay",
+            window_size=8,
+            synopsis="chunked",
+            expire_after=64,
+        )
+        _run(op, [_tuple(k % 200, float(k % 3)) for k in range(4000)])
+        assert op.group_count <= 200
+        assert op.state_bytes() > 0
