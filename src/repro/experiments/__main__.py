@@ -22,8 +22,11 @@ from repro.experiments.fig5_power import run_fig5g, run_fig5h
 from repro.experiments.fig5_predicates import run_fig5d, run_fig5e
 from repro.experiments.fig5_throughput import run_fig5c, run_fig5f
 from repro.experiments.harness import render_metrics_table
+from repro.obs.alerts import AlertLog, render_health_table
 from repro.obs.export import spans_to_json, write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import parse_rule
+from repro.obs.timeseries import TelemetryRecorder
 from repro.obs.trace import TraceConfig, Tracer
 
 
@@ -32,9 +35,13 @@ def _experiments(
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ):
     """(name, callable) pairs for every figure, scaled by --quick."""
-    obs = dict(registry=registry, workers=workers, tracer=tracer)
+    obs = dict(
+        registry=registry, workers=workers, tracer=tracer,
+        telemetry=telemetry,
+    )
     if quick:
         return [
             ("fig4abc", lambda: run_fig4(
@@ -118,7 +125,22 @@ def main(argv: list[str] | None = None) -> int:
              "and write a strict-JSON span+provenance dump next to the "
              "trace (OUT.provenance.json)",
     )
+    parser.add_argument(
+        "--slo", action="append", default=None, metavar="RULE",
+        help="evaluate an SLO rule over the throughput figures' "
+             "telemetry frames (fig5c, fig5f) and print the alert log "
+             "as JSON lines; repeatable.  Rule grammar: "
+             "'[operator:] signal agg <=|>= threshold', e.g. "
+             "'ci_width p95 <= 0.5' or 'avg: de_facto_n p5 >= 30' "
+             "(see docs/MONITORING.md)",
+    )
+    parser.add_argument(
+        "--health", action="store_true",
+        help="with --slo, also print the per-rule SLO health table",
+    )
     args = parser.parse_args(argv)
+    if args.health and not args.slo:
+        parser.error("--health requires at least one --slo RULE")
     if args.trace_provenance and args.trace is None:
         parser.error("--trace-provenance requires --trace OUT.json")
     if args.workers is not None and args.workers < 0:
@@ -134,12 +156,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
 
-    registry = MetricsRegistry() if args.metrics else None
+    rules = [parse_rule(text) for text in (args.slo or [])]
+    registry = MetricsRegistry() if args.metrics or args.slo else None
     tracer = None
     if args.trace is not None:
         tracer = Tracer(TraceConfig(provenance=args.trace_provenance))
+    telemetry = None
+    if args.slo:
+        # SLO telemetry rides on the metrics registry: frames are deltas
+        # of its snapshots, cut at tuple-count boundaries.
+        telemetry = TelemetryRecorder(registry=registry)
     for name, runner in _experiments(
-        args.quick, registry, args.workers, tracer
+        args.quick, registry, args.workers, tracer, telemetry
     ):
         if selected is not None and name not in selected:
             continue
@@ -151,7 +179,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name}: {elapsed:.1f}s]\n")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(table + "\n")
-    if registry is not None and len(registry):
+    if args.metrics and registry is not None and len(registry):
         breakdown = render_metrics_table(registry)
         print(breakdown)
         if args.out is not None:
@@ -159,6 +187,31 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / "metrics.json").write_text(
                 registry.to_json(indent=2) + "\n"
             )
+    if telemetry is not None:
+        provenance = tracer.provenance if tracer is not None else None
+        log = AlertLog()
+        log.evaluate(telemetry.series, rules, provenance=provenance)
+        jsonl = log.to_jsonl()
+        print(
+            f"[slo: {len(telemetry.series)} frames, {len(rules)} rules, "
+            f"{len(log)} transitions]"
+        )
+        if jsonl:
+            print(jsonl, end="")
+        health = (
+            render_health_table(telemetry.series, rules, log)
+            if args.health
+            else None
+        )
+        if health is not None:
+            print(health)
+        if args.out is not None:
+            (args.out / "slo_alerts.jsonl").write_text(jsonl)
+            (args.out / "slo_frames.json").write_text(
+                telemetry.to_json(indent=2) + "\n"
+            )
+            if health is not None:
+                (args.out / "slo_health.txt").write_text(health + "\n")
     if tracer is not None and len(tracer):
         write_chrome_trace(tracer, str(args.trace))
         print(f"[trace: {len(tracer)} spans -> {args.trace}]")

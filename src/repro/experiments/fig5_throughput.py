@@ -43,6 +43,7 @@ from repro.experiments.harness import render_table
 from repro.learning.gaussian_learner import GaussianLearner
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import lineage_from_operands
+from repro.obs.timeseries import TelemetryRecorder
 from repro.obs.trace import Tracer
 from repro.streams.columnar import (
     EXACT_SIZE,
@@ -599,6 +600,7 @@ def _measure_all(
     figure: str,
     shard_seed: int = 0,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> ThroughputResult:
     """Measure every configuration; with a registry, also record the
     per-stage breakdown of each one under ``{figure}.{config slug}``.
@@ -623,6 +625,7 @@ def _measure_all(
             n_shards=N_SHARDS if workers is not None else None,
             shard_seed=shard_seed if workers is not None else None,
             tracer=tracer,
+            telemetry=telemetry,
             # Batched and sharded configurations run end-to-end columnar
             # (converted once, outside the timed region); the per-tuple
             # baseline keeps the tuple-list layout.
@@ -639,6 +642,7 @@ def run_fig5c(
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRecorder | None = None,
     target_ci_width: float | None = None,
     target_relative_width: float | None = None,
 ) -> ThroughputResult:
@@ -729,6 +733,7 @@ def run_fig5c(
         "fig5c",
         shard_seed=seed,
         tracer=tracer,
+        telemetry=telemetry,
     )
 
 
@@ -869,6 +874,7 @@ def run_fig5f(
     registry: MetricsRegistry | None = None,
     workers: int | None = None,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRecorder | None = None,
 ) -> ThroughputResult:
     """Figure 5(f): significance-predicate overhead on stream throughput.
 
@@ -926,4 +932,5 @@ def run_fig5f(
         "fig5f",
         shard_seed=seed,
         tracer=tracer,
+        telemetry=telemetry,
     )

@@ -35,22 +35,39 @@ def render_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     title: str | None = None,
+    align: Sequence[str] | None = None,
 ) -> str:
-    """A fixed-width text table with one header row."""
+    """A fixed-width text table with one header row.
+
+    ``align`` gives one ``"l"``/``"r"`` per column (default all left);
+    right alignment applies to both the header and every cell, keeping
+    numeric columns visually comparable.
+    """
     str_rows = [[format_number(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    if align is None:
+        align = ["l"] * len(headers)
+
+    def _pad(cell: str, width: int, mode: str) -> str:
+        return cell.rjust(width) if mode == "r" else cell.ljust(width)
+
     lines = []
     if title:
         lines.append(title)
-    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    header_line = "  ".join(
+        _pad(h, w, a) for h, w, a in zip(headers, widths, align)
+    )
     lines.append(header_line)
     lines.append("-" * len(header_line))
     for row in str_rows:
         lines.append(
-            "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            "  ".join(
+                _pad(cell, w, a)
+                for cell, w, a in zip(row, widths, align)
+            )
         )
     return "\n".join(lines)
 
@@ -81,6 +98,8 @@ def render_metrics_table(
                 row.get("self_seconds", row["inclusive_seconds"]),
                 row.get("interval_width_mean", "-"),
                 row.get("sample_size_min", "-"),
+                # Only operators that actually reported have the key;
+                # never-reporting operators render '-', not 0.
                 int(state) if state is not None else "-",
             ]
         )
@@ -98,4 +117,5 @@ def render_metrics_table(
         ],
         rows,
         title=title,
+        align=["l", "l", "l", "l", "l", "l", "l", "l", "r"],
     )

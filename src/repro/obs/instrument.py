@@ -29,6 +29,8 @@ __all__ = [
     "INTERVAL_WIDTH_BUCKETS",
     "SAMPLE_SIZE_BUCKETS",
     "ROLLING_DRIFT_BUCKETS",
+    "SYNOPSIS_ERROR_BUCKETS",
+    "DRAWS_USED_BUCKETS",
     "OperatorMetrics",
     "operator_rows",
 ]
@@ -45,6 +47,12 @@ SAMPLE_SIZE_BUCKETS = exponential_buckets(2.0, 2.0, 12)
 # compensated sums typically drift < 1e-12 absolute, so the buckets
 # reach down to 1e-18 — a drift in the upper decades flags a kernel bug.
 ROLLING_DRIFT_BUCKETS = exponential_buckets(1e-18, 10.0, 20)
+# Sketch synopsis error (value units folded into the CI): tiny for
+# well-provisioned sketches, so the decades reach down to 1e-6.
+SYNOPSIS_ERROR_BUCKETS = exponential_buckets(1e-6, 10.0**0.5, 16)
+# Monte-Carlo draws consumed per emitted accuracy record: the adaptive
+# bootstrap escalates in powers of two from small pilot rounds.
+DRAWS_USED_BUCKETS = exponential_buckets(8.0, 2.0, 12)
 
 
 class OperatorMetrics:
@@ -69,9 +77,14 @@ class OperatorMetrics:
         "confidence",
         "interval_widths",
         "sample_sizes",
+        "synopsis_errors",
+        "draws_used",
+        "unsure",
         "rolling_resums",
         "rolling_drift",
+        "memory",
         "state_bytes",
+        "_registry",
     )
 
     def __init__(
@@ -120,9 +133,28 @@ class OperatorMetrics:
                 SAMPLE_SIZE_BUCKETS,
                 f"de facto sample size of emitted {accuracy_attribute!r}",
             )
+            self.synopsis_errors = registry.histogram(
+                f"{name}.synopsis_error",
+                SYNOPSIS_ERROR_BUCKETS,
+                f"sketch synopsis error folded into emitted "
+                f"{accuracy_attribute!r} intervals",
+            )
+            self.draws_used = registry.histogram(
+                f"{name}.draws_used",
+                DRAWS_USED_BUCKETS,
+                f"Monte-Carlo draws behind emitted {accuracy_attribute!r}",
+            )
+            self.unsure = registry.counter(
+                f"{name}.interval_width.unsure",
+                "emitted accuracy records whose CI width was missing or "
+                "non-finite (e.g. keep_unsure passthroughs)",
+            )
         else:
             self.interval_widths = None
             self.sample_sizes = None
+            self.synopsis_errors = None
+            self.draws_used = None
+            self.unsure = None
         if rolling:
             self.rolling_resums = registry.counter(
                 f"{name}.rolling.resums",
@@ -136,20 +168,43 @@ class OperatorMetrics:
         else:
             self.rolling_resums = None
             self.rolling_drift = None
-        if memory:
-            self.state_bytes = registry.gauge(
-                f"{name}.state.bytes",
+        # The state gauge is created lazily on the first report so a
+        # registry snapshot distinguishes "never reported" (no gauge,
+        # rendered as '-') from "reported zero bytes".
+        self.memory = memory
+        self.state_bytes = None
+        self._registry = registry if memory else None
+
+    def record_state_bytes(self, value: float) -> None:
+        """Sample the operator's retained bytes (creates the gauge)."""
+        gauge = self.state_bytes
+        if gauge is None:
+            gauge = self._registry.gauge(
+                f"{self.name}.state.bytes",
                 "approximate retained operator state, sampled on flush",
             )
-        else:
-            self.state_bytes = None
+            self.state_bytes = gauge
+        gauge.set(value)
 
     def observe_accuracy(self, tup) -> None:
-        """Record interval width + sample size of one emitted tuple."""
+        """Record interval width + sample size of one emitted tuple.
+
+        An accuracy record whose mean-interval width is missing or
+        non-finite (``keep_unsure`` passthroughs carry intervals with
+        infinite bounds, whose length is inf — or nan when both bounds
+        are infinite) counts in the dedicated ``interval_width.unsure``
+        counter instead of raising from ``Histogram.observe`` or being
+        silently skipped.
+        """
         value = tup.attributes.get(self.accuracy_attribute)
         if isinstance(value, AccuracyInfo):
-            width = value.mean.length
+            interval = value.mean
+            width = None if interval is None else interval.length
             size = value.sample_size
+            if value.synopsis_error > 0.0:
+                self.synopsis_errors.observe(value.synopsis_error)
+            if value.draws_used > 0:
+                self.draws_used.observe(value.draws_used)
         elif (
             isinstance(value, DfSized)
             and value.sample_size is not None
@@ -162,8 +217,10 @@ class OperatorMetrics:
             size = value.sample_size
         else:
             return
-        if math.isfinite(width):
+        if width is not None and math.isfinite(width):
             self.interval_widths.observe(width)
+        else:
+            self.unsure.inc()
         self.sample_sizes.observe(size)
 
 
@@ -204,6 +261,11 @@ def operator_rows(
             # ``{op}.state.bytes`` belongs to the parent operator row,
             # not a phantom ``{op}.state`` operator.
             op_id, metric = op_id[: -len(".state")], "state_bytes"
+        elif metric == "unsure" and op_id.endswith(".interval_width"):
+            # ``{op}.interval_width.unsure`` likewise folds into the
+            # operator that owns the interval-width histogram.
+            op_id = op_id[: -len(".interval_width")]
+            metric = "interval_width_unsure"
         bucket = per_op.setdefault(op_id, {})
         bucket[metric] = state
     rows: list[dict[str, object]] = []
@@ -238,6 +300,12 @@ def operator_rows(
         sizes = metrics.get("sample_size")
         if sizes is not None and sizes.get("count"):
             row["sample_size_min"] = sizes["min"]
+        unsure = metrics.get("interval_width_unsure")
+        if unsure is not None and unsure.get("value"):
+            row["unsure"] = unsure["value"]
+        # A ``state.bytes`` gauge only exists once the operator actually
+        # reported (it is created lazily by ``record_state_bytes``), so
+        # a missing key here renders as '-' rather than a misleading 0.
         state = metrics.get("state_bytes")
         if state is not None:
             row["state_bytes"] = state["value"]

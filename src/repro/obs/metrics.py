@@ -36,7 +36,22 @@ __all__ = [
     "MetricsRegistry",
     "exponential_buckets",
     "linear_buckets",
+    "gauge_folds_by_sum",
+    "prometheus_sample",
 ]
+
+#: Gauge-name suffixes whose cross-worker fold is a SUM, not last-write.
+#: ``<op>.state.bytes`` reports the retained state of ONE shard's copy of
+#: an operator; the fleet-level answer to "how much memory does this
+#: stage hold?" is the sum over shards, whereas point-in-time gauges like
+#: queue depth or ``multiquery.groups`` describe a single process and
+#: keep last-write-wins semantics (see docs/MONITORING.md).
+SUMMED_GAUGE_SUFFIXES = (".state.bytes",)
+
+
+def gauge_folds_by_sum(name: str) -> bool:
+    """Whether a gauge of this name sums across worker snapshots."""
+    return name.endswith(SUMMED_GAUGE_SUFFIXES)
 
 
 def exponential_buckets(
@@ -295,6 +310,30 @@ def _prom_label_value(text: str) -> str:
     )
 
 
+def prometheus_sample(
+    name: str,
+    value: float,
+    labels: "dict[str, object] | None" = None,
+) -> str:
+    """One exposition-format sample line, with optional labels.
+
+    Metric and label names are sanitized through :func:`_prom_name`,
+    label values through :func:`_prom_label_value`, and the value through
+    :func:`_prom_float` — so any Python strings produce a line a strict
+    exposition parser accepts.  This is the helper behind histogram
+    ``_bucket{le=...}`` lines and the labeled SLO/alert series exported
+    by :mod:`repro.obs.alerts`.
+    """
+    prom = _prom_name(name)
+    if labels:
+        body = ",".join(
+            f'{_prom_name(str(key))}="{_prom_label_value(str(val))}"'
+            for key, val in labels.items()
+        )
+        return f"{prom}{{{body}}} {_prom_float(float(value))}"
+    return f"{prom} {_prom_float(float(value))}"
+
+
 class MetricsRegistry:
     """Named metrics with get-or-create semantics and structured exports.
 
@@ -368,7 +407,10 @@ class MetricsRegistry:
         execution: each worker records into a private registry, ships
         the snapshot back (plain dicts pickle cheaply), and the parent
         merges them in shard order.  Counters, timers, and histograms
-        accumulate; gauges take the incoming value (last write wins).
+        accumulate; gauges take the incoming value (last write wins),
+        EXCEPT state gauges (:data:`SUMMED_GAUGE_SUFFIXES`, i.e.
+        ``<op>.state.bytes``) which sum — each worker reports its own
+        shard's retained state, and the fleet total is their sum.
         Missing metrics are created; a name already registered as a
         different type raises :class:`ObservabilityError`.
         """
@@ -377,7 +419,11 @@ class MetricsRegistry:
             if kind == "counter":
                 self.counter(name).inc(int(state["value"]))  # type: ignore[arg-type]
             elif kind == "gauge":
-                self.gauge(name).set(float(state["value"]))  # type: ignore[arg-type]
+                gauge = self.gauge(name)
+                if gauge_folds_by_sum(name):
+                    gauge.inc(float(state["value"]))  # type: ignore[arg-type]
+                else:
+                    gauge.set(float(state["value"]))  # type: ignore[arg-type]
             elif kind == "timer":
                 timer = self.timer(name)
                 count = int(state["count"])  # type: ignore[arg-type]

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.errors import ParallelError, StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryConfig, TelemetryRecorder
 from repro.obs.trace import TraceConfig, Tracer
 from repro.parallel.config import ParallelConfig
 from repro.parallel.pool import WorkerPool
@@ -136,7 +137,8 @@ def _run_shard(
     trace_config: TraceConfig | None = None,
     trace_prefix: str = "pipeline",
     trace_shard: str | None = None,
-) -> tuple[tuple[str, object], dict | None, dict | None]:
+    telemetry_config: TelemetryConfig | None = None,
+) -> tuple[tuple[str, object], dict | None, dict | None, dict | None]:
     """Pool task: run one shard through a pristine pipeline copy.
 
     ``payload`` is the pickled pipeline in worker processes, or an
@@ -167,11 +169,28 @@ def _run_shard(
     if trace_config is not None:
         tracer = Tracer(trace_config, shard=trace_shard or "shard?")
         pipeline.attach_trace(tracer, prefix=trace_prefix)
+    telemetry = None
+    if telemetry_config is not None:
+        # Telemetry implies a registry on the parent, so metrics_prefix
+        # is set here too; the recorder wraps this worker's registry and
+        # its frames are keyed by this shard's local stream position.
+        telemetry = TelemetryRecorder(telemetry_config, registry)
+        pipeline.attach_telemetry(
+            telemetry, prefix=metrics_prefix or "pipeline"
+        )
     sink = pipeline.run_batched(shard_source, batch_size)
     snapshot = registry.snapshot() if registry is not None else None
     trace_snapshot = tracer.snapshot() if tracer is not None else None
+    telemetry_snapshot = (
+        telemetry.snapshot() if telemetry is not None else None
+    )
     if isinstance(sink, CountingSink):
-        return ("count", sink.count), snapshot, trace_snapshot
+        return (
+            ("count", sink.count),
+            snapshot,
+            trace_snapshot,
+            telemetry_snapshot,
+        )
     if isinstance(sink, CollectSink):
         collected = sink.columnar_result()
         if collected is not None:
@@ -180,8 +199,18 @@ def _run_shard(
             # boundary as one buffer per column, not one pickle per
             # tuple.
             out_payload, _ = collected.to_payload(use_shm=False)
-            return ("collect-columnar", out_payload), snapshot, trace_snapshot
-        return ("collect", list(sink.results)), snapshot, trace_snapshot
+            return (
+                ("collect-columnar", out_payload),
+                snapshot,
+                trace_snapshot,
+                telemetry_snapshot,
+            )
+        return (
+            ("collect", list(sink.results)),
+            snapshot,
+            trace_snapshot,
+            telemetry_snapshot,
+        )
     raise StreamError(
         f"run_sharded needs a CollectSink or CountingSink terminal "
         f"operator; got {type(sink).__name__} (a generic operator's "
@@ -200,6 +229,7 @@ class ShardedResult:
         total: int,
         merge: str,
         trace_snapshots: list[dict | None] | None = None,
+        telemetry_snapshots: list[dict | None] | None = None,
     ) -> None:
         self.sink_states = sink_states
         self.snapshots = snapshots
@@ -208,6 +238,9 @@ class ShardedResult:
         self.merge = merge
         self.trace_snapshots = (
             trace_snapshots if trace_snapshots is not None else []
+        )
+        self.telemetry_snapshots = (
+            telemetry_snapshots if telemetry_snapshots is not None else []
         )
 
     @property
@@ -302,6 +335,22 @@ class ShardedResult:
             if snapshot is not None:
                 tracer.merge_spans(snapshot)
 
+    def merge_telemetry(self, recorder: TelemetryRecorder) -> None:
+        """Fold worker frame series into ``recorder``, in shard order.
+
+        Frames fold by index — shard-local stream positions line up
+        because every shard cuts frames at the same ``frame_interval``
+        boundaries — so the merged series is a function of ``(stream,
+        seed, n_shards)`` only, like the sinks.  Call *after*
+        :meth:`merge_metrics`: the recorder is re-baselined against the
+        post-merge registry so a later serial run does not re-count the
+        merged-in deltas.
+        """
+        for snapshot in self.telemetry_snapshots:
+            if snapshot is not None:
+                recorder.merge_snapshot(snapshot)
+        recorder.resync()
+
 
 def run_sharded(
     pipeline: "Pipeline",
@@ -352,6 +401,10 @@ def run_sharded(
         parent_tracer.config if parent_tracer is not None else None
     )
     trace_prefix = pipeline.trace_prefix
+    parent_telemetry = getattr(pipeline, "telemetry", None)
+    telemetry_config = (
+        parent_telemetry.config if parent_telemetry is not None else None
+    )
 
     root = (
         seed
@@ -401,6 +454,7 @@ def run_sharded(
                 trace_config,
                 trace_prefix,
                 f"shard{shard_index}",
+                telemetry_config,
             )
             for shard_index, indices in enumerate(shards)
         ]
@@ -435,6 +489,7 @@ def run_sharded(
                         trace_config,
                         trace_prefix,
                         f"shard{shard_index}",
+                        telemetry_config,
                     )
                 )
             outcomes = pool.map_indexed(_run_shard, tasks)
@@ -447,12 +502,13 @@ def run_sharded(
                 pool.close()
 
     return ShardedResult(
-        sink_states=[state for state, _, _ in outcomes],
-        snapshots=[snapshot for _, snapshot, _ in outcomes],
+        sink_states=[state for state, _, _, _ in outcomes],
+        snapshots=[snapshot for _, snapshot, _, _ in outcomes],
         shards=shards,
         total=len(tuples),
         merge=merge,
-        trace_snapshots=[trace for _, _, trace in outcomes],
+        trace_snapshots=[trace for _, _, trace, _ in outcomes],
+        telemetry_snapshots=[t for _, _, _, t in outcomes],
     )
 
 

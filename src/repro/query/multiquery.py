@@ -47,6 +47,7 @@ batched dispatch observe the batch mid-flight.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 import numpy as np
 from scipy import special
@@ -245,6 +246,7 @@ class _Entry:
         "fingerprint",
         "vec_conjuncts",
         "group",
+        "results_counter",
     )
 
     def __init__(
@@ -265,6 +267,21 @@ class _Entry:
         )
         self.vec_conjuncts = vectorizable_conjuncts(executor.query)
         self.group: "_PlanGroup | None" = None
+        self.results_counter = None  # set by MultiQueryEngine.add
+
+
+def _group_id(fingerprint: tuple) -> str:
+    """Short stable label for a plan group's fingerprint.
+
+    A salted ``hash()`` or ``id()`` would vary across processes; the
+    blake2b digest of the fingerprint's repr is stable for a given
+    query set, so ``multiquery.group.{gid}.results`` series line up
+    across runs and workers.
+    """
+    digest = hashlib.blake2b(
+        repr(fingerprint).encode("utf-8"), digest_size=4
+    )
+    return digest.hexdigest()
 
 
 class _PlanGroup:
@@ -277,11 +294,15 @@ class _PlanGroup:
         "columnar_ok",
         "star",
         "select_cols",
+        "gid",
+        "results_counter",
     )
 
     def __init__(self, fingerprint: tuple, entry: _Entry) -> None:
         self.fingerprint = fingerprint
         self.entries: list[_Entry] = []
+        self.gid = _group_id(fingerprint)
+        self.results_counter = None  # set by MultiQueryEngine.add
         #: None = unknown, True = proven RNG-free on some tuple, False
         #: = tripped the guard once; stop attempting shared prefixes.
         self.rng_free: "bool | None" = None
@@ -340,6 +361,29 @@ class MultiQueryEngine:
             "shared-prefix attempts abandoned because the prefix "
             "needed randomness",
         )
+        self.telemetry = None
+
+    def attach_telemetry(self, recorder) -> "object":
+        """Cut telemetry frames as tuples are dispatched to queries.
+
+        ``recorder`` must wrap this engine's own metrics registry —
+        frames are deltas of registry snapshots, so a recorder over a
+        different registry would record empty frames while the
+        ``multiquery.*`` counters advance unobserved.
+        """
+        if recorder.registry is not self.metrics:
+            from repro.errors import ObservabilityError
+
+            raise ObservabilityError(
+                "telemetry recorder must wrap the engine's metrics "
+                "registry (build it with TelemetryRecorder(config, "
+                "registry=engine.metrics))"
+            )
+        self.telemetry = recorder
+        return recorder
+
+    def detach_telemetry(self) -> None:
+        self.telemetry = None
 
     # -- registry ----------------------------------------------------------
 
@@ -352,10 +396,19 @@ class MultiQueryEngine:
     ) -> None:
         entry = _Entry(name, source, executor, handle, self._next_order)
         self._next_order += 1
+        entry.results_counter = self.metrics.counter(
+            f"multiquery.query.{name}.results",
+            "results emitted for this standing query",
+        )
         if entry.fingerprint is not None:
             group = self._groups.get(entry.fingerprint)
             if group is None:
                 group = _PlanGroup(entry.fingerprint, entry)
+                group.results_counter = self.metrics.counter(
+                    f"multiquery.group.{group.gid}.results",
+                    "results emitted by members of this shared-plan "
+                    "group",
+                )
                 self._groups[entry.fingerprint] = group
             group.entries.append(entry)
             entry.group = group
@@ -464,7 +517,16 @@ class MultiQueryEngine:
                     tup, outcome, dict(attributes), dict(accuracy)
                 )
             if result is not None:
+                self._record_result(entry)
                 yield entry.handle, result
+        if self.telemetry is not None:
+            self.telemetry.advance(1)
+
+    def _record_result(self, entry: _Entry) -> None:
+        entry.results_counter.inc()
+        group = entry.group
+        if group is not None:
+            group.results_counter.inc()
 
     # -- batched dispatch (StreamDatabase.insert_many) ---------------------
 
@@ -513,9 +575,14 @@ class MultiQueryEngine:
             )
 
         out: list[list[tuple[object, ResultTuple]]] = []
+        by_order = {e.order: e for e in members}
         for row in rows:
             row.sort(key=lambda item: item[0])
+            for order, _handle, _result in row:
+                self._record_result(by_order[order])
             out.append([(handle, result) for _o, handle, result in row])
+        if self.telemetry is not None:
+            self.telemetry.advance(len(tuples))
         return out
 
     def _columnar_eligible(

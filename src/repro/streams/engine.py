@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryRecorder
 from repro.obs.trace import Span, Tracer
 from repro.streams.columnar import ColumnarBatch, as_columnar
 from repro.streams.operators import CollectSink, CountingSink, Operator
@@ -47,6 +48,7 @@ class Pipeline:
         operators: Sequence[Operator],
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        telemetry: TelemetryRecorder | None = None,
     ) -> None:
         if not operators:
             raise StreamError("pipeline needs at least one operator")
@@ -57,10 +59,13 @@ class Pipeline:
         self._metrics_prefix = "pipeline"
         self.tracer: Tracer | None = None
         self._trace_prefix = "pipeline"
+        self.telemetry: TelemetryRecorder | None = None
         if registry is not None:
             self.attach_metrics(registry)
         if tracer is not None:
             self.attach_trace(tracer)
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     def attach_metrics(
         self, registry: MetricsRegistry, prefix: str = "pipeline"
@@ -117,6 +122,30 @@ class Pipeline:
         for op in self.operators:
             op.detach_trace()
 
+    def attach_telemetry(
+        self, recorder: TelemetryRecorder, prefix: str = "pipeline"
+    ) -> TelemetryRecorder:
+        """Cut frame-series telemetry from this pipeline's execution.
+
+        Telemetry rides on metrics: if the recorder wraps a different
+        registry than the one currently attached (or none is attached),
+        the recorder's registry is attached under ``prefix`` — so an
+        attached recorder always observes this pipeline's own metrics.
+        The run loops then advance the recorder's stream position per
+        pushed tuple/batch and finalize the trailing frame at
+        end-of-run.  With no recorder attached the execution paths are
+        untouched (telemetry is only ever consulted on the instrumented
+        branch that an attached registry already selects).
+        """
+        self.telemetry = recorder
+        if self.registry is not recorder.registry:
+            self.attach_metrics(recorder.registry, prefix)
+        return recorder
+
+    def detach_telemetry(self) -> None:
+        """Stop cutting frames (the metrics registry stays attached)."""
+        self.telemetry = None
+
     def _begin_run(self, mode: str) -> Span:
         """Open the run span and every operator's stage span."""
         span = self.tracer.begin(
@@ -157,6 +186,9 @@ class Pipeline:
         """
         registry, prefix = self.registry, self._metrics_prefix
         tracer, trace_prefix = self.tracer, self._trace_prefix
+        telemetry = self.telemetry
+        if telemetry is not None:
+            self.detach_telemetry()
         if registry is not None:
             self.detach_metrics()
         if tracer is not None:
@@ -168,6 +200,8 @@ class Pipeline:
                 self.attach_metrics(registry, prefix)
             if tracer is not None:
                 self.attach_trace(tracer, trace_prefix)
+            if telemetry is not None:
+                self.attach_telemetry(telemetry, prefix)
         clone._metrics_prefix = prefix
         clone._trace_prefix = trace_prefix
         return clone
@@ -209,16 +243,25 @@ class Pipeline:
             return self.sink
         run_span = self._begin_run("run") if tracer is not None else None
         head = self.head
+        telemetry = self.telemetry
         count = 0
         start = perf_counter()
-        for tup in source:
-            head.receive(tup)
-            count += 1
+        if telemetry is None:
+            for tup in source:
+                head.receive(tup)
+                count += 1
+        else:
+            for tup in source:
+                head.receive(tup)
+                count += 1
+                telemetry.advance(1)
         head.flush()
         if self.registry is not None:
             self._run_seconds.record(perf_counter() - start)
             self._tuples_pushed.inc(count)
             self._runs.inc()
+        if telemetry is not None:
+            telemetry.finalize()
         if tracer is not None:
             self._end_run(run_span, count)
         return self.sink
@@ -254,6 +297,7 @@ class Pipeline:
             self._begin_run("run_batched") if tracer is not None else None
         )
         head = self.head
+        telemetry = self.telemetry
         count = 0
         start = perf_counter() if registry is not None else 0.0
         if isinstance(source, Sequence):
@@ -266,6 +310,8 @@ class Pipeline:
                 chunk = source.slice(a, min(a + batch_size, total))
                 head.receive_many(chunk)
                 count += len(chunk)
+                if telemetry is not None:
+                    telemetry.advance(len(chunk))
         else:
             batch: list[UncertainTuple] = []
             append = batch.append
@@ -274,16 +320,22 @@ class Pipeline:
                 if len(batch) >= batch_size:
                     head.receive_many(batch)
                     count += len(batch)
+                    if telemetry is not None:
+                        telemetry.advance(len(batch))
                     batch = []
                     append = batch.append
             if batch:
                 head.receive_many(batch)
                 count += len(batch)
+                if telemetry is not None:
+                    telemetry.advance(len(batch))
         head.flush()
         if registry is not None:
             self._run_seconds.record(perf_counter() - start)
             self._tuples_pushed.inc(count)
             self._runs.inc()
+        if telemetry is not None:
+            telemetry.finalize()
         if tracer is not None:
             self._end_run(run_span, count)
         return self.sink
@@ -350,6 +402,10 @@ class Pipeline:
             sink.process_many(result.merged_results())
         if self.registry is not None:
             result.merge_metrics(self.registry)
+        if self.telemetry is not None:
+            # After merge_metrics: merge_telemetry re-baselines the
+            # recorder against the post-merge cumulative registry.
+            result.merge_telemetry(self.telemetry)
         if self.tracer is not None:
             result.merge_trace(self.tracer)
         return sink

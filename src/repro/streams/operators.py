@@ -296,10 +296,10 @@ class Operator(abc.ABC):
                     obs.flush_seconds.record(elapsed)
                 if trace is not None:
                     trace.seconds += elapsed
-            if obs is not None and obs.state_bytes is not None:
+            if obs is not None and obs.memory:
                 retained = self.state_bytes()
                 if retained is not None:
-                    obs.state_bytes.set(retained)
+                    obs.record_state_bytes(retained)
         if self._downstream is not None:
             self._downstream.flush()
 

@@ -15,6 +15,7 @@ from collections.abc import Callable, Sequence
 
 from repro.errors import StreamError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryRecorder
 from repro.obs.trace import Tracer
 from repro.streams.columnar import as_columnar
 from repro.streams.engine import Pipeline
@@ -58,6 +59,7 @@ def measure_throughput(
     partition_by: object = None,
     shard_seed: int | None = None,
     tracer: Tracer | None = None,
+    telemetry: TelemetryRecorder | None = None,
     layout: str = "tuple",
 ) -> float:
     """Best-of-``repeats`` throughput of a pipeline over the given tuples.
@@ -72,12 +74,13 @@ def measure_throughput(
     process start-up and imports, so the measurement reflects
     steady-state throughput rather than ``spawn`` cost.
 
-    ``registry`` requests a per-operator breakdown and ``tracer``
-    requests a span trace (+ accuracy provenance): after the timed
-    repeats, one extra *instrumented* pass runs a fresh pipeline with
-    the registry and/or tracer attached (names under
-    ``metrics_prefix``), so the observability overhead never
-    contaminates the reported throughput.
+    ``registry`` requests a per-operator breakdown, ``tracer`` requests
+    a span trace (+ accuracy provenance), and ``telemetry`` requests a
+    frame series (SLO telemetry): after the timed repeats, one extra
+    *instrumented* pass runs a fresh pipeline with the registry, tracer,
+    and/or telemetry recorder attached (names under ``metrics_prefix``),
+    so the observability overhead never contaminates the reported
+    throughput.
 
     ``layout`` selects the batch representation fed to the pipeline:
     ``"tuple"`` (default) times the per-tuple list as-is, while
@@ -147,12 +150,14 @@ def measure_throughput(
                 "faster than the clock resolution; use more tuples (or more "
                 "repeats) to get a measurable elapsed time"
             )
-        if registry is not None or tracer is not None:
+        if registry is not None or tracer is not None or telemetry is not None:
             pipeline = pipeline_factory()
             if registry is not None:
                 pipeline.attach_metrics(registry, prefix=metrics_prefix)
             if tracer is not None:
                 pipeline.attach_trace(tracer, prefix=metrics_prefix)
+            if telemetry is not None:
+                pipeline.attach_telemetry(telemetry, prefix=metrics_prefix)
             _run_once(pipeline)
         return best
     finally:

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro.experiments` report generator."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import main
@@ -26,3 +28,47 @@ class TestCli:
         exit_code = main(["--quick", "--only", "nonexistent"])
         assert exit_code == 0
         assert "Figure" not in capsys.readouterr().out
+
+
+class TestSloFlags:
+    def test_slo_evaluates_rules_and_writes_artifacts(
+        self, capsys, tmp_path
+    ):
+        exit_code = main(
+            [
+                "--quick",
+                "--only",
+                "fig5c",
+                "--slo",
+                "ci_width p95 <= 1e6",
+                "--slo",
+                "de_facto_n p5 >= 2",
+                "--health",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "2 rules" in out
+        assert "SLO health" in out
+        frames = json.loads((tmp_path / "slo_frames.json").read_text())
+        assert frames["frames"]
+        for line in (
+            (tmp_path / "slo_alerts.jsonl").read_text().splitlines()
+        ):
+            json.loads(line)
+        health = (tmp_path / "slo_health.txt").read_text()
+        assert "ci_width p95 <= 1e+06" in health
+        assert "de_facto_n p5 >= 2" in health
+
+    def test_health_without_slo_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--quick", "--only", "fig5c", "--health"])
+        assert "--health requires" in capsys.readouterr().err
+
+    def test_malformed_rule_raises_before_running(self):
+        from repro.errors import ObservabilityError
+
+        with pytest.raises(ObservabilityError):
+            main(["--quick", "--only", "fig5c", "--slo", "ci_width ??"])

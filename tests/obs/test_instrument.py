@@ -1,7 +1,10 @@
-"""operator_rows ordering: numeric stage index, not lexicographic."""
+"""operator_rows ordering and the accuracy-observation unsure path."""
 
+import math
+
+from repro.core.accuracy import AccuracyInfo, ConfidenceInterval
 from repro.experiments.harness import render_metrics_table
-from repro.obs import MetricsRegistry, operator_rows
+from repro.obs import MetricsRegistry, OperatorMetrics, operator_rows
 from repro.obs.instrument import _stage_sort_key
 from repro.streams.engine import Pipeline
 from repro.streams.operators import CollectSink, Select
@@ -87,3 +90,96 @@ class TestTwelveStageOrdering:
         sink_pos = table.index("11.CollectSink")
         assert table.index("02.Select") < table.index("10.Select")
         assert table.index("10.Select") < sink_pos
+
+
+def _accuracy(width, sample_size=16):
+    return AccuracyInfo(
+        mean=ConfidenceInterval(0.0, width, 0.95),
+        variance=ConfidenceInterval(0.0, 1.0, 0.95),
+        sample_size=sample_size,
+    )
+
+
+def _emitting(registry):
+    metrics = OperatorMetrics(
+        registry, "p.00.Avg", accuracy_attribute="accuracy"
+    )
+    metrics.tuples_in.inc()
+    metrics.tuples_out.inc()
+    return metrics
+
+
+class TestObserveAccuracyUnsure:
+    """``keep_unsure`` passthroughs carry intervals with infinite
+    bounds; their width must land in the dedicated ``unsure`` counter,
+    not raise from ``Histogram.observe`` or vanish silently."""
+
+    def test_finite_width_lands_in_histogram(self):
+        registry = MetricsRegistry()
+        metrics = _emitting(registry)
+        metrics.observe_accuracy(
+            UncertainTuple({"accuracy": _accuracy(0.25)})
+        )
+        snap = registry.snapshot()
+        assert snap["p.00.Avg.interval_width"]["count"] == 1
+        assert snap["p.00.Avg.interval_width.unsure"]["value"] == 0
+        assert snap["p.00.Avg.sample_size"]["count"] == 1
+
+    def test_infinite_width_counts_as_unsure(self):
+        registry = MetricsRegistry()
+        metrics = _emitting(registry)
+        unsure = ConfidenceInterval(-math.inf, math.inf, 0.95)
+        assert not math.isfinite(unsure.length)
+        metrics.observe_accuracy(
+            UncertainTuple(
+                {
+                    "accuracy": AccuracyInfo(
+                        mean=unsure,
+                        variance=unsure,
+                        sample_size=8,
+                    )
+                }
+            )
+        )
+        snap = registry.snapshot()
+        assert snap["p.00.Avg.interval_width"]["count"] == 0
+        assert snap["p.00.Avg.interval_width.unsure"]["value"] == 1
+        # The de facto sample size is still real and still recorded.
+        assert snap["p.00.Avg.sample_size"]["count"] == 1
+
+    def test_missing_mean_interval_counts_as_unsure(self):
+        registry = MetricsRegistry()
+        metrics = _emitting(registry)
+        record = _accuracy(0.25)
+        object.__setattr__(record, "mean", None)
+        metrics.observe_accuracy(UncertainTuple({"accuracy": record}))
+        snap = registry.snapshot()
+        assert snap["p.00.Avg.interval_width"]["count"] == 0
+        assert snap["p.00.Avg.interval_width.unsure"]["value"] == 1
+
+    def test_unsure_folds_into_operator_row_not_a_phantom_stage(self):
+        registry = MetricsRegistry()
+        metrics = _emitting(registry)
+        metrics.observe_accuracy(
+            UncertainTuple(
+                {
+                    "accuracy": AccuracyInfo(
+                        mean=ConfidenceInterval(0.0, math.inf, 0.95),
+                        variance=ConfidenceInterval(0.0, 1.0, 0.95),
+                        sample_size=4,
+                    )
+                }
+            )
+        )
+        rows = operator_rows(registry)
+        assert [r["operator"] for r in rows] == ["p.00.Avg"]
+        assert rows[0]["unsure"] == 1
+
+    def test_row_omits_unsure_when_every_width_is_finite(self):
+        registry = MetricsRegistry()
+        metrics = _emitting(registry)
+        metrics.observe_accuracy(
+            UncertainTuple({"accuracy": _accuracy(0.5)})
+        )
+        (row,) = operator_rows(registry)
+        assert "unsure" not in row

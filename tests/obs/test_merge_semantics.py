@@ -119,6 +119,64 @@ class TestHistogramMerge:
             )
 
 
+def _worker_gauges(state_bytes, depth):
+    registry = MetricsRegistry()
+    registry.gauge("op.state.bytes", "retained state").set(state_bytes)
+    registry.gauge("pipeline.depth", "queue depth").set(depth)
+    return registry
+
+
+class TestGaugeMerge:
+    """Name-based fold: ``.state.bytes`` gauges sum, others last-write.
+
+    Worker state gauges report each shard's *own* retained bytes; the
+    parent's merged value must be the fleet total, while point-in-time
+    gauges (depths, group counts) keep last-write-wins.
+    """
+
+    def test_three_worker_state_gauges_sum(self):
+        parent = MetricsRegistry()
+        for state_bytes, depth in ((1024.0, 1.0), (2048.0, 2.0), (512.0, 3.0)):
+            parent.merge_snapshot(
+                _worker_gauges(state_bytes, depth).snapshot()
+            )
+        assert parent.get("op.state.bytes").value == 3584.0
+        assert parent.get("pipeline.depth").value == 3.0
+
+    def test_merge_into_nonempty_parent_adds_state_bytes(self):
+        parent = _worker_gauges(100.0, 7.0)
+        parent.merge_snapshot(_worker_gauges(50.0, 9.0).snapshot())
+        assert parent.get("op.state.bytes").value == 150.0
+        assert parent.get("pipeline.depth").value == 9.0
+
+    def test_shard_order_invariance_for_state_gauges(self):
+        snapshots = [
+            _worker_gauges(float(2**i), float(i)).snapshot()
+            for i in range(3)
+        ]
+        forward = MetricsRegistry()
+        for snap in snapshots:
+            forward.merge_snapshot(snap)
+        backward = MetricsRegistry()
+        for snap in reversed(snapshots):
+            backward.merge_snapshot(snap)
+        assert (
+            forward.get("op.state.bytes").value
+            == backward.get("op.state.bytes").value
+            == 7.0
+        )
+
+    def test_suffix_match_is_exact(self):
+        # Only the ``.state.bytes`` suffix sums — a gauge merely
+        # *containing* the words keeps last-write semantics.
+        registry = MetricsRegistry()
+        registry.gauge("op.state.bytes.limit").set(10.0)
+        incoming = MetricsRegistry()
+        incoming.gauge("op.state.bytes.limit").set(4.0)
+        registry.merge_snapshot(incoming.snapshot())
+        assert registry.get("op.state.bytes.limit").value == 4.0
+
+
 class TestMixedWorkerSnapshots:
     def test_full_worker_registry_fold_in(self):
         def worker(scale):

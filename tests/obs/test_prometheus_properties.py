@@ -10,16 +10,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.obs.metrics import MetricsRegistry, _prom_name
+from repro.obs.metrics import MetricsRegistry, _prom_name, prometheus_sample
 
 # One line of the text exposition format: a metric name, an optional
-# single {le="..."} label (the only label this exporter emits), and a
-# float-parseable value.  Label values may contain any character except
-# a raw newline, backslash, or quote unless escaped.
+# {k="v",...} label set, and a float-parseable value.  Label values may
+# contain any character except a raw newline, backslash, or quote
+# unless escaped.
 _NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = rf'{_NAME}="(?:[^"\\\n]|\\[\\"n])*"'
 _SAMPLE_RE = re.compile(
-    rf'^({_NAME})(?:\{{le="((?:[^"\\\n]|\\[\\"n])*)"\}})? (\S+)$'
+    rf"^({_NAME})(?:\{{({_LABEL}(?:,{_LABEL})*)\}})? (\S+)$"
 )
+_LABEL_RE = re.compile(rf'({_NAME})="((?:[^"\\\n]|\\[\\"n])*)"')
 _COMMENT_RE = re.compile(rf"^# (HELP|TYPE) ({_NAME})(?: (.*))?$")
 
 # Text rich in the characters the escaping exists for.
@@ -36,6 +38,39 @@ def _parse_value(token):
     if token == "-Inf":
         return -math.inf
     return float(token)  # raises on garbage -> test failure
+
+
+def _unescape_label(text):
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\":
+            assert i + 1 < len(text), "dangling backslash in label value"
+            nxt = text[i + 1]
+            assert nxt in ('\\', 'n', '"'), f"bad label escape \\{nxt}"
+            out.append({"\\": "\\", "n": "\n", '"': '"'}[nxt])
+            i += 2
+        else:
+            assert ch not in ('"', "\n")
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body):
+    """Strictly parse a ``k="v",...`` label body into ordered pairs."""
+    pairs = []
+    rest = body
+    while rest:
+        match = _LABEL_RE.match(rest)
+        assert match is not None, f"unparseable label body: {rest!r}"
+        pairs.append((match.group(1), _unescape_label(match.group(2))))
+        rest = rest[match.end():]
+        if rest:
+            assert rest[0] == ","
+            rest = rest[1:]
+    return pairs
 
 
 def _unescape_help(text):
@@ -69,6 +104,8 @@ def _check_exposition(text):
             continue
         sample = _SAMPLE_RE.match(line)
         assert sample is not None, f"unparseable exposition line: {line!r}"
+        if sample.group(2) is not None:
+            _parse_labels(sample.group(2))
         _parse_value(sample.group(3))
     return lines, helps
 
@@ -97,7 +134,11 @@ class TestPrometheusProperties:
         buckets = [line for line in lines if '_bucket{le="' in line]
         assert len(buckets) == 3  # two bounds + the +Inf overflow
         bounds = [
-            _parse_value(_SAMPLE_RE.match(line).group(2))
+            _parse_value(
+                dict(
+                    _parse_labels(_SAMPLE_RE.match(line).group(2))
+                )["le"]
+            )
             for line in buckets
         ]
         assert bounds == [0.5, 2.0, math.inf]
@@ -127,6 +168,68 @@ class TestPrometheusProperties:
     def test_prom_name_never_empty_or_invalid(self):
         for raw in ("", "...", "{}", "0", "9abc", 'a"b\nc'):
             assert re.fullmatch(_NAME, _prom_name(raw))
+
+    @settings(max_examples=150)
+    @given(
+        name=_any_name,
+        help=_adversarial_text,
+        value=st.floats(allow_nan=True, allow_infinity=True),
+    )
+    def test_gauge_lines_stay_well_formed(self, name, help, value):
+        registry = MetricsRegistry()
+        registry.gauge(name, help).set(value)
+        lines, helps = _check_exposition(registry.render_prometheus())
+        assert len(lines) == (3 if help else 2)
+        if help:
+            assert _unescape_help(helps[_prom_name(name)]) == help
+        sample = _SAMPLE_RE.match(lines[-1])
+        parsed = _parse_value(sample.group(3))
+        if math.isnan(value):
+            assert math.isnan(parsed)
+        else:
+            assert parsed == value
+
+
+class TestPrometheusSampleRoundTrip:
+    """The labeled-series helper behind the SLO/alert exports: any
+    Python strings as label keys/values must produce a line the strict
+    parser accepts, and the label values must unescape back exactly."""
+
+    @settings(max_examples=200)
+    @given(
+        name=_any_name,
+        labels=st.dictionaries(
+            _any_name, _adversarial_text, min_size=0, max_size=4
+        ),
+        value=st.floats(allow_nan=False, allow_infinity=True),
+    )
+    def test_round_trips_through_strict_parser(self, name, labels, value):
+        line = prometheus_sample(name, value, labels)
+        sample = _SAMPLE_RE.match(line)
+        assert sample is not None, f"unparseable sample line: {line!r}"
+        assert sample.group(1) == _prom_name(name)
+        assert _parse_value(sample.group(3)) == value
+        body = sample.group(2)
+        if not labels:
+            assert body is None
+            return
+        pairs = _parse_labels(body)
+        assert pairs == [
+            (_prom_name(str(key)), str(val))
+            for key, val in labels.items()
+        ]
+
+    def test_rule_text_label_survives_operators_and_quotes(self):
+        line = prometheus_sample(
+            "slo_alert_state",
+            2,
+            {"rule": 'ci_width p95 <= 0.5', "note": 'say "hi"\n\\x'},
+        )
+        sample = _SAMPLE_RE.match(line)
+        assert sample is not None
+        pairs = dict(_parse_labels(sample.group(2)))
+        assert pairs["rule"] == "ci_width p95 <= 0.5"
+        assert pairs["note"] == 'say "hi"\n\\x'
 
 
 class TestStrictJsonProperties:

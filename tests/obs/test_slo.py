@@ -1,0 +1,255 @@
+"""SLO rules: grammar, frame aggregations, burn-rate windows, drift."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    SloRule,
+    detect_drift,
+    evaluate_rule,
+    frame_signal,
+    parse_rule,
+)
+from repro.obs.timeseries import Frame, FrameSeries
+
+
+def _hist(values, bounds=(0.1, 1.0, 10.0)):
+    """A frame-delta histogram state holding the given observations."""
+    edges = list(bounds) + [math.inf]
+    buckets = [{"le": le, "count": 0} for le in edges]
+    for value in values:
+        for bucket in buckets:
+            if value <= bucket["le"]:
+                bucket["count"] += 1
+    return {
+        "type": "histogram",
+        "count": len(values),
+        "sum": float(sum(values)),
+        "buckets": buckets,
+    }
+
+
+def _frame(index, widths, name="pipeline.00.Avg.interval_width", **extra):
+    metrics = {name: _hist(widths)} if widths else {}
+    metrics.update(extra)
+    return Frame(
+        index=index, start=index * 10, end=(index + 1) * 10, metrics=metrics
+    )
+
+
+def _series(frames):
+    series = FrameSeries(capacity=len(frames) + 1)
+    for frame in frames:
+        series.append(frame)
+    return series
+
+
+class TestParseRule:
+    def test_basic_rule(self):
+        rule = parse_rule("ci_width p95 <= 0.5")
+        assert rule.signal == "ci_width"
+        assert rule.agg == "p95"
+        assert rule.op == "<="
+        assert rule.threshold == 0.5
+        assert rule.operator is None
+
+    def test_operator_qualifier(self):
+        rule = parse_rule("Sliding: de_facto_n p5 >= 16")
+        assert rule.operator == "Sliding"
+        assert rule.signal == "de_facto_n"
+        assert rule.op == ">="
+
+    def test_text_round_trips(self):
+        for text in (
+            "ci_width p95 <= 0.5",
+            "de_facto_n p5 >= 30",
+            "synopsis_error max <= 0.05",
+            "draws_used mean <= 800",
+            "Avg: ci_width max <= 1",
+        ):
+            rule = parse_rule(text)
+            assert parse_rule(rule.text) == rule
+
+    def test_window_parameters_thread_through(self):
+        rule = parse_rule(
+            "ci_width mean <= 1", short_window=2, long_window=6,
+            burn_threshold=0.75,
+        )
+        assert (rule.short_window, rule.long_window) == (2, 6)
+        assert rule.burn_threshold == 0.75
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "ci_width p95 <=",           # missing threshold
+            "ci_width p95 0.5",          # missing comparator
+            "latency p95 <= 0.5",        # unknown signal
+            "ci_width p50 <= 0.5",       # unknown aggregation
+            "ci_width p95 < 0.5",        # strict comparator
+            "ci_width p95 <= lots",      # non-numeric threshold
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ObservabilityError):
+            parse_rule(text)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ObservabilityError, match="windows"):
+            SloRule(
+                signal="ci_width", agg="p95", op="<=", threshold=1.0,
+                short_window=5, long_window=3,
+            )
+
+    def test_violates(self):
+        upper = parse_rule("ci_width p95 <= 0.5")
+        assert not upper.violates(0.5)
+        assert upper.violates(0.6)
+        assert upper.violates(math.inf)
+        lower = parse_rule("de_facto_n p5 >= 16")
+        assert not lower.violates(16.0)
+        assert lower.violates(10.0)
+
+
+class TestFrameSignal:
+    def test_mean_is_exact(self):
+        frame = _frame(0, [0.2, 0.4, 0.6])
+        value = frame_signal(frame, "ci_width", "mean")
+        assert value == pytest.approx(0.4)
+
+    def test_quantile_interpolates_within_bucket(self):
+        # 10 observations all in the (0.1, 1.0] bucket: p95 ranks 9.5 of
+        # 10 in-bucket, interpolated over (0.1, 1.0].
+        frame = _frame(0, [0.5] * 10)
+        value = frame_signal(frame, "ci_width", "p95")
+        assert value == pytest.approx(0.1 + 0.95 * 0.9)
+
+    def test_p95_in_overflow_bucket_is_inf(self):
+        frame = _frame(0, [100.0] * 10)
+        assert frame_signal(frame, "ci_width", "p95") == math.inf
+
+    def test_max_and_min_are_bucket_edges(self):
+        frame = _frame(0, [0.05, 0.5, 5.0])
+        assert frame_signal(frame, "ci_width", "max") == 10.0
+        assert frame_signal(frame, "ci_width", "min") == 0.0
+
+    def test_no_observations_is_none(self):
+        assert frame_signal(_frame(0, []), "ci_width", "p95") is None
+
+    def test_combines_matching_operators(self):
+        frame = _frame(
+            0,
+            [0.2],
+            **{"pipeline.01.Other.interval_width": _hist([0.6])},
+        )
+        assert frame_signal(frame, "ci_width", "mean") == pytest.approx(
+            0.4
+        )
+
+    def test_operator_qualifier_filters(self):
+        frame = _frame(
+            0,
+            [0.2],
+            **{"pipeline.01.Other.interval_width": _hist([0.6])},
+        )
+        value = frame_signal(frame, "ci_width", "mean", operator="Avg")
+        assert value == pytest.approx(0.2)
+        assert (
+            frame_signal(frame, "ci_width", "mean", operator="Nope")
+            is None
+        )
+
+    def test_signal_ignores_non_matching_suffixes(self):
+        frame = _frame(
+            0,
+            [0.2],
+            **{"pipeline.00.Avg.sample_size": _hist([32.0])},
+        )
+        # de_facto_n reads the sample_size histogram, not interval_width.
+        value = frame_signal(frame, "de_facto_n", "mean")
+        assert value == pytest.approx(32.0)
+
+
+class TestBurnRateEvaluation:
+    def test_short_spike_alone_does_not_burn(self):
+        rule = parse_rule(
+            "ci_width mean <= 0.5", short_window=2, long_window=6,
+        )
+        frames = [_frame(i, [0.2]) for i in range(5)]
+        frames.append(_frame(5, [5.0]))  # one bad frame at the end
+        evaluation = evaluate_rule(_series(frames), rule)
+        assert evaluation.verdicts[-1].bad
+        assert evaluation.verdicts[-1].short_fraction == 0.5
+        assert not evaluation.ever_burned
+
+    def test_sustained_violation_burns_both_windows(self):
+        rule = parse_rule(
+            "ci_width mean <= 0.5", short_window=2, long_window=4,
+        )
+        frames = [_frame(i, [0.2]) for i in range(2)]
+        frames += [_frame(2 + i, [5.0]) for i in range(4)]
+        evaluation = evaluate_rule(_series(frames), rule)
+        last = evaluation.verdicts[-1]
+        assert last.burning
+        assert last.short_fraction == 1.0
+        assert last.long_fraction == 1.0
+
+    def test_no_data_frames_count_as_good(self):
+        rule = parse_rule(
+            "ci_width mean <= 0.5", short_window=2, long_window=4,
+        )
+        frames = [_frame(i, [5.0]) for i in range(3)]
+        frames += [_frame(3 + i, []) for i in range(4)]
+        evaluation = evaluate_rule(_series(frames), rule)
+        assert evaluation.verdicts[2].burning
+        assert not evaluation.verdicts[-1].burning
+        assert evaluation.verdicts[-1].short_fraction == 0.0
+
+    def test_lower_bound_objective(self):
+        rule = parse_rule(
+            "de_facto_n mean >= 16", short_window=1, long_window=2,
+        )
+        name = "pipeline.00.Avg.sample_size"
+        frames = [
+            Frame(0, 0, 10, {name: _hist([32.0])}),
+            Frame(1, 10, 20, {name: _hist([4.0])}),
+        ]
+        evaluation = evaluate_rule(_series(frames), rule)
+        assert [v.bad for v in evaluation.verdicts] == [False, True]
+
+
+class TestDetectDrift:
+    def test_flat_series_is_not_drift(self):
+        frames = [_frame(i, [0.5]) for i in range(8)]
+        assert detect_drift(_series(frames), "ci_width") is None
+
+    def test_widening_trend_is_detected(self):
+        frames = [
+            _frame(i, [0.2 + 0.05 * i]) for i in range(8)
+        ]
+        event = detect_drift(_series(frames), "ci_width")
+        assert event is not None
+        assert event.slope > 0
+        assert event.relative_change > 0.25
+        assert (event.first_frame, event.last_frame) == (0, 7)
+
+    def test_narrowing_trend_has_negative_slope(self):
+        frames = [
+            _frame(i, [1.0 - 0.08 * i]) for i in range(8)
+        ]
+        event = detect_drift(_series(frames), "ci_width")
+        assert event is not None
+        assert event.slope < 0
+        assert event.relative_change < 0
+
+    def test_too_few_observed_frames_is_none(self):
+        frames = [_frame(0, [0.2]), _frame(1, [5.0])]
+        assert detect_drift(_series(frames), "ci_width") is None
+
+    def test_window_limits_lookback(self):
+        # Old steep drift outside the window, flat within it.
+        frames = [_frame(i, [0.1 * (i + 1)]) for i in range(5)]
+        frames += [_frame(5 + i, [0.5]) for i in range(8)]
+        event = detect_drift(_series(frames), "ci_width", window=8)
+        assert event is None

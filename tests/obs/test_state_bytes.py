@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.dfsample import DfSized
 from repro.distributions.gaussian import GaussianDistribution
 from repro.experiments.harness import render_metrics_table
-from repro.obs import MetricsRegistry, operator_rows
+from repro.obs import MetricsRegistry, OperatorMetrics, operator_rows
 from repro.streams.engine import Pipeline
 from repro.streams.groupby import GroupedAggregate
 from repro.streams.operators import (
@@ -113,6 +113,57 @@ class TestStateBytesGauge:
             line for line in table.splitlines() if "CollectSink" in line
         )
         assert sink_line.split()[-1] == "-"
+
+    def test_mixed_reporting_and_non_reporting_operators(self):
+        # Regression: in one table, a reporting operator shows its
+        # bytes, a never-reporting one shows '-' (not a misleading 0),
+        # and a reported zero is rendered as the digit 0.
+        registry = MetricsRegistry()
+        reporting = OperatorMetrics(registry, "p.00.Window", memory=True)
+        reporting.tuples_in.inc(4)
+        reporting.tuples_out.inc(4)
+        reporting.record_state_bytes(4096.0)
+        zeroed = OperatorMetrics(registry, "p.01.Drained", memory=True)
+        zeroed.tuples_in.inc(4)
+        zeroed.tuples_out.inc(4)
+        zeroed.record_state_bytes(0.0)
+        silent = OperatorMetrics(registry, "p.02.Sink", memory=True)
+        silent.tuples_in.inc(4)
+        silent.tuples_out.inc(0)
+        rows = {r["operator"]: r for r in operator_rows(registry)}
+        assert rows["p.00.Window"]["state_bytes"] == 4096.0
+        assert rows["p.01.Drained"]["state_bytes"] == 0.0
+        assert "state_bytes" not in rows["p.02.Sink"]
+        table = render_metrics_table(registry)
+        lines = {
+            name: next(
+                line for line in table.splitlines() if name in line
+            )
+            for name in ("Window", "Drained", "Sink")
+        }
+        assert lines["Window"].split()[-1] == "4096"
+        assert lines["Drained"].split()[-1] == "0"
+        assert lines["Sink"].split()[-1] == "-"
+
+    def test_state_bytes_column_is_right_aligned(self):
+        registry = MetricsRegistry()
+        wide = OperatorMetrics(registry, "p.00.Big", memory=True)
+        wide.tuples_in.inc(1)
+        wide.tuples_out.inc(1)
+        wide.record_state_bytes(123456789.0)
+        narrow = OperatorMetrics(registry, "p.01.Small", memory=True)
+        narrow.tuples_in.inc(1)
+        narrow.tuples_out.inc(1)
+        narrow.record_state_bytes(7.0)
+        table = render_metrics_table(registry)
+        lines = table.splitlines()
+        header = next(line for line in lines if "state_B" in line)
+        edge = len(header.rstrip())
+        # Right-aligned: every row's state_B value ends flush with the
+        # header's right edge (state_B is the last column).
+        for name in ("Big", "Small"):
+            row = next(line for line in lines if name in line)
+            assert len(row.rstrip()) == edge
 
     def test_sketch_state_smaller_than_exact_state(self):
         """The gauge can see the tentpole: sketches retain less."""

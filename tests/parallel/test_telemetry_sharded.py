@@ -1,0 +1,174 @@
+"""Cross-worker telemetry merge determinism.
+
+The tentpole contract: with a fixed seed and pinned ``n_shards``, the
+merged frame series — and therefore every SLO evaluation and alert log
+computed from it — is byte-identical at 1, 2, and 4 workers (wall-clock
+timer seconds excluded via the deterministic view, exactly like span
+timestamps in the trace contract).
+"""
+
+import json
+import pickle
+
+import numpy as np
+
+from repro.core.dfsample import DfSized
+from repro.distributions.gaussian import GaussianDistribution
+from repro.obs.alerts import AlertLog
+from repro.obs.slo import evaluate_rule, parse_rule
+from repro.obs.timeseries import TelemetryConfig, TelemetryRecorder
+from repro.streams.engine import Pipeline
+from repro.streams.operators import CollectSink, SlidingGaussianAverage
+from repro.streams.tuples import UncertainTuple
+
+N_SHARDS = 4
+WORKER_COUNTS = (1, 2, 4)
+SEED = 3
+FRAME_INTERVAL = 8
+BATCH_SIZE = 8
+
+
+def _tuples(n=96, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainTuple(
+            {
+                "reading": DfSized(
+                    GaussianDistribution(
+                        float(rng.normal(50.0, 10.0)),
+                        float(rng.uniform(1.0, 9.0)),
+                    ),
+                    int(rng.integers(10, 40)),
+                ),
+                "seq": i,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+# Module-level so the pristine pipeline pickles into spawn workers.
+def _pipeline(telemetry=None):
+    return Pipeline(
+        [SlidingGaussianAverage("reading", window_size=10), CollectSink()],
+        telemetry=telemetry,
+    )
+
+
+def _rules():
+    return [
+        parse_rule(
+            "ci_width p95 <= 0.5", short_window=2, long_window=4,
+        ),
+        parse_rule(
+            "de_facto_n p5 >= 4", short_window=2, long_window=4,
+        ),
+    ]
+
+
+def _merged(workers, tuples):
+    recorder = TelemetryRecorder(
+        TelemetryConfig(frame_interval=FRAME_INTERVAL)
+    )
+    pipeline = _pipeline(recorder)
+    sink = pipeline.run_sharded(
+        tuples,
+        n_workers=workers,
+        n_shards=N_SHARDS,
+        seed=SEED,
+        batch_size=BATCH_SIZE,
+    )
+    return recorder, sink
+
+
+class TestMergedTelemetryDeterminism:
+    def test_identical_frame_series_at_1_2_4_workers(self):
+        tuples = _tuples()
+        dumps = {}
+        sinks = {}
+        for workers in WORKER_COUNTS:
+            recorder, sink = _merged(workers, tuples)
+            assert len(recorder.series) > 1
+            dumps[workers] = json.dumps(
+                recorder.series.deterministic_view(), sort_keys=True
+            )
+            sinks[workers] = sink
+        assert dumps[1] == dumps[2], "frame series diverged at 2 workers"
+        assert dumps[1] == dumps[4], "frame series diverged at 4 workers"
+        # Telemetry never perturbs the merged output either.
+        plain = _pipeline().run_sharded(
+            tuples,
+            n_workers=2,
+            n_shards=N_SHARDS,
+            seed=SEED,
+            batch_size=BATCH_SIZE,
+        )
+        assert [pickle.dumps(t) for t in sinks[2].results] == [
+            pickle.dumps(t) for t in plain.results
+        ]
+
+    def test_identical_slo_evaluations_at_any_worker_count(self):
+        tuples = _tuples()
+        dumps = []
+        for workers in WORKER_COUNTS:
+            recorder, _ = _merged(workers, tuples)
+            dumps.append(
+                json.dumps(
+                    [
+                        evaluate_rule(recorder.series, rule).to_dicts()
+                        for rule in _rules()
+                    ],
+                    sort_keys=True,
+                )
+            )
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_identical_alert_logs_at_any_worker_count(self):
+        tuples = _tuples()
+        logs = []
+        for workers in WORKER_COUNTS:
+            recorder, _ = _merged(workers, tuples)
+            log = AlertLog()
+            log.evaluate(recorder.series, _rules())
+            logs.append(log.to_jsonl())
+        assert logs[0] == logs[1] == logs[2]
+
+    def test_frames_fold_across_all_shards(self):
+        tuples = _tuples()
+        recorder, _ = _merged(2, tuples)
+        # 96 tuples over 4 pinned shards at interval 8: 3 frames per
+        # shard folding into 3 merged frames spanning 32 positions each.
+        assert [f.index for f in recorder.series] == [0, 1, 2]
+        assert [(f.start, f.end) for f in recorder.series] == [
+            (0, 32),
+            (32, 64),
+            (64, 96),
+        ]
+
+    def test_merged_deltas_sum_to_registry_totals(self):
+        tuples = _tuples()
+        recorder, _ = _merged(2, tuples)
+        name = "pipeline.00.SlidingGaussianAverage.interval_width"
+        per_frame = sum(
+            int(frame.metrics[name]["count"])
+            for frame in recorder.series
+            if name in frame.metrics
+        )
+        cumulative = recorder.registry.snapshot()[name]["count"]
+        assert per_frame == cumulative > 0
+
+    def test_parent_resync_keeps_later_frames_clean(self):
+        tuples = _tuples()
+        recorder, _ = _merged(2, tuples)
+        frames_before = len(recorder.series)
+        # A serial run on the same recorder after the sharded merge must
+        # record only its own activity, not re-count merged history.
+        pipeline = _pipeline(recorder)
+        pipeline.run(_tuples(FRAME_INTERVAL, seed=1))
+        new = recorder.series.frames[frames_before:]
+        name = "pipeline.00.SlidingGaussianAverage.tuples_in"
+        assert sum(
+            int(f.metrics[name]["value"])
+            for f in new
+            if name in f.metrics
+        ) == FRAME_INTERVAL

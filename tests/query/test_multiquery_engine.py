@@ -178,3 +178,153 @@ class TestEngineBookkeeping:
             "agg", "s", QueryExecutor("SELECT AVG(a) FROM s"), object()
         )
         assert engine.group_size("agg") == 1
+
+
+def _gaussian_tuple(mean):
+    from repro.core.dfsample import DfSized
+    from repro.distributions.gaussian import GaussianDistribution
+    from repro.streams.tuples import UncertainTuple
+
+    return UncertainTuple(
+        {
+            "a": DfSized(GaussianDistribution(mean, 1.0), 10),
+            "b": DfSized(GaussianDistribution(mean, 1.0), 10),
+        }
+    )
+
+
+def _shared_engine():
+    """Two queries sharing a prefix group plus one solo query."""
+    engine = MultiQueryEngine()
+    cfg = ExecutorConfig()
+    engine.add(
+        "q0", "s",
+        QueryExecutor("SELECT a FROM s WHERE a > 1 PROB 0.5", config=cfg),
+        "h0",
+    )
+    engine.add(
+        "q1", "s",
+        QueryExecutor("SELECT a FROM s WHERE a > 100 PROB 0.5", config=cfg),
+        "h1",
+    )
+    # Selects a different attribute, so it shares no prefix group.
+    engine.add(
+        "solo", "s",
+        QueryExecutor("SELECT b FROM s WHERE b < 0 PROB 0.5", config=cfg),
+        "h2",
+    )
+    return engine
+
+
+class TestResultAttribution:
+    """Per-query and per-group ``multiquery.*.results`` counters: the
+    series SLO rules and frame deltas attribute load to."""
+
+    def test_iter_results_counts_per_query_and_per_group(self):
+        engine = _shared_engine()
+        emitted = []
+        for mean in (5.0, 5.0, -5.0):
+            emitted.extend(
+                handle
+                for handle, _ in engine.iter_results(
+                    "s", _gaussian_tuple(mean)
+                )
+            )
+        snap = engine.metrics.snapshot()
+        per_query = {
+            name: snap[f"multiquery.query.{name}.results"]["value"]
+            for name in ("q0", "q1", "solo")
+        }
+        assert per_query == {
+            "q0": emitted.count("h0"),
+            "q1": emitted.count("h1"),
+            "solo": emitted.count("h2"),
+        }
+        assert per_query["q0"] == 2  # a ~ N(5,1) clears > 1, not > 100
+        assert per_query["solo"] == 1
+        gid = engine._entries["q0"].group.gid
+        assert snap[f"multiquery.group.{gid}.results"]["value"] == (
+            per_query["q0"] + per_query["q1"]
+        )
+
+    def test_group_id_is_stable_across_engines(self):
+        first = _shared_engine()
+        second = _shared_engine()
+        assert (
+            first._entries["q0"].group.gid
+            == second._entries["q0"].group.gid
+        )
+
+    def test_execute_batch_matches_iter_results_counts(self):
+        tuples = [_gaussian_tuple(m) for m in (5.0, -5.0, 5.0, 200.0)]
+        batched = _shared_engine()
+        batched.execute_batch("s", tuples)
+        serial = _shared_engine()
+        for tup in tuples:
+            list(serial.iter_results("s", tup))
+        names = [
+            name
+            for name in batched.metrics.snapshot()
+            if name.startswith("multiquery.")
+        ]
+        batched_snap = batched.metrics.snapshot()
+        serial_snap = serial.metrics.snapshot()
+        for name in names:
+            assert batched_snap[name] == serial_snap[name], name
+
+
+class TestEngineTelemetry:
+    def _recorder(self, engine, interval=2):
+        from repro.obs.timeseries import TelemetryConfig, TelemetryRecorder
+
+        return engine.attach_telemetry(
+            TelemetryRecorder(
+                TelemetryConfig(frame_interval=interval),
+                registry=engine.metrics,
+            )
+        )
+
+    def test_recorder_over_foreign_registry_is_rejected(self):
+        from repro.errors import ObservabilityError
+        from repro.obs.timeseries import TelemetryRecorder
+
+        engine = _shared_engine()
+        with pytest.raises(ObservabilityError, match="engine's metrics"):
+            engine.attach_telemetry(TelemetryRecorder())
+        assert engine.telemetry is None
+
+    def test_iter_results_advances_one_position_per_tuple(self):
+        engine = _shared_engine()
+        recorder = self._recorder(engine, interval=2)
+        for mean in (5.0, -5.0, 5.0, 5.0):
+            list(engine.iter_results("s", _gaussian_tuple(mean)))
+        assert recorder.position == 4
+        assert len(recorder.series) == 2
+        gid = engine._entries["q0"].group.gid
+        name = f"multiquery.group.{gid}.results"
+        # Frame deltas split the group's results by stream position.
+        assert [
+            frame.metrics.get(name, {"value": 0})["value"]
+            for frame in recorder.series
+        ] == [1, 2]
+
+    def test_execute_batch_advances_by_batch_size(self):
+        engine = _shared_engine()
+        recorder = self._recorder(engine, interval=4)
+        engine.execute_batch(
+            "s", [_gaussian_tuple(m) for m in (5.0, -5.0, 5.0)]
+        )
+        assert recorder.position == 3
+        assert len(recorder.series) == 0  # below the frame boundary
+        engine.execute_batch("s", [_gaussian_tuple(5.0)])
+        recorder.finalize()
+        assert recorder.position == 4
+        assert len(recorder.series) == 1
+
+    def test_detach_stops_advancing(self):
+        engine = _shared_engine()
+        recorder = self._recorder(engine)
+        list(engine.iter_results("s", _gaussian_tuple(5.0)))
+        engine.detach_telemetry()
+        list(engine.iter_results("s", _gaussian_tuple(5.0)))
+        assert recorder.position == 1
